@@ -1,0 +1,262 @@
+//! Training-state checkpointing: save and resume a run exactly.
+//!
+//! A checkpoint captures everything the host side owns under the offload
+//! strategy — the fp32 master parameters, the Adam momentum/variance, the
+//! step counter, loss-scaler state, and any pending DPU gradient — which
+//! is by construction sufficient to resume: the fp16 device parameters are
+//! a pure function of the master copy (`float2half`).
+
+use serde::{Deserialize, Serialize};
+use zo_nn::Model;
+use zo_optim::AdamState;
+use zo_tensor::cast_f32_to_f16;
+
+use crate::engine::ZeroOffloadEngine;
+
+/// Serializable snapshot of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TrainingCheckpoint {
+    /// fp32 master parameters.
+    pub master: Vec<f32>,
+    /// Optimizer state (momentum, variance, step counter).
+    pub optim: AdamState,
+    /// Loss-scaler state: (scale, good-step counter).
+    pub loss_scale: (f32, u32),
+    /// DPU bookkeeping: steps seen and stashed gradient, when enabled.
+    pub dpu: Option<DpuCheckpoint>,
+    /// Steps applied so far (for bookkeeping continuity).
+    pub steps_applied: u64,
+    /// Steps skipped so far.
+    pub steps_skipped: u64,
+}
+
+/// DPU portion of a checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DpuCheckpoint {
+    /// Steps the DPU wrapper has observed.
+    pub steps_seen: u64,
+    /// The stashed gradient awaiting application.
+    pub pending: Option<Vec<f32>>,
+}
+
+/// Errors when restoring a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint covers a different parameter count.
+    SizeMismatch {
+        /// Parameters in the checkpoint.
+        checkpoint: usize,
+        /// Parameters in the engine.
+        engine: usize,
+    },
+    /// The checkpoint has DPU state but the engine is not in DPU mode (or
+    /// vice versa).
+    ModeMismatch,
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::SizeMismatch { checkpoint, engine } => write!(
+                f,
+                "checkpoint holds {checkpoint} parameters, engine expects {engine}"
+            ),
+            CheckpointError::ModeMismatch => {
+                write!(f, "checkpoint DPU state does not match the engine's DPU mode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl<M: Model> ZeroOffloadEngine<M> {
+    /// Captures the current training state.
+    pub fn save_checkpoint(&self) -> TrainingCheckpoint {
+        let (optim, dpu) = self.updater_state();
+        TrainingCheckpoint {
+            master: self.master_params().to_vec(),
+            optim,
+            loss_scale: self.scaler_snapshot(),
+            dpu,
+            steps_applied: self.stats().steps_applied,
+            steps_skipped: self.stats().steps_skipped,
+        }
+    }
+
+    /// Restores a checkpoint saved by an engine of the same configuration.
+    ///
+    /// The model is reloaded with the fp16 view of the restored master
+    /// parameters, so the next step continues the original trajectory
+    /// exactly (verified bitwise by the resume tests).
+    pub fn restore_checkpoint(
+        &mut self,
+        ckpt: &TrainingCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        let n = self.master_params().len();
+        if ckpt.master.len() != n || ckpt.optim.len() != n {
+            return Err(CheckpointError::SizeMismatch {
+                checkpoint: ckpt.master.len(),
+                engine: n,
+            });
+        }
+        self.load_restored(ckpt)?;
+        Ok(())
+    }
+
+    /// Serializes the checkpoint as JSON.
+    pub fn checkpoint_json(&self) -> String {
+        // Plain-old-data: serialization cannot fail.
+        serde_json::to_string(&self.save_checkpoint()).expect("checkpoint serialization")
+    }
+
+    /// Restores from [`ZeroOffloadEngine::checkpoint_json`] output.
+    pub fn restore_json(&mut self, json: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let ckpt: TrainingCheckpoint = serde_json::from_str(json)?;
+        self.restore_checkpoint(&ckpt)?;
+        Ok(())
+    }
+}
+
+// Private helpers on the engine, kept here so `engine.rs` stays focused on
+// the schedule. They need access to engine internals, granted via
+// `pub(crate)` accessors defined in `engine.rs`.
+impl<M: Model> ZeroOffloadEngine<M> {
+    fn load_restored(&mut self, ckpt: &TrainingCheckpoint) -> Result<(), CheckpointError> {
+        self.set_master(&ckpt.master);
+        self.set_updater_state(&ckpt.optim, ckpt.dpu.as_ref())?;
+        self.set_scaler_snapshot(ckpt.loss_scale);
+        self.set_step_counters(ckpt.steps_applied, ckpt.steps_skipped);
+        // Rebuild the fp16 device view from the restored master copy.
+        let mut p16 = vec![zo_tensor::F16::ZERO; ckpt.master.len()];
+        cast_f32_to_f16(&ckpt.master, &mut p16);
+        self.set_p16_and_sync(p16);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::ZeroOffloadConfig;
+    use crate::engine::ZeroOffloadEngine;
+    use zo_models::BigramLm;
+    use zo_nn::{GptConfig, GptModel, Model};
+    use zo_optim::{AdamParams, LossScaleConfig};
+
+    const GPT: GptConfig = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 2 };
+
+    fn cfg() -> ZeroOffloadConfig {
+        ZeroOffloadConfig {
+            adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+            ..ZeroOffloadConfig::default()
+        }
+    }
+
+    fn run(engine: &mut ZeroOffloadEngine<GptModel>, from: usize, steps: usize) -> Vec<f32> {
+        let mut data = BigramLm::new(GPT.vocab, 0.05, 7);
+        let mut batches = Vec::new();
+        for _ in 0..from + steps {
+            batches.push(data.batch(4, GPT.seq_len));
+        }
+        batches[from..]
+            .iter()
+            .map(|b| {
+                engine
+                    .step(|m| m.train_step(&b.inputs, &b.targets, 4, GPT.seq_len, |_| {}))
+                    .unwrap()
+                    .loss()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resume_is_bitwise_identical() {
+        // Continuous run of 20 steps...
+        let mut continuous = ZeroOffloadEngine::new(GptModel::new(GPT, 42), cfg());
+        let losses_all = run(&mut continuous, 0, 20);
+
+        // ...vs 10 steps, checkpoint, restore into a FRESH engine, 10 more.
+        let mut first = ZeroOffloadEngine::new(GptModel::new(GPT, 42), cfg());
+        run(&mut first, 0, 10);
+        let ckpt = first.save_checkpoint();
+
+        let mut resumed = ZeroOffloadEngine::new(GptModel::new(GPT, 99), cfg());
+        resumed.restore_checkpoint(&ckpt).unwrap();
+        let losses_tail = run(&mut resumed, 10, 10);
+
+        assert_eq!(&losses_all[10..], &losses_tail[..]);
+        assert_eq!(continuous.master_params(), resumed.master_params());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(GPT, 1), cfg());
+        run(&mut engine, 0, 3);
+        let json = engine.checkpoint_json();
+        let mut other = ZeroOffloadEngine::new(GptModel::new(GPT, 2), cfg());
+        other.restore_json(&json).unwrap();
+        assert_eq!(engine.master_params(), other.master_params());
+        assert_eq!(engine.loss_scale(), other.loss_scale());
+    }
+
+    #[test]
+    fn dpu_pending_gradient_survives_checkpoint() {
+        let dpu_cfg = ZeroOffloadConfig { dpu_warmup: Some(2), ..cfg() };
+        let mut continuous = ZeroOffloadEngine::new(GptModel::new(GPT, 5), dpu_cfg);
+        let all = run(&mut continuous, 0, 12);
+
+        let mut first = ZeroOffloadEngine::new(GptModel::new(GPT, 5), dpu_cfg);
+        run(&mut first, 0, 6); // Past warm-up: a gradient is stashed.
+        let ckpt = first.save_checkpoint();
+        assert!(ckpt.dpu.as_ref().unwrap().pending.is_some());
+
+        let mut resumed = ZeroOffloadEngine::new(GptModel::new(GPT, 5), dpu_cfg);
+        resumed.restore_checkpoint(&ckpt).unwrap();
+        let tail = run(&mut resumed, 6, 6);
+        assert_eq!(&all[6..], &tail[..]);
+        assert_eq!(continuous.master_params(), resumed.master_params());
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let engine = ZeroOffloadEngine::new(GptModel::new(GPT, 1), cfg());
+        let ckpt = engine.save_checkpoint();
+        let small = GptConfig { layers: 1, ..GPT };
+        let mut other = ZeroOffloadEngine::new(GptModel::new(small, 1), cfg());
+        assert!(other.restore_checkpoint(&ckpt).is_err());
+    }
+
+    #[test]
+    fn mode_mismatch_rejected() {
+        let mut plain = ZeroOffloadEngine::new(GptModel::new(GPT, 1), cfg());
+        run(&mut plain, 0, 2);
+        let ckpt = plain.save_checkpoint();
+        assert!(ckpt.dpu.is_none());
+        let mut dpu_engine = ZeroOffloadEngine::new(
+            GptModel::new(GPT, 1),
+            ZeroOffloadConfig { dpu_warmup: Some(0), ..cfg() },
+        );
+        assert!(matches!(
+            dpu_engine.restore_checkpoint(&ckpt),
+            Err(super::CheckpointError::ModeMismatch)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_counters_roundtrip() {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(GPT, 3), cfg());
+        run(&mut engine, 0, 4);
+        let ckpt = engine.save_checkpoint();
+        assert_eq!(ckpt.steps_applied, 4);
+        let mut other = ZeroOffloadEngine::new(GptModel::new(GPT, 3), cfg());
+        other.restore_checkpoint(&ckpt).unwrap();
+        assert_eq!(other.stats().steps_applied, 4);
+        let mut model_params = vec![0.0f32; other.model_mut().num_params()];
+        other.model_mut().copy_params_to(&mut model_params);
+        // Model carries the fp16 view of the restored master.
+        for (mp, m) in model_params.iter().zip(other.master_params()) {
+            assert_eq!(*mp, zo_tensor::F16::from_f32(*m).to_f32());
+        }
+    }
+}

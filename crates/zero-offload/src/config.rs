@@ -1,0 +1,135 @@
+//! Engine configuration (the analog of the DeepSpeed JSON config).
+
+use serde::{Deserialize, Serialize};
+use zo_optim::{AdamParams, LossScaleConfig};
+
+/// Where the optimizer states and step live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OffloadDevice {
+    /// No offload: everything on the accelerator (baseline behaviour).
+    None,
+    /// ZeRO-Offload: gradients, fp32 states and the update on the host.
+    Cpu,
+}
+
+/// Configuration for [`ZeroOffloadEngine`](crate::engine::ZeroOffloadEngine).
+///
+/// Deserializable from JSON with every field optional (the DeepSpeed
+/// `ds_config.json` usability model — paper Fig. 1):
+///
+/// ```
+/// use zero_offload::ZeroOffloadConfig;
+///
+/// let cfg = ZeroOffloadConfig::from_json(r#"{"dpu_warmup": 40}"#).unwrap();
+/// assert_eq!(cfg.dpu_warmup, Some(40));
+/// assert_eq!(cfg.grad_accumulation, 1); // defaulted
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ZeroOffloadConfig {
+    /// Offload target.
+    pub offload: OffloadDevice,
+    /// Adam hyper-parameters.
+    pub adam: AdamParams,
+    /// One-step delayed parameter update: `None` disables, `Some(n)`
+    /// enables after `n` warm-up steps (the paper uses 40).
+    pub dpu_warmup: Option<u64>,
+    /// Dynamic fp16 loss scaling.
+    pub loss_scale: LossScaleConfig,
+    /// Global gradient-norm clip (0 disables).
+    pub max_grad_norm: f64,
+    /// Micro-batches accumulated per optimizer step.
+    pub grad_accumulation: u32,
+    /// CPU optimizer worker threads.
+    pub optimizer_threads: usize,
+    /// Elements per copy-back tile (Algorithm 1 line 15).
+    pub tile_width: usize,
+}
+
+impl Default for ZeroOffloadConfig {
+    fn default() -> ZeroOffloadConfig {
+        ZeroOffloadConfig {
+            offload: OffloadDevice::Cpu,
+            adam: AdamParams::default(),
+            dpu_warmup: None,
+            loss_scale: LossScaleConfig::default(),
+            max_grad_norm: 0.0,
+            grad_accumulation: 1,
+            optimizer_threads: 1,
+            tile_width: 2 * 1024 * 1024,
+        }
+    }
+}
+
+impl ZeroOffloadConfig {
+    /// Parses a JSON config; absent fields take their defaults.
+    pub fn from_json(json: &str) -> Result<ZeroOffloadConfig, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the full config as pretty JSON.
+    pub fn to_json(&self) -> String {
+        // Plain-old-data: serialization cannot fail.
+        serde_json::to_string_pretty(self).expect("config serialization")
+    }
+
+    /// Enables DPU with the paper's 40-step warm-up.
+    #[must_use]
+    pub fn with_dpu(mut self) -> ZeroOffloadConfig {
+        self.dpu_warmup = Some(40);
+        self
+    }
+
+    /// Disables offload (plain mixed-precision Adam on-device).
+    #[must_use]
+    pub fn without_offload(mut self) -> ZeroOffloadConfig {
+        self.offload = OffloadDevice::None;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_and_partial_parse() {
+        let cfg = ZeroOffloadConfig::default().with_dpu();
+        let back = ZeroOffloadConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.dpu_warmup, Some(40));
+        assert_eq!(back.grad_accumulation, cfg.grad_accumulation);
+        // Partial config: unknown-but-valid subset with defaults.
+        let partial = ZeroOffloadConfig::from_json(
+            r#"{"offload": "None", "grad_accumulation": 8}"#,
+        )
+        .unwrap();
+        assert_eq!(partial.offload, OffloadDevice::None);
+        assert_eq!(partial.grad_accumulation, 8);
+        assert!(partial.dpu_warmup.is_none());
+        // Nested structs are partially specifiable too.
+        let nested = ZeroOffloadConfig::from_json(
+            r#"{"adam": {"lr": 0.01}, "loss_scale": {"init_scale": 128.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(nested.adam.lr, 0.01);
+        assert_eq!(nested.adam.beta1, 0.9); // defaulted
+        assert_eq!(nested.loss_scale.init_scale, 128.0);
+        // Malformed JSON is an error, not a default.
+        assert!(ZeroOffloadConfig::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn default_is_offload_without_dpu() {
+        let c = ZeroOffloadConfig::default();
+        assert_eq!(c.offload, OffloadDevice::Cpu);
+        assert!(c.dpu_warmup.is_none());
+        assert_eq!(c.grad_accumulation, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ZeroOffloadConfig::default().with_dpu().without_offload();
+        assert_eq!(c.dpu_warmup, Some(40));
+        assert_eq!(c.offload, OffloadDevice::None);
+    }
+}

@@ -1,0 +1,484 @@
+//! The real-execution ZeRO-Offload engine (single accelerator).
+//!
+//! Runs actual training with the paper's data placement faithfully
+//! emulated: the model computes forward/backward on **fp16-rounded
+//! parameters** (what the GPU would hold), gradients leave the "device" by
+//! being **rounded through fp16** (the PCIe transfer), and the fp32 master
+//! parameters, momentum and variance live in a separate host-side buffer
+//! updated by [`CpuAdam`] — optionally one step delayed (DPU).
+//!
+//! The engine is generic over [`Model`], so the same code trains the GPT
+//! LM of Fig. 12 and the classifier of Fig. 13.
+
+use zo_nn::Model;
+use zo_optim::{
+    adam_reference_step, clip, AdamParams, AdamState, CpuAdam, CpuAdamConfig, DelayedUpdate,
+    DynamicLossScaler,
+};
+use zo_tensor::{cast_f32_to_f16, F16};
+
+use crate::bucket::{scatter_frames, GradBucketer};
+use crate::config::{OffloadDevice, ZeroOffloadConfig};
+use crate::wire::decode_frame;
+
+/// What a call to [`ZeroOffloadEngine::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// A micro-batch was accumulated; no optimizer activity yet.
+    Accumulating {
+        /// Micro-batch loss.
+        loss: f32,
+    },
+    /// The optimizer step ran (possibly DPU-delayed by one step).
+    Applied {
+        /// Micro-batch loss.
+        loss: f32,
+    },
+    /// fp16 gradient overflow: the loss scale backed off, step skipped.
+    SkippedOverflow {
+        /// Micro-batch loss.
+        loss: f32,
+    },
+}
+
+impl StepOutcome {
+    /// The micro-batch loss regardless of outcome.
+    pub fn loss(&self) -> f32 {
+        match self {
+            StepOutcome::Accumulating { loss }
+            | StepOutcome::Applied { loss }
+            | StepOutcome::SkippedOverflow { loss } => *loss,
+        }
+    }
+}
+
+/// Cumulative engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Optimizer steps applied.
+    pub steps_applied: u64,
+    /// Steps skipped due to fp16 overflow.
+    pub steps_skipped: u64,
+    /// Simulated device→host traffic (fp16 gradient payload), bytes.
+    pub d2h_bytes: u64,
+    /// Simulated host→device traffic (fp16 parameters), bytes.
+    pub h2d_bytes: u64,
+    /// On-the-wire gradient bytes including frame headers.
+    pub wire_bytes: u64,
+    /// Gradient frames shipped.
+    pub frames: u64,
+}
+
+enum Updater {
+    /// Non-offload reference path (scalar Adam, same recurrence).
+    Reference(AdamState, AdamParams),
+    /// The offloaded CPU-Adam.
+    Cpu(CpuAdam),
+    /// CPU-Adam wrapped in one-step delayed parameter update.
+    Dpu(DelayedUpdate),
+}
+
+/// A training engine applying the ZeRO-Offload single-GPU schedule.
+pub struct ZeroOffloadEngine<M: Model> {
+    model: M,
+    cfg: ZeroOffloadConfig,
+    /// fp32 master parameters ("CPU memory").
+    master: Vec<f32>,
+    /// fp16 parameter mirror ("GPU memory").
+    p16: Vec<F16>,
+    grads: Vec<f32>,
+    updater: Updater,
+    scaler: DynamicLossScaler,
+    micro_in_window: u32,
+    stats: EngineStats,
+    /// Flat offset ranges of each layer bucket, in canonical order.
+    layer_ranges: Vec<core::ops::Range<usize>>,
+}
+
+impl<M: Model> ZeroOffloadEngine<M> {
+    /// Wraps `model` for training under `cfg`.
+    ///
+    /// The model's initial parameters become the fp32 master copy; the
+    /// model itself is immediately switched to their fp16 rounding, as a
+    /// GPU would hold them.
+    pub fn new(mut model: M, cfg: ZeroOffloadConfig) -> ZeroOffloadEngine<M> {
+        let n = model.num_params();
+        let layer_ranges_init = model.layer_ranges();
+        let mut master = vec![0.0f32; n];
+        model.copy_params_to(&mut master);
+        let mut p16 = vec![F16::ZERO; n];
+        cast_f32_to_f16(&master, &mut p16);
+
+        let updater = match cfg.offload {
+            OffloadDevice::None => Updater::Reference(AdamState::new(n), cfg.adam),
+            OffloadDevice::Cpu => {
+                let opt = CpuAdam::new(
+                    CpuAdamConfig {
+                        hp: cfg.adam,
+                        num_threads: cfg.optimizer_threads,
+                        tile_width: cfg.tile_width,
+                    },
+                    n,
+                );
+                match cfg.dpu_warmup {
+                    Some(warmup) => Updater::Dpu(DelayedUpdate::new(opt, warmup)),
+                    None => Updater::Cpu(opt),
+                }
+            }
+        };
+        let mut engine = ZeroOffloadEngine {
+            model,
+            cfg,
+            master,
+            p16,
+            grads: vec![0.0f32; n],
+            updater,
+            scaler: DynamicLossScaler::new(cfg.loss_scale),
+            micro_in_window: 0,
+            stats: EngineStats::default(),
+            layer_ranges: layer_ranges_init,
+        };
+        engine.sync_model_params();
+        engine
+    }
+
+    /// The wrapped model (parameters are the fp16 view).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model (for evaluation passes).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Current loss scale.
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// The fp32 master parameters (host side).
+    pub fn master_params(&self) -> &[f32] {
+        &self.master
+    }
+
+    /// Snapshot of optimizer state + DPU bookkeeping (checkpointing).
+    pub(crate) fn updater_state(
+        &self,
+    ) -> (AdamState, Option<crate::checkpoint::DpuCheckpoint>) {
+        match &self.updater {
+            Updater::Reference(state, _) => (state.clone(), None),
+            Updater::Cpu(opt) => (opt.state().clone(), None),
+            Updater::Dpu(dpu) => (
+                dpu.inner().state().clone(),
+                Some(crate::checkpoint::DpuCheckpoint {
+                    steps_seen: dpu.steps_seen(),
+                    pending: dpu.pending().map(|p| p.to_vec()),
+                }),
+            ),
+        }
+    }
+
+    /// Restores optimizer + DPU state (checkpointing).
+    pub(crate) fn set_updater_state(
+        &mut self,
+        optim: &AdamState,
+        dpu: Option<&crate::checkpoint::DpuCheckpoint>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        match (&mut self.updater, dpu) {
+            (Updater::Reference(state, _), None) => {
+                *state = optim.clone();
+                Ok(())
+            }
+            (Updater::Cpu(opt), None) => {
+                opt.load_state(optim.clone()).map_err(|_| {
+                    crate::checkpoint::CheckpointError::SizeMismatch {
+                        checkpoint: optim.len(),
+                        engine: self.master.len(),
+                    }
+                })
+            }
+            (Updater::Dpu(wrapper), Some(d)) => {
+                wrapper.inner_mut().load_state(optim.clone()).map_err(|_| {
+                    crate::checkpoint::CheckpointError::SizeMismatch {
+                        checkpoint: optim.len(),
+                        engine: self.master.len(),
+                    }
+                })?;
+                wrapper.restore(d.steps_seen, d.pending.clone());
+                Ok(())
+            }
+            _ => Err(crate::checkpoint::CheckpointError::ModeMismatch),
+        }
+    }
+
+    /// Loss-scaler snapshot (checkpointing).
+    pub(crate) fn scaler_snapshot(&self) -> (f32, u32) {
+        self.scaler.snapshot()
+    }
+
+    /// Restores a loss-scaler snapshot (checkpointing).
+    pub(crate) fn set_scaler_snapshot(&mut self, snapshot: (f32, u32)) {
+        self.scaler.restore(snapshot);
+    }
+
+    /// Replaces the master parameters (checkpointing).
+    pub(crate) fn set_master(&mut self, master: &[f32]) {
+        self.master.copy_from_slice(master);
+    }
+
+    /// Restores step counters (checkpointing).
+    pub(crate) fn set_step_counters(&mut self, applied: u64, skipped: u64) {
+        self.stats.steps_applied = applied;
+        self.stats.steps_skipped = skipped;
+    }
+
+    /// Replaces the fp16 mirror and reloads the model (checkpointing).
+    pub(crate) fn set_p16_and_sync(&mut self, p16: Vec<F16>) {
+        self.p16 = p16;
+        self.sync_model_params();
+    }
+
+    /// Loads the fp16 view of the master parameters into the model.
+    fn sync_model_params(&mut self) {
+        let widened: Vec<f32> = self.p16.iter().map(|h| h.to_f32()).collect();
+        self.model.load_params_from(&widened);
+    }
+
+    /// Runs one micro-batch and, at window boundaries, the offloaded
+    /// optimizer step.
+    ///
+    /// `run_backward` must perform forward + backward on the model,
+    /// accumulating gradients, and return the loss. The engine zeroes
+    /// gradients at the start of each accumulation window.
+    pub fn step<E>(
+        &mut self,
+        run_backward: impl FnOnce(&mut M) -> Result<f32, E>,
+    ) -> Result<StepOutcome, E> {
+        if self.micro_in_window == 0 {
+            self.model.zero_grads();
+        }
+        let loss = run_backward(&mut self.model)?;
+        self.micro_in_window += 1;
+        if self.micro_in_window < self.cfg.grad_accumulation {
+            return Ok(StepOutcome::Accumulating { loss });
+        }
+        self.micro_in_window = 0;
+
+        // Transfer the gradients for real: scale, cast to fp16, pack the
+        // layer spans into wire frames in backward order (head bucket
+        // first, blocks reversed, embeddings last — the order they become
+        // ready in Sec. 4.1), ship, validate, scatter into host memory.
+        self.model.copy_grads_to(&mut self.grads);
+        let scale = self.scaler.scale();
+        let denom = self.cfg.grad_accumulation as f32;
+        let mut overflow = false;
+        let mut bucketer = GradBucketer::new(crate::bucket::default_bucket_bytes());
+        let mut span = Vec::new();
+        for range in self.layer_ranges.iter().rev() {
+            span.clear();
+            span.reserve(range.len());
+            for &g in &self.grads[range.clone()] {
+                let wire = F16::from_f32(g / denom * scale);
+                if !wire.is_finite() {
+                    overflow = true;
+                }
+                span.push(wire);
+            }
+            bucketer.push(range.start as u64, &span);
+        }
+        bucketer.flush();
+        let frames: Vec<crate::wire::GradFrame> = bucketer
+            .take_frames()
+            .into_iter()
+            .map(|f| decode_frame(f).expect("loopback frames are well-formed"))
+            .collect();
+        scatter_frames(&frames, &mut self.grads);
+        zo_tensor::ops::scale(&mut self.grads, 1.0 / scale);
+        self.stats.d2h_bytes += bucketer.payload_bytes();
+        self.stats.wire_bytes += bucketer.wire_bytes();
+        self.stats.frames += u64::from(bucketer.frames_emitted());
+
+        if !self.scaler.update(overflow) {
+            self.stats.steps_skipped += 1;
+            return Ok(StepOutcome::SkippedOverflow { loss });
+        }
+
+        if self.cfg.max_grad_norm > 0.0 {
+            clip::clip_global_norm(&mut [&mut self.grads], self.cfg.max_grad_norm);
+        }
+
+        match &mut self.updater {
+            Updater::Reference(state, hp) => {
+                // The recurrence is identical to CpuAdam's, bit for bit.
+                adam_reference_step(hp, state, &mut self.master, &self.grads)
+                    .expect("engine buffers are sized together");
+            }
+            Updater::Cpu(opt) => {
+                opt.step_mixed(&mut self.master, &self.grads, &mut self.p16)
+                    .expect("engine buffers are sized together");
+            }
+            Updater::Dpu(dpu) => {
+                dpu.step(&mut self.master, &self.grads)
+                    .expect("engine buffers are sized together");
+            }
+        }
+        // Refresh the fp16 mirror (for the Cpu path this re-does the tiled
+        // cast; for Reference/Dpu it is the float2half copy-back) and load
+        // it into the model — the h2d parameter copy.
+        cast_f32_to_f16(&self.master, &mut self.p16);
+        self.stats.h2d_bytes += 2 * self.p16.len() as u64;
+        self.sync_model_params();
+        self.stats.steps_applied += 1;
+        Ok(StepOutcome::Applied { loss })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zo_nn::{GptConfig, GptModel};
+    use zo_optim::LossScaleConfig;
+
+    fn tiny_model(seed: u64) -> GptModel {
+        GptModel::new(
+            GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 2 },
+            seed,
+        )
+    }
+
+    fn small_scale_cfg() -> ZeroOffloadConfig {
+        ZeroOffloadConfig {
+            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+            adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+            ..ZeroOffloadConfig::default()
+        }
+    }
+
+    fn run_steps(engine: &mut ZeroOffloadEngine<GptModel>, steps: usize, seed: u64) -> Vec<f32> {
+        let mut data = zo_models::BigramLm::new(16, 0.05, seed);
+        let mut losses = Vec::new();
+        for _ in 0..steps {
+            let b = data.batch(4, 8);
+            let out = engine
+                .step(|m| m.train_step(&b.inputs, &b.targets, 4, 8, |_| {}))
+                .unwrap();
+            losses.push(out.loss());
+        }
+        losses
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut engine = ZeroOffloadEngine::new(tiny_model(1), small_scale_cfg());
+        let losses = run_steps(&mut engine, 120, 7);
+        let head: f32 = losses[..10].iter().sum::<f32>() / 10.0;
+        let tail: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
+        assert!(tail < head * 0.9, "loss did not fall: {head} -> {tail}");
+        assert!(engine.stats().steps_applied > 100);
+    }
+
+    #[test]
+    fn offload_path_matches_reference_path_exactly() {
+        // The offload strategy performs only system optimizations: the
+        // training dynamics must be bit-identical to the non-offload
+        // reference (the paper's exactly-overlapping curves in Fig. 12).
+        let mut offload = ZeroOffloadEngine::new(tiny_model(5), small_scale_cfg());
+        let mut reference =
+            ZeroOffloadEngine::new(tiny_model(5), small_scale_cfg().without_offload());
+        let l1 = run_steps(&mut offload, 40, 9);
+        let l2 = run_steps(&mut reference, 40, 9);
+        assert_eq!(l1, l2);
+        assert_eq!(offload.master_params(), reference.master_params());
+    }
+
+    #[test]
+    fn dpu_trails_by_one_step_then_converges() {
+        let cfg = ZeroOffloadConfig { dpu_warmup: Some(5), ..small_scale_cfg() };
+        let mut dpu = ZeroOffloadEngine::new(tiny_model(3), cfg);
+        let losses = run_steps(&mut dpu, 150, 11);
+        let head: f32 = losses[..10].iter().sum::<f32>() / 10.0;
+        let tail: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
+        assert!(tail < head * 0.9, "DPU run did not converge: {head} -> {tail}");
+    }
+
+    #[test]
+    fn dpu_matches_plain_during_warmup() {
+        let cfg = ZeroOffloadConfig { dpu_warmup: Some(20), ..small_scale_cfg() };
+        let mut dpu = ZeroOffloadEngine::new(tiny_model(4), cfg);
+        let mut plain = ZeroOffloadEngine::new(tiny_model(4), small_scale_cfg());
+        let l1 = run_steps(&mut dpu, 20, 13);
+        let l2 = run_steps(&mut plain, 20, 13);
+        assert_eq!(l1, l2, "warm-up steps must be identical");
+        // Past the warm-up the parameter trajectories diverge (staleness).
+        run_steps(&mut dpu, 5, 14);
+        run_steps(&mut plain, 5, 14);
+        assert_ne!(dpu.master_params(), plain.master_params());
+    }
+
+    #[test]
+    fn communication_is_4m_bytes_per_step() {
+        let mut engine = ZeroOffloadEngine::new(tiny_model(2), small_scale_cfg());
+        run_steps(&mut engine, 10, 15);
+        let n = engine.model_mut().num_params() as u64;
+        let s = engine.stats();
+        // 2 bytes/param down + 2 bytes/param up, per applied+skipped step.
+        let total_steps = s.steps_applied + s.steps_skipped;
+        assert_eq!(s.d2h_bytes, 2 * n * total_steps);
+        assert_eq!(s.h2d_bytes, 2 * n * s.steps_applied);
+    }
+
+    #[test]
+    fn gradient_accumulation_windows() {
+        let cfg = ZeroOffloadConfig { grad_accumulation: 4, ..small_scale_cfg() };
+        let mut engine = ZeroOffloadEngine::new(tiny_model(6), cfg);
+        let mut data = zo_models::BigramLm::new(16, 0.05, 20);
+        let mut outcomes = Vec::new();
+        for _ in 0..8 {
+            let b = data.batch(2, 8);
+            let out = engine
+                .step(|m| m.train_step(&b.inputs, &b.targets, 2, 8, |_| {}))
+                .unwrap();
+            outcomes.push(matches!(out, StepOutcome::Applied { .. }));
+        }
+        assert_eq!(outcomes, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(engine.stats().steps_applied, 2);
+    }
+
+    #[test]
+    fn overflow_backs_off_scale_and_skips() {
+        // A huge init scale forces immediate fp16 overflow.
+        let cfg = ZeroOffloadConfig {
+            loss_scale: LossScaleConfig { init_scale: 3.4e38, ..Default::default() },
+            ..ZeroOffloadConfig::default()
+        };
+        let mut engine = ZeroOffloadEngine::new(tiny_model(8), cfg);
+        let mut data = zo_models::BigramLm::new(16, 0.05, 21);
+        let b = data.batch(2, 8);
+        let before = engine.loss_scale();
+        let out = engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 2, 8, |_| {}))
+            .unwrap();
+        assert!(matches!(out, StepOutcome::SkippedOverflow { .. }));
+        assert!(engine.loss_scale() < before);
+        assert_eq!(engine.stats().steps_applied, 0);
+        assert_eq!(engine.stats().steps_skipped, 1);
+    }
+
+    #[test]
+    fn model_holds_fp16_rounded_params() {
+        let mut engine = ZeroOffloadEngine::new(tiny_model(9), small_scale_cfg());
+        run_steps(&mut engine, 3, 22);
+        let n = engine.model_mut().num_params();
+        let mut current = vec![0.0f32; n];
+        engine.model_mut().copy_params_to(&mut current);
+        for (c, m) in current.iter().zip(engine.master_params()) {
+            assert_eq!(*c, F16::from_f32(*m).to_f32());
+        }
+    }
+}

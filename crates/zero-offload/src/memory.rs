@@ -1,0 +1,198 @@
+//! GPU/CPU memory accounting for ZeRO-Offload training.
+//!
+//! Implements the paper's memory math: of the `16M` bytes of model states,
+//! only the `2M` fp16 parameters stay on the GPU; fp16 gradients, fp32
+//! master parameters, momentum and variance (`14M`) live in host memory,
+//! held once regardless of the data-parallel degree thanks to ZeRO-2
+//! partitioning (Sec. 4.2, Fig. 4). Activations (with checkpointing) and a
+//! small gradient staging bucket complete the GPU footprint.
+
+use zo_models::TransformerConfig;
+
+/// Bytes of the transient GPU gradient-staging bucket.
+///
+/// "Only a small amount of memory is required to temporarily hold the
+/// gradients on the GPU memory before they are transferred" (Sec. 4.1) —
+/// two in-flight buckets of 32 MB.
+pub const GRAD_BUCKET_BYTES: u64 = 2 * 32 * 1024 * 1024;
+
+/// GPU bytes required to train `cfg` with ZeRO-Offload.
+///
+/// `mp_degree` splits parameters and per-layer working activations
+/// (tensor-slicing model parallelism); layer-boundary checkpoints stay
+/// replicated.
+pub fn gpu_bytes(cfg: &TransformerConfig, micro_batch: u64, mp_degree: u64) -> u64 {
+    let params = cfg.total_params();
+    let p16 = 2 * params / mp_degree;
+    p16 + GRAD_BUCKET_BYTES + activation_bytes_mp(cfg, micro_batch, mp_degree)
+}
+
+/// Host bytes required on the node, aggregated over all its resident
+/// ranks: a single partitioned copy across data-parallel ranks (each owns
+/// `1/N`, so the sum is constant), and model-parallel shards co-resident
+/// on the same host also sum back to the whole model.
+///
+/// Per parameter: fp16 wire gradients (2) + fp32 gradient accumulation
+/// buffer (4) + fp32 master (4) + momentum (4) + variance (4) = 18 bytes
+/// (DeepSpeed's ZeRO-Offload keeps the fp32 accumulation buffer host-side;
+/// this is what bounds the 70B DGX-2 maximum).
+pub fn cpu_bytes(cfg: &TransformerConfig, _mp_degree: u64) -> u64 {
+    18 * cfg.total_params()
+}
+
+/// Usable fraction of host memory after pinned-buffer and OS reserves.
+pub const USABLE_CPU_FRACTION: f64 = 0.85;
+
+/// Activation bytes under model parallelism: per-layer working tensors and
+/// attention scores divide by `mp`, layer-boundary checkpoints replicate.
+pub fn activation_bytes_mp(cfg: &TransformerConfig, micro_batch: u64, mp: u64) -> u64 {
+    let full = cfg.activation_bytes(micro_batch);
+    let b = micro_batch;
+    let s = cfg.seq_len as u64;
+    let h = cfg.hidden as u64;
+    let checkpoints = (cfg.num_layers as u64 + 1) * b * s * h * 2;
+    let split = full - checkpoints;
+    checkpoints + split / mp
+}
+
+/// Usable fraction of device memory after allocator fragmentation, CUDA
+/// context, and workspace reserves.
+pub const USABLE_GPU_FRACTION: f64 = 0.94;
+
+/// Whether ZeRO-Offload can train `cfg` on the given budgets.
+pub fn fits(
+    cfg: &TransformerConfig,
+    micro_batch: u64,
+    mp_degree: u64,
+    gpu_capacity: u64,
+    cpu_capacity: u64,
+) -> bool {
+    let usable = (gpu_capacity as f64 * USABLE_GPU_FRACTION) as u64;
+    let cpu_usable = (cpu_capacity as f64 * USABLE_CPU_FRACTION) as u64;
+    gpu_bytes(cfg, micro_batch, mp_degree) <= usable
+        && cpu_bytes(cfg, mp_degree) <= cpu_usable
+}
+
+/// The model-size family used for scale searches: hidden width by size
+/// class (mirroring Table 3), depth solved to hit the target count.
+pub fn config_for_params(target: u64) -> TransformerConfig {
+    let hidden = match target {
+        t if t < 3_000_000_000 => 2048,
+        t if t < 5_000_000_000 => 2304,
+        t if t < 9_000_000_000 => 3072,
+        t if t < 18_000_000_000 => 4096,
+        t if t < 65_000_000_000 => 8192,
+        _ => 9216,
+    };
+    let per_layer = TransformerConfig::gpt2_like(1, hidden).params_per_layer();
+    let emb = TransformerConfig::gpt2_like(0, hidden).total_params();
+    let layers = ((target.saturating_sub(emb)) as f64 / per_layer as f64).round().max(1.0) as u32;
+    TransformerConfig::gpt2_like(layers, hidden)
+}
+
+/// Largest trainable parameter count under a fit predicate, by bisection
+/// over the [`config_for_params`] family (any micro-batch ≥ 1 counts as
+/// trainable, matching how model-scale experiments are run).
+pub fn max_trainable_params(fits: impl Fn(&TransformerConfig) -> bool) -> u64 {
+    let mut lo: u64 = 0;
+    let mut hi: u64 = 200_000_000_000;
+    if fits(&config_for_params(hi)) {
+        return hi;
+    }
+    while hi - lo > 50_000_000 {
+        let mid = lo + (hi - lo) / 2;
+        if mid == 0 || fits(&config_for_params(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zo_hetsim::presets;
+
+    #[test]
+    fn gpu_footprint_is_2m_plus_activations() {
+        let cfg = TransformerConfig::gpt2_like(50, 4096); // ~10B
+        let params = cfg.total_params();
+        let g = gpu_bytes(&cfg, 1, 1);
+        assert!(g > 2 * params);
+        assert!(g < 2 * params + 4 * 1024 * 1024 * 1024, "activations too large: {g}");
+    }
+
+    #[test]
+    fn cpu_footprint_is_18m_aggregate() {
+        let cfg = TransformerConfig::gpt2_like(20, 2048);
+        assert_eq!(cpu_bytes(&cfg, 1), 18 * cfg.total_params());
+        // Model-parallel shards co-resident on one host sum to the whole
+        // model: the aggregate does not shrink with the MP degree.
+        assert_eq!(cpu_bytes(&cfg, 2), cpu_bytes(&cfg, 1));
+    }
+
+    #[test]
+    fn thirteen_billion_fits_on_one_v100() {
+        // The headline claim: 13B trains on a single V100-32GB (Fig. 7).
+        let node = presets::single_v100_node();
+        let cfg = zo_models::by_label(13.0).unwrap();
+        assert!(fits(
+            &cfg.model,
+            cfg.batch_per_gpu as u64,
+            1,
+            node.gpu.mem_bytes,
+            node.cpu.mem_bytes
+        ));
+    }
+
+    #[test]
+    fn twenty_billion_does_not_fit_without_mp() {
+        let node = presets::single_v100_node();
+        let cfg = config_for_params(20_000_000_000);
+        assert!(!fits(&cfg, 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
+    }
+
+    #[test]
+    fn seventy_billion_fits_with_mp8() {
+        // Fig. 7 / Fig. 10: 70B trains on a DGX-2 with MP degree 8.
+        let node = presets::dgx2();
+        let cfg = zo_models::by_label(70.0).unwrap();
+        assert!(fits(
+            &cfg.model,
+            cfg.batch_per_gpu as u64,
+            8,
+            node.gpu.mem_bytes,
+            node.cpu.mem_bytes
+        ));
+    }
+
+    #[test]
+    fn config_family_hits_targets() {
+        for &t in &[1_000_000_000u64, 10_000_000_000, 40_000_000_000, 70_000_000_000] {
+            let cfg = config_for_params(t);
+            let got = cfg.total_params() as f64;
+            let rel = (got - t as f64).abs() / t as f64;
+            assert!(rel < 0.1, "target {t} got {got}");
+        }
+    }
+
+    #[test]
+    fn max_trainable_search_matches_direct_check() {
+        let node = presets::single_v100_node();
+        let max = max_trainable_params(|cfg| {
+            fits(cfg, 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes)
+        });
+        // Should land in the paper's 13B ballpark (9x over PyTorch).
+        assert!(
+            (11e9..16e9).contains(&(max as f64)),
+            "single-GPU ZeRO-Offload max = {:.1}B",
+            max as f64 / 1e9
+        );
+        // And the found maximum actually fits while max+20% does not.
+        assert!(fits(&config_for_params(max), 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
+        let over = (max as f64 * 1.2) as u64;
+        assert!(!fits(&config_for_params(over), 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
+    }
+}

@@ -1,0 +1,246 @@
+//! Real CPU/compute overlap for DPU: the optimizer on its own thread.
+//!
+//! The synchronous [`DelayedUpdate`](zo_optim::DelayedUpdate) reproduces
+//! DPU's *semantics*; this module reproduces its *mechanism*: the CPU-Adam
+//! step for step *i*'s gradients runs on a dedicated optimizer thread
+//! while the caller computes step *i+1*'s forward/backward, exactly the
+//! overlap of paper Fig. 6.
+//!
+//! Protocol per step (after warm-up):
+//!
+//! 1. [`AsyncDpu::submit`] hands the freshly transferred gradients to the
+//!    optimizer thread and returns immediately — the caller goes on to
+//!    compute the next micro-batch;
+//! 2. before the *following* parameter sync, [`AsyncDpu::wait_params`]
+//!    blocks until the in-flight update finishes and returns the fresh
+//!    fp16 parameters.
+//!
+//! Correctness is pinned by tests showing bit-identical trajectories to
+//! the synchronous [`DelayedUpdate`], and liveness by a test that submits
+//! work and observes the caller thread making progress before collecting.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use zo_optim::{CpuAdam, CpuAdamConfig};
+use zo_tensor::F16;
+
+enum Job {
+    /// Run one Adam step with these (unscaled fp32) gradients.
+    Step(Vec<f32>),
+    /// Shut down.
+    Stop,
+}
+
+struct Done {
+    /// fp16 snapshot of the master parameters after the update.
+    p16: Vec<F16>,
+    /// Optimizer steps completed so far.
+    steps: u64,
+}
+
+/// An optimizer thread owning the fp32 master parameters.
+pub struct AsyncDpu {
+    tx: Sender<Job>,
+    rx: Receiver<Done>,
+    worker: Option<std::thread::JoinHandle<Vec<f32>>>,
+    in_flight: bool,
+}
+
+impl AsyncDpu {
+    /// Spawns the optimizer thread, transferring ownership of the master
+    /// parameters to it (they live in "CPU memory").
+    pub fn spawn(master: Vec<f32>, cfg: CpuAdamConfig) -> AsyncDpu {
+        let (job_tx, job_rx) = bounded::<Job>(1);
+        let (done_tx, done_rx) = bounded::<Done>(1);
+        let worker = std::thread::spawn(move || {
+            let mut master = master;
+            let mut opt = CpuAdam::new(cfg, master.len());
+            let mut p16 = vec![F16::ZERO; master.len()];
+            while let Ok(job) = job_rx.recv() {
+                match job {
+                    Job::Step(grads) => {
+                        opt.step_mixed(&mut master, &grads, &mut p16)
+                            .expect("worker buffers are sized together");
+                        let done = Done { p16: p16.clone(), steps: opt.step_count() };
+                        if done_tx.send(done).is_err() {
+                            break;
+                        }
+                    }
+                    Job::Stop => break,
+                }
+            }
+            master
+        });
+        AsyncDpu { tx: job_tx, rx: done_rx, worker: Some(worker), in_flight: false }
+    }
+
+    /// Submits gradients for an asynchronous update; returns immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an update is already in flight (callers must
+    /// [`AsyncDpu::wait_params`] first) or the worker died.
+    pub fn submit(&mut self, grads: Vec<f32>) {
+        assert!(!self.in_flight, "an update is already in flight");
+        self.tx.send(Job::Step(grads)).expect("optimizer thread alive");
+        self.in_flight = true;
+    }
+
+    /// Whether an update is currently in flight.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Blocks until the in-flight update completes; returns the fp16
+    /// parameters and the optimizer step count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no update is in flight or the worker died.
+    pub fn wait_params(&mut self) -> (Vec<F16>, u64) {
+        assert!(self.in_flight, "no update in flight");
+        let done = self.rx.recv().expect("optimizer thread alive");
+        self.in_flight = false;
+        (done.p16, done.steps)
+    }
+
+    /// Stops the worker and returns the final master parameters.
+    ///
+    /// Drains any in-flight update first (its result is the final state).
+    pub fn shutdown(mut self) -> Vec<f32> {
+        if self.in_flight {
+            let _ = self.wait_params();
+        }
+        let _ = self.tx.send(Job::Stop);
+        self.worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("optimizer thread panicked")
+    }
+}
+
+impl Drop for AsyncDpu {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            if self.in_flight {
+                let _ = self.rx.recv();
+            }
+            let _ = self.tx.send(Job::Stop);
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zo_optim::DelayedUpdate;
+
+    fn grads_for(step: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| (((step * 13 + i * 7) % 19) as f32 - 9.0) * 0.02).collect()
+    }
+
+    #[test]
+    fn matches_synchronous_dpu_bitwise() {
+        let n = 97;
+        let steps = 6;
+        let master: Vec<f32> = (0..n).map(|i| 0.1 * i as f32 - 4.0).collect();
+
+        // Async pipeline: submit step i, compute "next batch", wait.
+        let mut dpu = AsyncDpu::spawn(master.clone(), CpuAdamConfig::default());
+        let mut last_p16 = None;
+        for step in 0..steps {
+            dpu.submit(grads_for(step, n));
+            // (The caller would run forward/backward here, overlapped.)
+            let (p16, count) = dpu.wait_params();
+            assert_eq!(count, step as u64 + 1);
+            last_p16 = Some(p16);
+        }
+        let final_master = dpu.shutdown();
+
+        // Synchronous reference: DelayedUpdate with warm-up 0 applies the
+        // same gradients one call later; emulate the same effective order
+        // by applying each gradient eagerly (the async path above is
+        // eager within a submit/wait pair).
+        let mut opt = CpuAdam::new(CpuAdamConfig::default(), n);
+        let mut p_ref = master;
+        let mut p16_ref = vec![F16::ZERO; n];
+        for step in 0..steps {
+            opt.step_mixed(&mut p_ref, &grads_for(step, n), &mut p16_ref).unwrap();
+        }
+        assert_eq!(final_master, p_ref);
+        assert_eq!(last_p16.unwrap(), p16_ref);
+    }
+
+    #[test]
+    fn pipelined_use_matches_delayed_update_semantics() {
+        // True DPU pipeline: keep one update in flight across steps, so
+        // the parameters used at step i+1 come from step i-1's gradients —
+        // exactly DelayedUpdate with warm-up 0.
+        let n = 40;
+        let steps = 7;
+        let master: Vec<f32> = (0..n).map(|i| 0.05 * i as f32).collect();
+
+        let mut dpu = AsyncDpu::spawn(master.clone(), CpuAdamConfig::default());
+        let mut applied_p16: Vec<Vec<F16>> = Vec::new();
+        for step in 0..steps {
+            if dpu.in_flight() {
+                let (p16, _) = dpu.wait_params();
+                applied_p16.push(p16);
+            }
+            dpu.submit(grads_for(step, n));
+            // Caller computes step `step + 1`'s batch here, overlapped with
+            // the update of step `step`'s gradients.
+        }
+        let final_master = dpu.shutdown();
+
+        // Synchronous DPU reference.
+        let mut sync = DelayedUpdate::new(CpuAdam::new(CpuAdamConfig::default(), n), 0);
+        let mut p_ref = master;
+        for step in 0..steps {
+            sync.step(&mut p_ref, &grads_for(step, n)).unwrap();
+        }
+        sync.flush(&mut p_ref).unwrap();
+        assert_eq!(final_master, p_ref);
+        // The pipeline produced steps-1 parameter snapshots while running
+        // (the last gradient was drained at shutdown).
+        assert_eq!(applied_p16.len(), steps - 1);
+    }
+
+    #[test]
+    fn caller_progresses_while_update_in_flight() {
+        // Liveness: submit returns before the update completes; the caller
+        // can do real work in between. Use a large buffer so the update
+        // takes measurable time even on a fast machine.
+        let n = 1 << 21;
+        let mut dpu = AsyncDpu::spawn(vec![0.5; n], CpuAdamConfig::default());
+        dpu.submit(vec![0.01; n]);
+        assert!(dpu.in_flight());
+        // Caller-side "forward pass" while the optimizer thread works.
+        let mut acc = 0.0f64;
+        for i in 0..100_000 {
+            acc += (i as f64).sqrt();
+        }
+        assert!(acc > 0.0);
+        let (p16, steps) = dpu.wait_params();
+        assert_eq!(steps, 1);
+        assert_eq!(p16.len(), n);
+        assert!(!dpu.in_flight());
+        dpu.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_submit_rejected() {
+        let mut dpu = AsyncDpu::spawn(vec![0.0; 4], CpuAdamConfig::default());
+        dpu.submit(vec![0.1; 4]);
+        dpu.submit(vec![0.1; 4]);
+    }
+
+    #[test]
+    fn drop_with_in_flight_update_is_clean() {
+        let mut dpu = AsyncDpu::spawn(vec![0.0; 1024], CpuAdamConfig::default());
+        dpu.submit(vec![0.1; 1024]);
+        drop(dpu); // Must not hang or panic.
+    }
+}

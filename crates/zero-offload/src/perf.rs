@@ -1,0 +1,393 @@
+//! Iteration-time model for ZeRO-Offload, built on the stream simulator.
+//!
+//! Constructs the paper's exact schedule (Figs. 3–6) as a hetsim task
+//! graph — per-layer backward with overlapped gradient offload,
+//! reduce-scatter before offload on multi-GPU, tiled CPU-Adam with
+//! overlapped fp16 copy-back, parameter all-gather, and (optionally) DPU
+//! overlap of the whole update with the next iteration's compute — and
+//! measures steady-state seconds/iteration and TFLOPS/GPU.
+
+use zo_collectives::RingCost;
+use zo_hetsim::{ClusterSpec, Sim, StreamId, TaskId};
+use zo_models::TransformerConfig;
+
+/// Number of Adam/copy-back tiles (Algorithm 1's tiling).
+const ADAM_TILES: usize = 4;
+
+/// Steady-state iteration statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterStats {
+    /// Seconds per optimizer step (one full batch).
+    pub secs: f64,
+    /// Achieved useful TFLOP/s per GPU.
+    pub tflops_per_gpu: f64,
+    /// Device-to-host bytes per step, per GPU.
+    pub d2h_bytes: u64,
+    /// Host-to-device bytes per step, per GPU.
+    pub h2d_bytes: u64,
+    /// Micro-batches accumulated per step.
+    pub grad_accum: u32,
+}
+
+/// Throughput model for ZeRO-Offload on a cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroOffloadPerf {
+    /// The hardware.
+    pub cluster: ClusterSpec,
+}
+
+struct ScheduleParams {
+    layers: usize,
+    fwd_secs_mb: f64,
+    bwd_layer_secs_mb: f64,
+    mp_comm_fwd_mb: f64,
+    mp_comm_bwd_mb: f64,
+    rs_layer_secs: f64,
+    d2h_layer_secs: f64,
+    adam_tile_secs: f64,
+    h2d_tile_secs: f64,
+    allgather_secs: f64,
+    grad_accum: u32,
+}
+
+impl ZeroOffloadPerf {
+    /// Creates the model over `cluster`.
+    pub fn new(cluster: ClusterSpec) -> ZeroOffloadPerf {
+        ZeroOffloadPerf { cluster }
+    }
+
+    fn schedule_params(
+        &self,
+        cfg: &TransformerConfig,
+        micro_batch: u32,
+        total_batch: u32,
+        world: u32,
+        mp: u32,
+    ) -> ScheduleParams {
+        let node = self.cluster.node;
+        let dp = world / mp;
+        let grad_accum = (total_batch / (micro_batch * dp)).max(1);
+        let params = cfg.total_params() as f64;
+        let layers = cfg.num_layers as usize;
+
+        // Compute: 2/8 of iteration FLOPs are the forward pass; 6/8 the
+        // backward plus checkpoint recompute. Model parallelism divides
+        // the per-GPU share.
+        let flops_mb = cfg.flops_per_iter(micro_batch as u64) / mp as f64;
+        // Tensor slicing thins every GEMM by the MP degree, costing kernel
+        // efficiency; model it as an effective micro-batch of mb/sqrt(mp).
+        let eff_batch = micro_batch as f64 / (mp as f64).sqrt();
+        let fwd_secs_mb = node.gpu.compute_secs(0.25 * flops_mb, eff_batch);
+        let bwd_secs_mb = node.gpu.compute_secs(0.75 * flops_mb, eff_batch);
+
+        // Megatron-style MP: two activation all-reduces per layer in each
+        // of forward and backward, over the NVLink group of `mp` ranks.
+        let act_bytes =
+            micro_batch as f64 * cfg.seq_len as f64 * cfg.hidden as f64 * 2.0;
+        let mp_ring = RingCost::new(mp, node.nvlink_gbps, 5e-6);
+        let mp_comm_layer = 2.0 * mp_ring.all_reduce_secs(act_bytes);
+        let mp_comm_fwd_mb = mp_comm_layer * layers as f64;
+        let mp_comm_bwd_mb = mp_comm_layer * layers as f64;
+
+        // Gradients: reduce-scatter across the dp group per layer, then
+        // offload only the owned 1/dp shard (Sec. 4.2).
+        let grad_bytes_layer = 2.0 * params / mp as f64 / layers as f64;
+        let dp_ring = RingCost::new(dp, self.cluster.collective_gbps(world), 5e-6);
+        let rs_layer_secs = dp_ring.reduce_scatter_secs(grad_bytes_layer);
+        let d2h_layer_secs = node.pcie.transfer_secs(grad_bytes_layer / dp as f64);
+
+        // CPU Adam: each node's CPU jointly updates the shards of all its
+        // resident GPUs; total CPU work per node shrinks as nodes grow.
+        let nodes_used = world.div_ceil(node.gpus_per_node).max(1);
+        let gpus_per_node_active = (world / nodes_used).max(1);
+        let shard_params = params / (mp as f64 * dp as f64);
+        let node_update_params = shard_params * gpus_per_node_active as f64;
+        let adam_secs = node.cpu.adam_secs(node_update_params, 1.0);
+        let adam_tile_secs = adam_secs / ADAM_TILES as f64;
+
+        // Copy-back of updated fp16 shard, tiled; then all-gather.
+        let h2d_bytes = 2.0 * shard_params;
+        let h2d_tile_secs = node.pcie.transfer_secs(h2d_bytes / ADAM_TILES as f64);
+        let allgather_secs = dp_ring.all_gather_secs(2.0 * params / mp as f64);
+
+        ScheduleParams {
+            layers,
+            fwd_secs_mb,
+            bwd_layer_secs_mb: bwd_secs_mb / layers as f64,
+            mp_comm_fwd_mb,
+            mp_comm_bwd_mb,
+            rs_layer_secs,
+            d2h_layer_secs,
+            adam_tile_secs,
+            h2d_tile_secs,
+            allgather_secs,
+            grad_accum,
+        }
+    }
+
+    /// Builds `iters` iterations of the schedule and returns the makespan.
+    fn makespan(&self, p: &ScheduleParams, dpu: bool, iters: usize) -> f64 {
+        self.build_timeline(p, dpu, iters).makespan()
+    }
+
+    /// Builds the full schedule timeline for inspection (traces, Gantt).
+    pub fn timeline(
+        &self,
+        cfg: &TransformerConfig,
+        micro_batch: u32,
+        total_batch: u32,
+        world: u32,
+        mp: u32,
+        dpu: bool,
+        iters: usize,
+    ) -> zo_hetsim::Timeline {
+        let p = self.schedule_params(cfg, micro_batch, total_batch, world, mp);
+        self.build_timeline(&p, dpu, iters)
+    }
+
+    fn build_timeline(
+        &self,
+        p: &ScheduleParams,
+        dpu: bool,
+        iters: usize,
+    ) -> zo_hetsim::Timeline {
+        let mut sim = Sim::new();
+        let gpu: StreamId = sim.stream("gpu.compute");
+        let nvl = sim.stream("nvlink");
+        let d2h = sim.stream("pcie.d2h");
+        let cpu = sim.stream("cpu.adam");
+        let h2d = sim.stream("pcie.h2d");
+
+        // The task whose completion means "parameters are current".
+        let mut params_ready: Option<TaskId> = None;
+        // With DPU, the fwd of iteration i waits on the update of i-2.
+        let mut prev_params_ready: Option<TaskId> = None;
+
+        // Infallible in this context: streams and deps are constructed here.
+        let t = |sim: &mut Sim, s, d, deps: &[TaskId], l: &str| -> TaskId {
+            sim.task(s, d, deps, l).expect("schedule construction")
+        };
+
+        for iter in 0..iters {
+            let gate = if dpu { prev_params_ready } else { params_ready };
+            let mut grad_tasks: Vec<TaskId> = Vec::new();
+            for mb in 0..p.grad_accum {
+                let fwd_deps: Vec<TaskId> = gate.into_iter().collect();
+                let fwd = t(
+                    &mut sim,
+                    gpu,
+                    p.fwd_secs_mb + p.mp_comm_fwd_mb,
+                    &fwd_deps,
+                    &format!("i{iter}.mb{mb}.fwd"),
+                );
+                let mut prev = fwd;
+                for layer in (0..p.layers).rev() {
+                    let bwd = t(
+                        &mut sim,
+                        gpu,
+                        p.bwd_layer_secs_mb + p.mp_comm_bwd_mb / p.layers as f64,
+                        &[prev],
+                        &format!("i{iter}.mb{mb}.bwd{layer}"),
+                    );
+                    let rs =
+                        t(&mut sim, nvl, p.rs_layer_secs, &[bwd], &format!("i{iter}.rs{layer}"));
+                    let copy = t(
+                        &mut sim,
+                        d2h,
+                        p.d2h_layer_secs,
+                        &[rs],
+                        &format!("i{iter}.d2h{layer}"),
+                    );
+                    grad_tasks.push(copy);
+                    prev = bwd;
+                }
+            }
+            // Optimizer: tiled Adam, each tile's fp16 copy-back overlapped
+            // with the next tile's compute (Algorithm 1, line 15).
+            let mut tile_dep: Vec<TaskId> = grad_tasks;
+            let mut last_h2d = None;
+            for tile in 0..ADAM_TILES {
+                let adam = t(
+                    &mut sim,
+                    cpu,
+                    p.adam_tile_secs,
+                    &tile_dep,
+                    &format!("i{iter}.adam{tile}"),
+                );
+                let copy =
+                    t(&mut sim, h2d, p.h2d_tile_secs, &[adam], &format!("i{iter}.h2d{tile}"));
+                tile_dep = vec![adam];
+                last_h2d = Some(copy);
+            }
+            let ag = t(
+                &mut sim,
+                nvl,
+                p.allgather_secs,
+                &[last_h2d.expect("ADAM_TILES > 0")],
+                &format!("i{iter}.allgather"),
+            );
+            prev_params_ready = params_ready;
+            params_ready = Some(ag);
+        }
+        sim.run().expect("schedule execution")
+    }
+
+    /// Steady-state iteration statistics for ZeRO-Offload.
+    ///
+    /// `world` GPUs total, tensor-slicing model parallelism of degree `mp`
+    /// (must divide `world`), data parallelism over the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mp` does not divide `world` or batch settings are zero.
+    pub fn iter_stats(
+        &self,
+        cfg: &TransformerConfig,
+        micro_batch: u32,
+        total_batch: u32,
+        world: u32,
+        mp: u32,
+        dpu: bool,
+    ) -> IterStats {
+        assert!(micro_batch > 0 && total_batch > 0, "batch sizes must be positive");
+        assert!(mp > 0 && world > 0 && world % mp == 0, "mp must divide world");
+        let p = self.schedule_params(cfg, micro_batch, total_batch, world, mp);
+        // Steady state: difference between 4- and 2-iteration makespans.
+        let m4 = self.makespan(&p, dpu, 4);
+        let m2 = self.makespan(&p, dpu, 2);
+        let secs = (m4 - m2) / 2.0;
+        let dp = world / mp;
+        let useful_flops_per_gpu =
+            cfg.flops_per_iter(micro_batch as u64) * p.grad_accum as f64 / mp as f64;
+        let params = cfg.total_params();
+        let shard = params / (mp as u64 * dp as u64);
+        IterStats {
+            secs,
+            tflops_per_gpu: useful_flops_per_gpu / secs / 1e12,
+            d2h_bytes: p.grad_accum as u64 * 2 * params / (mp as u64 * dp as u64),
+            h2d_bytes: 2 * shard,
+            grad_accum: p.grad_accum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zo_hetsim::presets;
+
+    fn perf() -> ZeroOffloadPerf {
+        ZeroOffloadPerf::new(presets::dgx2_cluster(8))
+    }
+
+    #[test]
+    fn ten_billion_single_gpu_hits_headline_tflops() {
+        // Abstract: ~40 TFLOPS for a 10B model on one V100.
+        let cfg = zo_models::by_label(10.0).unwrap();
+        let stats = perf().iter_stats(&cfg.model, cfg.batch_per_gpu, 512, 1, 1, false);
+        assert!(
+            (30.0..50.0).contains(&stats.tflops_per_gpu),
+            "10B single-GPU TFLOPS = {:.1}",
+            stats.tflops_per_gpu
+        );
+    }
+
+    #[test]
+    fn dpu_helps_most_at_small_batch() {
+        // Fig. 9: DPU gives 1.12–1.59x at micro-batch 8.
+        let cfg = zo_models::by_label(2.0).unwrap();
+        let base = perf().iter_stats(&cfg.model, 8, 8, 1, 1, false);
+        let with_dpu = perf().iter_stats(&cfg.model, 8, 8, 1, 1, true);
+        let speedup = base.secs / with_dpu.secs;
+        assert!(
+            (1.05..1.8).contains(&speedup),
+            "DPU speedup at micro-batch 8 = {speedup:.2}"
+        );
+        // At large accumulated batch the update is already amortized.
+        let big = perf().iter_stats(&cfg.model, 32, 512, 1, 1, false);
+        let big_dpu = perf().iter_stats(&cfg.model, 32, 512, 1, 1, true);
+        let speedup_big = big.secs / big_dpu.secs;
+        assert!(speedup_big < speedup, "{speedup_big} !< {speedup}");
+    }
+
+    #[test]
+    fn near_linear_scaling_to_128_gpus() {
+        // Fig. 11: aggregate throughput scales near-linearly 1→128 GPUs.
+        let cfg = zo_models::by_label(10.0).unwrap();
+        let s1 = perf().iter_stats(&cfg.model, cfg.batch_per_gpu, 512, 1, 1, false);
+        let s128 = perf().iter_stats(&cfg.model, cfg.batch_per_gpu, 512, 128, 1, false);
+        let agg1 = s1.tflops_per_gpu;
+        let agg128 = 128.0 * s128.tflops_per_gpu;
+        let efficiency = agg128 / (128.0 * agg1);
+        assert!(efficiency > 0.75, "scaling efficiency {efficiency:.2}");
+        assert!(s128.tflops_per_gpu > 30.0, "per-GPU {:.1}", s128.tflops_per_gpu);
+    }
+
+    #[test]
+    fn aggregate_pcie_traffic_constant_in_dp() {
+        // Sec. 4.2: total CPU↔GPU volume is independent of the DP degree
+        // (per optimizer step with one micro-batch each).
+        let cfg = zo_models::by_label(4.0).unwrap();
+        let mut last = None;
+        for world in [1u32, 2, 4, 8, 16] {
+            let stats = perf().iter_stats(&cfg.model, 8, 8 * world, world, 1, false);
+            assert_eq!(stats.grad_accum, 1);
+            let aggregate = stats.d2h_bytes * world as u64;
+            if let Some(prev) = last {
+                assert_eq!(aggregate, prev, "world={world}");
+            }
+            last = Some(aggregate);
+        }
+    }
+
+    #[test]
+    fn communication_volume_is_4m_per_microbatch_path() {
+        // The offload strategy's 4M per iteration: 2M gradients down,
+        // 2M parameters up (single GPU, no accumulation).
+        let cfg = zo_models::by_label(1.0).unwrap();
+        let stats = perf().iter_stats(&cfg.model, 32, 32, 1, 1, false);
+        let m = cfg.model.total_params();
+        assert_eq!(stats.d2h_bytes, 2 * m);
+        assert_eq!(stats.h2d_bytes, 2 * m);
+    }
+
+    #[test]
+    fn grad_accumulation_computed_from_batches() {
+        let cfg = zo_models::by_label(1.0).unwrap();
+        let s = perf().iter_stats(&cfg.model, 32, 512, 1, 1, false);
+        assert_eq!(s.grad_accum, 16);
+        let s2 = perf().iter_stats(&cfg.model, 32, 512, 16, 1, false);
+        assert_eq!(s2.grad_accum, 1);
+    }
+
+    #[test]
+    fn dpu_schedule_truly_overlaps_update_with_compute() {
+        // Inspect the actual timeline: with DPU, some cpu.adam task must
+        // run concurrently with a gpu.compute task of the next iteration;
+        // without DPU, the update strictly separates iterations.
+        let cfg = zo_models::by_label(2.0).unwrap();
+        let p = perf();
+        let overlap = |dpu: bool| -> bool {
+            let tl = p.timeline(&cfg.model, 8, 8, 1, 1, dpu, 3);
+            let adam: Vec<_> = tl
+                .tasks()
+                .iter()
+                .filter(|t| t.label.contains("adam"))
+                .map(|t| (t.start, t.finish))
+                .collect();
+            tl.tasks()
+                .iter()
+                .filter(|t| t.label.contains("fwd") || t.label.contains("bwd"))
+                .any(|c| adam.iter().any(|&(s, f)| c.start < f && s < c.finish))
+        };
+        assert!(overlap(true), "DPU schedule shows no CPU/GPU overlap");
+        assert!(!overlap(false), "non-DPU schedule overlapped the update");
+    }
+
+    #[test]
+    #[should_panic(expected = "mp must divide world")]
+    fn invalid_mp_rejected() {
+        let cfg = zo_models::by_label(1.0).unwrap();
+        perf().iter_stats(&cfg.model, 8, 512, 10, 3, false);
+    }
+}

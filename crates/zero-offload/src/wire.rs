@@ -1,0 +1,202 @@
+//! The PCIe wire format for gradient offload.
+//!
+//! Gradients leave the device as fp16 and arrive in host memory (paper
+//! Sec. 4.1). This module gives that transfer a concrete byte format so
+//! the emulated link moves real framed bytes: each frame carries a header
+//! (magic, sequence number, flat offset, element count, checksum) and a
+//! little-endian fp16 payload. Frames are the unit the gradient bucketer
+//! emits and the host-side consumer validates.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use zo_tensor::F16;
+
+/// Frame magic: "ZOfl".
+pub const MAGIC: u32 = 0x5A4F_666C;
+
+/// Header size in bytes.
+pub const HEADER_BYTES: usize = 4 + 4 + 8 + 4 + 4;
+
+/// Errors produced when decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than a header.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes needed.
+        need: usize,
+    },
+    /// The magic word did not match.
+    BadMagic {
+        /// The value found.
+        found: u32,
+    },
+    /// The checksum did not match the payload.
+    BadChecksum {
+        /// Checksum in the header.
+        expected: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad magic {found:#010x}"),
+            WireError::BadChecksum { expected, computed } => {
+                write!(f, "checksum mismatch: header {expected:#010x}, payload {computed:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded gradient frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradFrame {
+    /// Monotone sequence number within a step.
+    pub seq: u32,
+    /// Flat offset of the first element in the parameter space.
+    pub offset: u64,
+    /// The fp16 gradient values.
+    pub values: Vec<F16>,
+}
+
+/// FNV-1a over the payload bytes.
+fn checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in payload {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Encodes one frame.
+pub fn encode_frame(seq: u32, offset: u64, values: &[F16]) -> Bytes {
+    let mut payload = BytesMut::with_capacity(values.len() * 2);
+    for v in values {
+        payload.put_u16_le(v.to_bits());
+    }
+    let mut out = BytesMut::with_capacity(HEADER_BYTES + payload.len());
+    out.put_u32_le(MAGIC);
+    out.put_u32_le(seq);
+    out.put_u64_le(offset);
+    out.put_u32_le(values.len() as u32);
+    out.put_u32_le(checksum(&payload));
+    out.extend_from_slice(&payload);
+    out.freeze()
+}
+
+/// Decodes one frame, validating magic and checksum.
+pub fn decode_frame(mut buf: Bytes) -> Result<GradFrame, WireError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(WireError::Truncated { have: buf.len(), need: HEADER_BYTES });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let seq = buf.get_u32_le();
+    let offset = buf.get_u64_le();
+    let count = buf.get_u32_le() as usize;
+    let expected = buf.get_u32_le();
+    if buf.len() < count * 2 {
+        return Err(WireError::Truncated { have: buf.len(), need: count * 2 });
+    }
+    let payload = buf.copy_to_bytes(count * 2);
+    let computed = checksum(&payload);
+    if computed != expected {
+        return Err(WireError::BadChecksum { expected, computed });
+    }
+    let mut values = Vec::with_capacity(count);
+    let mut p = payload;
+    for _ in 0..count {
+        values.push(F16::from_bits(p.get_u16_le()));
+    }
+    Ok(GradFrame { seq, offset, values })
+}
+
+/// Total wire bytes for `elements` fp16 values in one frame.
+pub fn frame_bytes(elements: usize) -> usize {
+    HEADER_BYTES + 2 * elements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(n: usize) -> Vec<F16> {
+        (0..n).map(|i| F16::from_f32(i as f32 * 0.25 - 4.0)).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let v = values(37);
+        let frame = encode_frame(9, 1234, &v);
+        assert_eq!(frame.len(), frame_bytes(37));
+        let decoded = decode_frame(frame).unwrap();
+        assert_eq!(decoded.seq, 9);
+        assert_eq!(decoded.offset, 1234);
+        assert_eq!(decoded.values, v);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = encode_frame(0, 0, &[]);
+        let decoded = decode_frame(frame).unwrap();
+        assert!(decoded.values.is_empty());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let frame = encode_frame(1, 0, &values(4));
+        let short = frame.slice(0..HEADER_BYTES - 1);
+        assert!(matches!(decode_frame(short), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let frame = encode_frame(1, 0, &values(4));
+        let short = frame.slice(0..HEADER_BYTES + 3);
+        assert!(matches!(decode_frame(short), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let frame = encode_frame(1, 0, &values(2));
+        let mut raw = frame.to_vec();
+        raw[0] ^= 0xFF;
+        match decode_frame(Bytes::from(raw)) {
+            Err(WireError::BadMagic { found }) => assert_ne!(found, MAGIC),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let frame = encode_frame(1, 0, &values(8));
+        let mut raw = frame.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(Bytes::from(raw)),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = WireError::Truncated { have: 3, need: 24 };
+        assert!(e.to_string().contains("truncated"));
+        let e = WireError::BadMagic { found: 0xdead };
+        assert!(e.to_string().contains("magic"));
+        let e = WireError::BadChecksum { expected: 1, computed: 2 };
+        assert!(e.to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline training systems the paper compares against.
+//!
+//! * [`System`] + [`memory`] — per-system GPU/CPU memory models behind the
+//!   model-scale comparison (Fig. 7): PyTorch DDP (full replication),
+//!   Megatron tensor slicing, ZeRO-2 partitioning, L2L layer streaming,
+//!   and ZeRO-Offload itself;
+//! * [`BaselinePerf`] — iteration-time models for the throughput figures
+//!   (Figs. 8, 10, 11), composing the same calibrated hardware primitives
+//!   as the core crate;
+//! * [`DdpEngine`] — a real replicated data-parallel engine used to show
+//!   ZeRO-2 + offload preserves the training trajectory while holding
+//!   `1/N` of the state.
+
+#![warn(missing_docs)]
+
+mod ddp;
+pub mod l2l;
+pub mod memory;
+mod perf;
+pub mod zero_stages;
+
+pub use ddp::DdpEngine;
+pub use l2l::{BlockStack, L2lEngine};
+pub use memory::{
+    cpu_bytes, fits, gpu_bytes, largest_micro_batch, max_trainable_params, System,
+};
+pub use perf::{BaselinePerf, GPU_ADAM_SECS_PER_B};
+pub use zero_stages::{stage_table, StageRow, ZeroStage};

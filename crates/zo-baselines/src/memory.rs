@@ -1,0 +1,243 @@
+//! Per-system GPU/CPU memory models for the model-scale comparison
+//! (paper Fig. 7).
+//!
+//! Each baseline has a distinct placement of the 16M bytes of model
+//! states, activation policy, and replication behaviour; those
+//! differences — not raw capacity — determine the largest trainable model.
+
+use zero_offload::memory as zo_mem;
+use zo_hetsim::NodeSpec;
+use zo_models::TransformerConfig;
+
+/// The training systems compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// PyTorch DistributedDataParallel: full replication.
+    PyTorchDdp,
+    /// Megatron-LM tensor-slicing model parallelism of the given degree.
+    Megatron {
+        /// Model-parallel degree.
+        mp: u32,
+    },
+    /// ZeRO-2: optimizer states + gradients partitioned, params replicated.
+    Zero2,
+    /// L2L: one transformer block resident at a time, states on host.
+    L2l,
+    /// ZeRO-Offload with optional model parallelism.
+    ZeroOffload {
+        /// Model-parallel degree (1 = pure data parallel).
+        mp: u32,
+    },
+}
+
+impl System {
+    /// Display name used in tables.
+    pub fn name(&self) -> String {
+        match self {
+            System::PyTorchDdp => "PyTorch DDP".to_string(),
+            System::Megatron { mp } => format!("Megatron (MP={mp})"),
+            System::Zero2 => "ZeRO-2".to_string(),
+            System::L2l => "L2L".to_string(),
+            System::ZeroOffload { mp } if *mp == 1 => "ZeRO-Offload".to_string(),
+            System::ZeroOffload { mp } => format!("ZeRO-Offload (MP={mp})"),
+        }
+    }
+}
+
+/// Bytes of transient workspace an unfused (PyTorch-style) Adam step
+/// materializes, per parameter (one fp32 temporary).
+const UNFUSED_ADAM_TEMP_PER_PARAM: u64 = 4;
+
+/// L2L stores full (un-checkpointed) activations; working tensors per
+/// layer approximated as 8 fp16 values per position plus the attention
+/// score matrices (calibrated so the single-GPU maximum lands at the
+/// paper's ~17B).
+fn l2l_activation_bytes(cfg: &TransformerConfig, micro_batch: u64) -> u64 {
+    let b = micro_batch;
+    let s = cfg.seq_len as u64;
+    let h = cfg.hidden as u64;
+    let heads = cfg.heads as u64;
+    let per_layer = 8 * b * s * h * 2 + 2 * b * heads * s * s * 2;
+    cfg.num_layers as u64 * per_layer + b * s * cfg.vocab as u64 * 2
+}
+
+/// GPU bytes required per device for `system` training `cfg` on `world`
+/// GPUs at `micro_batch` sequences per GPU.
+pub fn gpu_bytes(system: System, cfg: &TransformerConfig, world: u32, micro_batch: u64) -> u64 {
+    let m = cfg.total_params();
+    let act = cfg.activation_bytes(micro_batch);
+    match system {
+        System::PyTorchDdp => 16 * m + UNFUSED_ADAM_TEMP_PER_PARAM * m + act,
+        System::Megatron { mp } => {
+            let mp = mp.max(1) as u64;
+            (16 * m + UNFUSED_ADAM_TEMP_PER_PARAM * m) / mp
+                + zo_mem::activation_bytes_mp(cfg, micro_batch, mp)
+        }
+        System::Zero2 => {
+            let n = world.max(1) as u64;
+            // fp16 params replicated; gradients, optimizer states and the
+            // fused-update workspace partitioned.
+            2 * m + (2 * m + 12 * m + UNFUSED_ADAM_TEMP_PER_PARAM * m) / n + act
+        }
+        System::L2l => {
+            // Two resident blocks (double buffering) with all 16 bytes/param
+            // of their states, plus full activations.
+            let layer_states = 16 * cfg.params_per_layer();
+            2 * layer_states + l2l_activation_bytes(cfg, micro_batch)
+        }
+        System::ZeroOffload { mp } => zo_mem::gpu_bytes(cfg, micro_batch, mp.max(1) as u64),
+    }
+}
+
+/// Host bytes required (aggregate across the node).
+pub fn cpu_bytes(system: System, cfg: &TransformerConfig, _world: u32) -> u64 {
+    let m = cfg.total_params();
+    match system {
+        System::PyTorchDdp | System::Megatron { .. } | System::Zero2 => 0,
+        // L2L keeps every layer's states host-side. It has no multi-GPU
+        // mode (Sec. 6.2.2), so its footprint does not scale with `world`
+        // and Fig. 7 carries the single-GPU bar across.
+        System::L2l => 16 * m,
+        // ZeRO-Offload: a single partitioned copy regardless of DP degree.
+        System::ZeroOffload { mp } => zo_mem::cpu_bytes(cfg, mp.max(1) as u64),
+    }
+}
+
+/// Whether `system` can train `cfg` on `world` GPUs of `node` with *some*
+/// micro-batch ≥ 1.
+pub fn fits(system: System, cfg: &TransformerConfig, world: u32, node: &NodeSpec) -> bool {
+    let usable = (node.gpu.mem_bytes as f64 * zo_mem::USABLE_GPU_FRACTION) as u64;
+    let cpu_usable = (node.cpu.mem_bytes as f64 * zo_mem::USABLE_CPU_FRACTION) as u64;
+    gpu_bytes(system, cfg, world, 1) <= usable && cpu_bytes(system, cfg, world) <= cpu_usable
+}
+
+/// Largest micro-batch (≤ `cap`) that fits, or `None` if even 1 does not.
+pub fn largest_micro_batch(
+    system: System,
+    cfg: &TransformerConfig,
+    world: u32,
+    node: &NodeSpec,
+    cap: u64,
+) -> Option<u64> {
+    let usable = (node.gpu.mem_bytes as f64 * zo_mem::USABLE_GPU_FRACTION) as u64;
+    let cpu_usable = (node.cpu.mem_bytes as f64 * zo_mem::USABLE_CPU_FRACTION) as u64;
+    if cpu_bytes(system, cfg, world) > cpu_usable {
+        return None;
+    }
+    (1..=cap)
+        .rev()
+        .find(|&mb| gpu_bytes(system, cfg, world, mb) <= usable)
+}
+
+/// Largest trainable parameter count for `system` on `world` GPUs of
+/// `node` (the Fig. 7 quantity). For MP-capable systems the best degree
+/// dividing `world` is chosen.
+pub fn max_trainable_params(system: System, world: u32, node: &NodeSpec) -> u64 {
+    let candidates: Vec<System> = match system {
+        System::Megatron { .. } => divisors(world)
+            .into_iter()
+            .map(|mp| System::Megatron { mp })
+            .collect(),
+        System::ZeroOffload { .. } => divisors(world)
+            .into_iter()
+            .map(|mp| System::ZeroOffload { mp })
+            .collect(),
+        other => vec![other],
+    };
+    candidates
+        .into_iter()
+        .map(|sys| {
+            zo_mem::max_trainable_params(|cfg| fits(sys, cfg, world, node))
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn divisors(n: u32) -> Vec<u32> {
+    (1..=n).filter(|d| n % d == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zo_hetsim::presets;
+
+    fn node() -> NodeSpec {
+        presets::dgx2()
+    }
+
+    #[test]
+    fn fig7_single_gpu_ordering() {
+        // Paper Fig. 7, 1 GPU: PyTorch ~1.4B; Megatron/ZeRO-2 no better;
+        // ZeRO-Offload ~13B; L2L ~17B (largest, at an efficiency cost).
+        let n = node();
+        let pytorch = max_trainable_params(System::PyTorchDdp, 1, &n) as f64 / 1e9;
+        let megatron = max_trainable_params(System::Megatron { mp: 1 }, 1, &n) as f64 / 1e9;
+        let zero2 = max_trainable_params(System::Zero2, 1, &n) as f64 / 1e9;
+        let zo = max_trainable_params(System::ZeroOffload { mp: 1 }, 1, &n) as f64 / 1e9;
+        let l2l = max_trainable_params(System::L2l, 1, &n) as f64 / 1e9;
+
+        assert!((1.0..2.0).contains(&pytorch), "PyTorch {pytorch:.1}B");
+        assert!((megatron - pytorch).abs() < 0.3, "Megatron {megatron:.1}B");
+        assert!((zero2 - pytorch).abs() < 0.5, "ZeRO-2 {zero2:.1}B");
+        assert!((11.0..16.0).contains(&zo), "ZeRO-Offload {zo:.1}B");
+        assert!((14.0..22.0).contains(&l2l), "L2L {l2l:.1}B");
+        // The headline: ~9-10x over PyTorch.
+        assert!(zo / pytorch > 7.0, "only {:.1}x", zo / pytorch);
+    }
+
+    #[test]
+    fn fig7_sixteen_gpu_ordering() {
+        let n = node();
+        let pytorch = max_trainable_params(System::PyTorchDdp, 16, &n) as f64 / 1e9;
+        let megatron = max_trainable_params(System::Megatron { mp: 16 }, 16, &n) as f64 / 1e9;
+        let zero2 = max_trainable_params(System::Zero2, 16, &n) as f64 / 1e9;
+        let l2l = max_trainable_params(System::L2l, 16, &n) as f64 / 1e9;
+        let zo = max_trainable_params(System::ZeroOffload { mp: 1 }, 16, &n) as f64 / 1e9;
+
+        // PyTorch and L2L do not scale with more GPUs (pure replication).
+        let pytorch1 = max_trainable_params(System::PyTorchDdp, 1, &n) as f64 / 1e9;
+        let l2l1 = max_trainable_params(System::L2l, 1, &n) as f64 / 1e9;
+        assert!((pytorch - pytorch1).abs() < 0.1);
+        assert!((l2l - l2l1).abs() < 0.1);
+        // Megatron and ZeRO-2 help but stay far below ZeRO-Offload+MP.
+        assert!(megatron > 3.0 * pytorch, "Megatron {megatron:.1}B");
+        assert!(zero2 > 4.0 * pytorch, "ZeRO-2 {zero2:.1}B");
+        assert!((60.0..90.0).contains(&zo), "ZeRO-Offload 16 GPUs {zo:.1}B");
+        assert!(zo > megatron && zo > zero2 && zo > l2l);
+    }
+
+    #[test]
+    fn zero2_scales_with_world() {
+        let n = node();
+        let w1 = max_trainable_params(System::Zero2, 1, &n);
+        let w4 = max_trainable_params(System::Zero2, 4, &n);
+        let w16 = max_trainable_params(System::Zero2, 16, &n);
+        assert!(w4 > w1 && w16 > w4);
+        // But bounded by the replicated 2M fp16 parameters: even with
+        // infinite partitioning, <= usable/2 bytes of params.
+        let bound = (n.gpu.mem_bytes as f64 * 0.94 / 2.0) as u64;
+        assert!(w16 < bound);
+    }
+
+    #[test]
+    fn micro_batch_tuner_monotone() {
+        let n = node();
+        let small = zo_models::by_label(1.0).unwrap().model;
+        let big = zo_models::by_label(10.0).unwrap().model;
+        let mb_small =
+            largest_micro_batch(System::ZeroOffload { mp: 1 }, &small, 1, &n, 64).unwrap();
+        let mb_big =
+            largest_micro_batch(System::ZeroOffload { mp: 1 }, &big, 1, &n, 64).unwrap();
+        assert!(mb_small > mb_big, "{mb_small} !> {mb_big}");
+        // PyTorch cannot fit 10B at all.
+        assert_eq!(largest_micro_batch(System::PyTorchDdp, &big, 1, &n, 64), None);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(System::ZeroOffload { mp: 1 }.name(), "ZeRO-Offload");
+        assert_eq!(System::ZeroOffload { mp: 4 }.name(), "ZeRO-Offload (MP=4)");
+        assert_eq!(System::Megatron { mp: 8 }.name(), "Megatron (MP=8)");
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion bench behind Table 4: the Adam kernel implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zo_optim::{adam_reference_step, AdamParams, AdamState, CpuAdam, CpuAdamConfig, NaiveAdam};
+
+fn bench_adam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adam");
+    for &n in &[1usize << 16, 1 << 20, 1 << 22] {
+        let grads: Vec<f32> = (0..n).map(|i| ((i % 997) as f32 - 498.0) * 1e-4).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("cpu_adam", n), &n, |b, &n| {
+            let mut opt = CpuAdam::new(CpuAdamConfig::default(), n);
+            let mut p = vec![0.5f32; n];
+            b.iter(|| opt.step(&mut p, &grads).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("naive_pt_cpu", n), &n, |b, &n| {
+            let mut opt = NaiveAdam::new(AdamParams::default(), n);
+            let mut p = vec![0.5f32; n];
+            b.iter(|| opt.step(&mut p, &grads).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_reference", n), &n, |b, &n| {
+            let hp = AdamParams::default();
+            let mut st = AdamState::new(n);
+            let mut p = vec![0.5f32; n];
+            b.iter(|| adam_reference_step(&hp, &mut st, &mut p, &grads).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiled_mixed(c: &mut Criterion) {
+    // Ablation: tile width of the fp16 copy-back (Algorithm 1, line 15).
+    let n = 1 << 20;
+    let grads: Vec<f32> = (0..n).map(|i| ((i % 997) as f32 - 498.0) * 1e-4).collect();
+    let mut group = c.benchmark_group("adam_tile_width");
+    for &tile in &[1usize << 14, 1 << 17, 1 << 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &tile| {
+            let cfg = CpuAdamConfig { tile_width: tile, ..CpuAdamConfig::default() };
+            let mut opt = CpuAdam::new(cfg, n);
+            let mut p = vec![0.5f32; n];
+            let mut p16 = vec![zo_tensor::F16::ZERO; n];
+            b.iter(|| opt.step_mixed(&mut p, &grads, &mut p16).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_adam, bench_tiled_mixed
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Real-engine step cost: offload vs reference vs DPU paths, and the
+//! thread-rank collectives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zero_offload::{ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_collectives::Communicator;
+use zo_models::BigramLm;
+use zo_nn::{GptConfig, GptModel};
+use zo_optim::LossScaleConfig;
+
+fn cfg() -> ZeroOffloadConfig {
+    ZeroOffloadConfig {
+        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        ..ZeroOffloadConfig::default()
+    }
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    let gpt = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let mut group = c.benchmark_group("engine_step");
+    for (name, engine_cfg) in [
+        ("offload", cfg()),
+        ("reference", cfg().without_offload()),
+        ("offload_dpu", ZeroOffloadConfig { dpu_warmup: Some(0), ..cfg() }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 1), engine_cfg);
+            let mut data = BigramLm::new(gpt.vocab, 0.05, 2);
+            b.iter(|| {
+                let batch = data.batch(4, gpt.seq_len);
+                engine
+                    .step(|m| m.train_step(&batch.inputs, &batch.targets, 4, gpt.seq_len, |_| {}))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_2rank");
+    group.bench_function("all_reduce_64k", |b| {
+        b.iter(|| {
+            let comms = Communicator::group(2);
+            std::thread::scope(|s| {
+                for comm in comms {
+                    s.spawn(move || {
+                        let mut v = vec![1.0f32; 65536];
+                        comm.all_reduce_sum(&mut v);
+                        v[0]
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine_step, bench_collectives
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! One bench per evaluation artifact: times the regeneration of every
+//! table/figure computation (the analytic ones; convergence figures are
+//! exercised with short runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zo_dataflow::DataFlowGraph;
+
+fn bench_tables_and_figures(c: &mut Criterion) {
+    c.bench_function("table1_partition_analysis", |b| {
+        let g = DataFlowGraph::training_iteration();
+        b.iter(|| {
+            let rows = zo_dataflow::table1_rows(&g);
+            zo_dataflow::check_unique_optimality(&g).unwrap();
+            rows
+        });
+    });
+    c.bench_function("fig7_scale_search", |b| b.iter(zo_bench::fig7_rows));
+    c.bench_function("fig8_single_gpu_throughput", |b| b.iter(zo_bench::fig8_rows));
+    c.bench_function("fig9_dpu_speedup", |b| b.iter(zo_bench::fig9_rows));
+    c.bench_function("fig10_multi_gpu_throughput", |b| b.iter(zo_bench::fig10_rows));
+    c.bench_function("fig11_scalability", |b| b.iter(zo_bench::fig11_rows));
+    c.bench_function("fig12_convergence_short", |b| {
+        b.iter(|| zo_bench::fig12_curves(10, 1))
+    });
+    c.bench_function("fig13_convergence_short", |b| {
+        b.iter(|| zo_bench::fig13_curves(10, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tables_and_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Substrate kernel benches: fp16 casts (the PCIe wire format) and GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zo_tensor::{cast_f16_to_f32, cast_f32_to_f16, matmul, Init, F16};
+
+fn bench_f16_casts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f16_cast");
+    for &n in &[1usize << 16, 1 << 20] {
+        let src: Vec<f32> = (0..n).map(|i| (i as f32) * 1e-3 - 500.0).collect();
+        let mut dst = vec![F16::ZERO; n];
+        group.throughput(Throughput::Bytes((n * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("f32_to_f16", n), &n, |b, _| {
+            b.iter(|| cast_f32_to_f16(&src, &mut dst));
+        });
+        let back_src = dst.clone();
+        let mut back = vec![0.0f32; n];
+        group.bench_with_input(BenchmarkId::new("f16_to_f32", n), &n, |b, _| {
+            b.iter(|| cast_f16_to_f32(&back_src, &mut back));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &dim in &[64usize, 128, 256] {
+        let mut init = Init::new(1);
+        let a = init.normal_tensor(dim, dim, 1.0);
+        let b_m = init.normal_tensor(dim, dim, 1.0);
+        group.throughput(Throughput::Elements((2 * dim * dim * dim) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| matmul(&a, &b_m).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_f16_casts, bench_matmul
+}
+criterion_main!(benches);

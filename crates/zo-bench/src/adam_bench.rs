@@ -1,0 +1,178 @@
+//! Table 4: Adam latency — CPU-Adam vs PT-CPU vs PT-GPU.
+//!
+//! The real `CpuAdam` and `NaiveAdam` kernels are measured on this host at
+//! a scaled parameter count (Adam is a single linear pass, so seconds per
+//! billion parameters extrapolates exactly), and the PT-GPU column comes
+//! from the calibrated V100 model. The paper's absolute numbers depend on
+//! its 2×Xeon-8168; the claim under test is the CPU-Adam : PT-CPU ratio.
+
+use std::time::Instant;
+
+use zo_optim::{AdamParams, CpuAdam, CpuAdamConfig, NaiveAdam};
+
+/// Measured optimizer rates, in seconds per billion parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamRates {
+    /// Optimized CPU-Adam.
+    pub cpu_adam_secs_per_b: f64,
+    /// Naive op-by-op Adam (PT-CPU analog).
+    pub naive_secs_per_b: f64,
+    /// Parameters actually measured.
+    pub measured_params: usize,
+}
+
+impl AdamRates {
+    /// The headline speedup of Sec. 5.1.
+    pub fn speedup(&self) -> f64 {
+        self.naive_secs_per_b / self.cpu_adam_secs_per_b
+    }
+}
+
+/// Times `steps` optimizer steps over `n` parameters for both
+/// implementations and returns per-billion-parameter rates.
+pub fn measure_adam_rates(n: usize, steps: usize) -> AdamRates {
+    let mut params_fast = vec![0.5f32; n];
+    let mut params_naive = vec![0.5f32; n];
+    let grads: Vec<f32> = (0..n).map(|i| ((i % 997) as f32 - 498.0) * 1e-4).collect();
+
+    let mut fast = CpuAdam::new(CpuAdamConfig::default(), n);
+    let mut naive = NaiveAdam::new(AdamParams::default(), n);
+
+    // Warm up caches and branch predictors once.
+    fast.step(&mut params_fast, &grads).expect("sized buffers");
+    naive.step(&mut params_naive, &grads).expect("sized buffers");
+
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        fast.step(&mut params_fast, &grads).expect("sized buffers");
+    }
+    let fast_secs = t0.elapsed().as_secs_f64() / steps as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        naive.step(&mut params_naive, &grads).expect("sized buffers");
+    }
+    let naive_secs = t0.elapsed().as_secs_f64() / steps as f64;
+
+    let per_b = 1e9 / n as f64;
+    AdamRates {
+        cpu_adam_secs_per_b: fast_secs * per_b,
+        naive_secs_per_b: naive_secs * per_b,
+        measured_params: n,
+    }
+}
+
+/// One row of Table 4, extrapolated from measured rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Parameter count label, billions.
+    pub params_b: f64,
+    /// CPU-Adam latency, seconds.
+    pub cpu_adam: f64,
+    /// PT-CPU latency, seconds.
+    pub pt_cpu: f64,
+    /// PT-GPU latency, seconds (V100 model).
+    pub pt_gpu: f64,
+    /// Paper-reported CPU-Adam and PT-CPU latencies for comparison.
+    pub paper: (f64, f64, f64),
+}
+
+/// Builds the Table 4 rows from measured rates.
+pub fn table4_rows(rates: &AdamRates) -> Vec<Table4Row> {
+    // Paper Table 4: (CPU-Adam, PT-CPU, PT-GPU) seconds.
+    let paper = [
+        (1.0, 0.22, 1.39, 0.10),
+        (2.0, 0.51, 2.75, 0.26),
+        (4.0, 1.03, 5.71, 0.64),
+        (8.0, 2.41, 11.93, 0.87),
+        (10.0, 2.57, 14.76, 1.00),
+    ];
+    paper
+        .iter()
+        .map(|&(b, pa, pb, pc)| Table4Row {
+            params_b: b,
+            cpu_adam: rates.cpu_adam_secs_per_b * b,
+            pt_cpu: rates.naive_secs_per_b * b,
+            pt_gpu: zo_baselines::GPU_ADAM_SECS_PER_B * b,
+            paper: (pa, pb, pc),
+        })
+        .collect()
+}
+
+/// Renders Table 4 with measured-vs-paper columns.
+pub fn render_table4(rates: &AdamRates) -> String {
+    let rows: Vec<Vec<String>> = table4_rows(rates)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{} billion", r.params_b),
+                format!("{:.3}", r.cpu_adam),
+                format!("{:.3}", r.pt_cpu),
+                format!("{:.2}", r.pt_gpu),
+                format!("{:.2}", r.paper.0),
+                format!("{:.2}", r.paper.1),
+                format!("{:.2}", r.paper.2),
+                format!("{:.1}x", r.pt_cpu / r.cpu_adam),
+            ]
+        })
+        .collect();
+    crate::table::render_table(
+        &[
+            "#Parameter",
+            "CPU-Adam (s)",
+            "PT-CPU (s)",
+            "PT-GPU (s)",
+            "paper CPU-Adam",
+            "paper PT-CPU",
+            "paper PT-GPU",
+            "speedup",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_adam_is_faster_than_naive() {
+        // The Sec. 5.1 claim, at reduced scale. The paper reports >5x on
+        // a 2-socket Xeon; a single-core container still shows the fused
+        // kernel well ahead of the op-by-op one.
+        let rates = measure_adam_rates(1 << 20, 3);
+        assert!(
+            rates.speedup() > 1.5,
+            "CPU-Adam only {:.2}x over naive",
+            rates.speedup()
+        );
+    }
+
+    #[test]
+    fn rates_scale_linearly() {
+        // Doubling n should leave secs-per-B roughly unchanged. The test
+        // box is a single shared vCPU and the suite runs threaded, so the
+        // bound is generous — the real calibration happens in the
+        // `table4` binary on a quiet machine.
+        let small = measure_adam_rates(1 << 19, 5);
+        let large = measure_adam_rates(1 << 21, 5);
+        let ratio = large.cpu_adam_secs_per_b / small.cpu_adam_secs_per_b;
+        assert!((0.15..7.0).contains(&ratio), "nonlinear scaling: {ratio}");
+    }
+
+    #[test]
+    fn table4_extrapolation() {
+        let rates = AdamRates {
+            cpu_adam_secs_per_b: 0.25,
+            naive_secs_per_b: 1.5,
+            measured_params: 1,
+        };
+        let rows = table4_rows(&rates);
+        assert_eq!(rows.len(), 5);
+        assert!((rows[4].cpu_adam - 2.5).abs() < 1e-9);
+        assert!((rows[4].pt_cpu - 15.0).abs() < 1e-9);
+        let s = render_table4(&rates);
+        assert!(s.contains("10 billion"));
+        assert!(s.contains("6.0x"));
+    }
+}

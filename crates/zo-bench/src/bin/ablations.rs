@@ -1,0 +1,34 @@
+//! Extension: ablations over the design choices (DPU warm-up, gradient
+//! bucket size).
+
+fn main() {
+    let steps: usize = std::env::var("ZO_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+
+    println!("-- DPU warm-up sweep ({steps} steps of the Fig. 12 workload) --");
+    println!("{:<12} {:>16} {:>12}", "warmup", "post-transition", "final loss");
+    let warmups = [None, Some(0u64), Some(10), Some(40), Some(100)];
+    for r in zo_bench::dpu_warmup_sweep(steps, 11, &warmups) {
+        let label = r
+            .warmup
+            .map_or_else(|| "no DPU".to_string(), |w| w.to_string());
+        println!("{label:<12} {:>16.4} {:>12.4}", r.transition_loss, r.final_loss);
+    }
+    println!("(paper: enabling DPU after a few dozen steps avoids early instability;");
+    println!(" its runs use 40)");
+
+    println!("\n-- gradient bucket size sweep (4M fp16 elements) --");
+    println!("{:>14} {:>8} {:>12}", "bucket bytes", "frames", "overhead");
+    for r in zo_bench::bucket_sweep(1 << 22, &[4096, 65536, 1 << 20, 32 << 20]) {
+        println!(
+            "{:>14} {:>8} {:>11.4}%",
+            r.bucket_bytes,
+            r.frames,
+            r.overhead * 100.0
+        );
+    }
+    println!("(smaller buckets overlap earlier during backward but pay header overhead;");
+    println!(" the engine default is 32 MiB, bounding GPU staging at two buckets)");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 10: per-GPU throughput of all systems on one DGX-2.
+
+fn main() {
+    println!("Figure 10 — training throughput (TFLOPS/GPU) on 16 GPUs, total batch 512");
+    println!("(micro-batch auto-tuned per system: largest that fits without OOM)\n");
+    println!("{}", zo_bench::render_fig10());
+    println!("paper shape: ZeRO-Offload highest for 1-15B; ZeRO-2 OOM >8B;");
+    println!("Megatron OOM >15B; ZO+MP reaches 70B at >30 TFLOPS.");
+}

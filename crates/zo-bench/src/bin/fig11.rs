@@ -1,0 +1,23 @@
+//! Regenerates Fig. 11: scalability of ZeRO-Offload vs ZeRO-2, 10B model.
+
+fn main() {
+    println!("Figure 11 — 10B GPT-2, 1-128 GPUs (8x DGX-2 over InfiniBand)\n");
+    println!("{}", zo_bench::render_fig11());
+    println!("paper shape: near-linear ZO aggregate scaling at >30 TFLOPS/GPU;");
+    println!("ZeRO-2 OOM below 16 GPUs, comparable at 32, ahead by 64-128.");
+
+    // Extension: what a hierarchical (NVSwitch + IB) all-reduce buys over
+    // the flat ring the cost model charges, for the 20 GB of gradients.
+    println!("\n-- gradient all-reduce (20 GB), flat ring vs hierarchical --");
+    let bytes = 20e9;
+    for gpus in [32u32, 64, 128] {
+        let flat = zo_collectives::RingCost::new(gpus, 100.0 / 16.0, 5e-6);
+        let hier = zo_collectives::HierarchicalCost::new(gpus, 16, 120.0, 100.0, 5e-6);
+        println!(
+            "  {gpus:>3} GPUs: flat {:.2} s, hierarchical {:.2} s ({:.1}x)",
+            flat.all_reduce_secs(bytes),
+            hier.all_reduce_secs(bytes),
+            flat.all_reduce_secs(bytes) / hier.all_reduce_secs(bytes)
+        );
+    }
+}

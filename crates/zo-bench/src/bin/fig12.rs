@@ -1,0 +1,15 @@
+//! Regenerates Fig. 12: GPT-2 pretraining loss, baseline vs offload vs DPU.
+
+fn main() {
+    let steps: usize = std::env::var("ZO_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    eprintln!("training 3 GPT variants for {steps} steps (set ZO_STEPS to change)...");
+    let curves = zo_bench::fig12_curves(steps, 42);
+    println!("Figure 12 — GPT-2 (tiny analog) training loss\n");
+    println!("{}", zo_bench::render_curves(&curves, steps / 20));
+    let same = curves.baseline == curves.offload;
+    println!("baseline and ZeRO-Offload w/o DPU curves identical: {same} (paper: exactly overlapped)");
+    println!("DPU enabled after {} steps (paper: 40)", zo_bench::DPU_WARMUP);
+}

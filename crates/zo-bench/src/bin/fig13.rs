@@ -1,0 +1,15 @@
+//! Regenerates Fig. 13: fine-tuning loss (BERT/SQuAD analog), ±DPU.
+
+fn main() {
+    let steps: usize = std::env::var("ZO_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    eprintln!("fine-tuning 3 classifier variants for {steps} steps...");
+    let curves = zo_bench::fig13_curves(steps, 7);
+    println!("Figure 13 — fine-tuning loss (classification analog)\n");
+    println!("{}", zo_bench::render_curves(&curves, steps / 20));
+    let same = curves.baseline == curves.offload;
+    println!("baseline and ZeRO-Offload w/o DPU curves identical: {same}");
+    println!("(paper: curves converge in the same trend and largely overlap)");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9: throughput with and without DPU at batch size 8.
+
+fn main() {
+    println!("Figure 9 — GPT-2 throughput w/ and w/o DPU, batch size 8\n");
+    println!("{}", zo_bench::render_fig9());
+    println!("paper: 1.12-1.59x across model sizes at micro-batch 8");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 1: memory savings of the minimum-communication
+//! offload strategies, derived by exhaustive partition enumeration.
+
+use zo_dataflow::{check_unique_optimality, min_offload_comm_m, DataFlowGraph};
+
+fn main() {
+    let graph = DataFlowGraph::training_iteration();
+    println!("Table 1 — offload strategies minimizing communication volume\n");
+    println!("{}", zo_dataflow::render_table1(&graph));
+    println!(
+        "minimum offload communication volume: {}M bytes/iteration (paper: 4M)",
+        min_offload_comm_m(&graph)
+    );
+    match check_unique_optimality(&graph) {
+        Ok(m) => println!(
+            "unique optimality: VERIFIED over all 256 partitions \
+             (GPU memory {}M, comm {}M, CPU compute O(M))",
+            m.gpu_memory_m, m.comm_volume_m
+        ),
+        Err(v) => println!("unique optimality: VIOLATED: {v:?}"),
+    }
+    println!(
+        "\nnote: the paper's printed Table 1 lists the final row as 4M/8x; \
+         8x of the 16M baseline is 2M — the text and reduction column agree with 2M."
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 4: Adam latency for CPU-Adam vs PT-CPU vs PT-GPU.
+//!
+//! Measures the real kernels at a scaled size (set `ZO_ADAM_PARAMS` to
+//! override, default 8M parameters) and extrapolates linearly (Adam is a
+//! single pass over the data).
+
+use zo_bench::{measure_adam_rates, render_table4};
+
+fn main() {
+    let n: usize = std::env::var("ZO_ADAM_PARAMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8 * 1024 * 1024);
+    let steps: usize = std::env::var("ZO_ADAM_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    eprintln!("measuring Adam kernels over {n} parameters ({steps} steps each)...");
+    let rates = measure_adam_rates(n, steps);
+    println!("Table 4 — Adam latency, measured on this host + extrapolated\n");
+    println!("{}", render_table4(&rates));
+    println!(
+        "measured rates: CPU-Adam {:.3} s/B, PT-CPU analog {:.3} s/B, speedup {:.1}x \
+         (paper: ~6x on 2x Xeon 8168)",
+        rates.cpu_adam_secs_per_b,
+        rates.naive_secs_per_b,
+        rates.speedup()
+    );
+}

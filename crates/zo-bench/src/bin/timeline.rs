@@ -1,0 +1,19 @@
+//! Extension: render the ZeRO-Offload iteration schedule as a Gantt chart
+//! and per-stream utilization report (2 steady-state iterations).
+
+use zero_offload::ZeroOffloadPerf;
+use zo_hetsim::{presets, render_gantt, render_report};
+
+fn main() {
+    let dpu = std::env::args().any(|a| a == "--dpu");
+    let cfg = zo_models::by_label(4.0).expect("4B row");
+    let perf = ZeroOffloadPerf::new(presets::dgx2_cluster(1));
+    let tl = perf.timeline(&cfg.model, 8, 16, 1, 1, dpu, 2);
+    println!(
+        "ZeRO-Offload schedule, 4B model, micro-batch 8 x 2 accumulation, 2 iterations{}",
+        if dpu { ", DPU" } else { "" }
+    );
+    println!("\n{}", render_report(&tl));
+    println!("{}", render_gantt(&tl, 100));
+    println!("(run with --dpu to see the update overlapped with the next iteration)");
+}

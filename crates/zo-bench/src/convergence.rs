@@ -1,0 +1,212 @@
+//! Figures 12–13: convergence of baseline vs ZeRO-Offload vs +DPU.
+//!
+//! Real training runs on the `zo-nn` substrate. The paper's claims:
+//! (a) ZeRO-Offload w/o DPU overlaps the unmodified baseline *exactly*
+//! (it is pure systems restructuring), and (b) DPU's one-step staleness
+//! perturbs the curve only transiently after it is enabled.
+
+use zero_offload::{ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_models::{BigramLm, GaussianClassification};
+use zo_nn::{Classifier, GptConfig, GptModel};
+use zo_optim::{AdamParams, LossScaleConfig};
+
+/// The three loss curves of a convergence figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceCurves {
+    /// Unmodified mixed-precision baseline (no offload).
+    pub baseline: Vec<f32>,
+    /// ZeRO-Offload without DPU.
+    pub offload: Vec<f32>,
+    /// ZeRO-Offload with DPU (enabled after warm-up).
+    pub offload_dpu: Vec<f32>,
+}
+
+/// DPU warm-up used by the paper's convergence runs.
+pub const DPU_WARMUP: u64 = 40;
+
+fn train_cfg(dpu: bool, offload: bool) -> ZeroOffloadConfig {
+    let mut cfg = ZeroOffloadConfig {
+        adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        ..ZeroOffloadConfig::default()
+    };
+    if dpu {
+        cfg.dpu_warmup = Some(DPU_WARMUP);
+    }
+    if !offload {
+        cfg = cfg.without_offload();
+    }
+    cfg
+}
+
+/// Runs the GPT-2 pretraining analog (Fig. 12) for `steps` steps.
+pub fn fig12_curves(steps: usize, seed: u64) -> ConvergenceCurves {
+    let gpt = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let run = |cfg: ZeroOffloadConfig| -> Vec<f32> {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, seed), cfg);
+        let mut data = BigramLm::new(gpt.vocab, 0.05, seed ^ 0xDA7A);
+        (0..steps)
+            .map(|_| {
+                let b = data.batch(8, gpt.seq_len);
+                engine
+                    .step(|m| m.train_step(&b.inputs, &b.targets, 8, gpt.seq_len, |_| {}))
+                    .expect("training step")
+                    .loss()
+            })
+            .collect()
+    };
+    ConvergenceCurves {
+        baseline: run(train_cfg(false, false)),
+        offload: run(train_cfg(false, true)),
+        offload_dpu: run(train_cfg(true, true)),
+    }
+}
+
+/// Runs the BERT fine-tuning analog (Fig. 13) for `steps` steps.
+pub fn fig13_curves(steps: usize, seed: u64) -> ConvergenceCurves {
+    let (dim, hidden, classes) = (16, 32, 4);
+    let run = |cfg: ZeroOffloadConfig| -> Vec<f32> {
+        let mut engine =
+            ZeroOffloadEngine::new(Classifier::new(dim, hidden, classes, seed), cfg);
+        let mut data = GaussianClassification::new(classes, dim, 0.5, seed ^ 0xF13E);
+        (0..steps)
+            .map(|_| {
+                let b = data.batch(16);
+                engine
+                    .step(|m| m.train_step(&b.features, &b.labels, |_| {}))
+                    .expect("training step")
+                    .loss()
+            })
+            .collect()
+    };
+    ConvergenceCurves {
+        baseline: run(train_cfg(false, false)),
+        offload: run(train_cfg(false, true)),
+        offload_dpu: run(train_cfg(true, true)),
+    }
+}
+
+/// Runs the Fig. 12 workload once with an arbitrary DPU warm-up
+/// (`None` disables DPU), returning the loss curve. Used by the warm-up
+/// ablation.
+pub fn fig12_curves_with_warmup(steps: usize, seed: u64, warmup: Option<u64>) -> Vec<f32> {
+    let gpt = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let mut cfg = train_cfg(false, true);
+    cfg.dpu_warmup = warmup;
+    let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, seed), cfg);
+    let mut data = BigramLm::new(gpt.vocab, 0.05, seed ^ 0xDA7A);
+    (0..steps)
+        .map(|_| {
+            let b = data.batch(8, gpt.seq_len);
+            engine
+                .step(|m| m.train_step(&b.inputs, &b.targets, 8, gpt.seq_len, |_| {}))
+                .expect("training step")
+                .loss()
+        })
+        .collect()
+}
+
+/// Moving average with window `w` (for plotting noisy curves).
+pub fn smooth(curve: &[f32], w: usize) -> Vec<f32> {
+    if w <= 1 {
+        return curve.to_vec();
+    }
+    curve
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let lo = i.saturating_sub(w - 1);
+            let window = &curve[lo..=i];
+            window.iter().sum::<f32>() / window.len() as f32
+        })
+        .collect()
+}
+
+/// Renders the curves as a step/loss table (every `stride` steps).
+pub fn render_curves(c: &ConvergenceCurves, stride: usize) -> String {
+    let s = stride.max(1);
+    let rows: Vec<Vec<String>> = (0..c.baseline.len())
+        .step_by(s)
+        .map(|i| {
+            vec![
+                i.to_string(),
+                format!("{:.4}", c.baseline[i]),
+                format!("{:.4}", c.offload[i]),
+                format!("{:.4}", c.offload_dpu[i]),
+            ]
+        })
+        .collect();
+    crate::table::render_table(
+        &["step", "baseline", "ZeRO-Offload", "ZeRO-Offload + DPU"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_offload_curve_exactly_overlaps_baseline() {
+        // "the training curves of the unmodified GPT-2 and ZeRO-Offload
+        // w/o DPU are exactly overlapped" — bitwise here.
+        let c = fig12_curves(60, 42);
+        assert_eq!(c.baseline, c.offload);
+    }
+
+    #[test]
+    fn fig12_dpu_matches_during_warmup_then_tracks() {
+        let steps = 160;
+        let c = fig12_curves(steps, 7);
+        // Identical until DPU kicks in.
+        assert_eq!(
+            &c.offload[..DPU_WARMUP as usize],
+            &c.offload_dpu[..DPU_WARMUP as usize]
+        );
+        // Both converge to the same smoothed level at the end.
+        let a = smooth(&c.offload, 20);
+        let b = smooth(&c.offload_dpu, 20);
+        let tail_gap = (a[steps - 1] - b[steps - 1]).abs();
+        assert!(
+            tail_gap < 0.15 * a[steps - 1],
+            "smoothed tail gap {tail_gap} vs level {}",
+            a[steps - 1]
+        );
+        // And training actually converges.
+        assert!(a[steps - 1] < a[20] * 0.9, "{} !< {}", a[steps - 1], a[20]);
+    }
+
+    #[test]
+    fn fig13_classifier_converges_all_variants() {
+        let steps = 120;
+        let c = fig13_curves(steps, 3);
+        assert_eq!(c.baseline, c.offload);
+        for curve in [&c.offload, &c.offload_dpu] {
+            let s = smooth(curve, 15);
+            assert!(
+                s[steps - 1] < s[10] * 0.8,
+                "variant did not converge: {} -> {}",
+                s[10],
+                s[steps - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_behaviour() {
+        assert_eq!(smooth(&[1.0, 2.0, 3.0], 1), vec![1.0, 2.0, 3.0]);
+        let s = smooth(&[2.0, 4.0, 6.0], 2);
+        assert_eq!(s, vec![2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn render_strides() {
+        let c = ConvergenceCurves {
+            baseline: vec![1.0; 10],
+            offload: vec![1.0; 10],
+            offload_dpu: vec![1.0; 10],
+        };
+        let t = render_curves(&c, 5);
+        assert_eq!(t.lines().count(), 4); // header + sep + steps 0,5
+    }
+}

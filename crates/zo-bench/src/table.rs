@@ -1,0 +1,72 @@
+//! Minimal aligned-text table rendering for experiment output.
+
+/// Renders rows as an aligned markdown-style table.
+///
+/// # Examples
+///
+/// ```
+/// let s = zo_bench::render_table(
+///     &["name", "value"],
+///     &[vec!["a".to_string(), "1".to_string()]],
+/// );
+/// assert!(s.contains("| a"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let s = render_table(
+            &["x", "long header"],
+            &[
+                vec!["aaaa".into(), "1".into()],
+                vec!["b".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("long header"));
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        let s = render_table(&["a"], &[]);
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! Real shared-memory collectives for thread-based data-parallel training.
+//!
+//! The real-execution engine runs each data-parallel rank as an OS thread
+//! ("threads as GPUs"). These collectives give those threads the exact
+//! operations the paper's multi-GPU schedule uses — reduce-scatter of
+//! gradients, broadcast/all-gather of updated parameters, all-reduce for
+//! baselines — with deterministic, rank-order-independent results
+//! (accumulation order is fixed by rank, not by thread arrival).
+
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+
+use crate::partition::partition_range;
+
+struct Shared {
+    barrier: Barrier,
+    /// Scratch accumulation buffer.
+    buf: Mutex<Vec<f32>>,
+    /// Per-rank staging used to fix the reduction order.
+    stage: Mutex<Vec<Option<Vec<f32>>>>,
+}
+
+/// One rank's endpoint of a thread collective group.
+///
+/// # Examples
+///
+/// ```
+/// use zo_collectives::Communicator;
+///
+/// let comms = Communicator::group(2);
+/// let handles: Vec<_> = comms
+///     .into_iter()
+///     .map(|c| {
+///         std::thread::spawn(move || {
+///             let mut data = vec![c.rank() as f32 + 1.0; 4];
+///             c.all_reduce_sum(&mut data);
+///             data
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     assert_eq!(h.join().unwrap(), vec![3.0; 4]);
+/// }
+/// ```
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    shared: Arc<Shared>,
+}
+
+impl Clone for Communicator {
+    /// Clones this endpoint: the clone has the same rank and shares the
+    /// group, letting several layers owned by one rank's thread issue
+    /// collectives on the same group. Do NOT drive a clone from a second
+    /// thread — one thread per rank is the contract.
+    fn clone(&self) -> Communicator {
+        Communicator { rank: self.rank, world: self.world, shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl Communicator {
+    /// Creates a group of `world` connected endpoints, one per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn group(world: usize) -> Vec<Communicator> {
+        assert!(world > 0, "world size must be non-zero");
+        let shared = Arc::new(Shared {
+            barrier: Barrier::new(world),
+            buf: Mutex::new(Vec::new()),
+            stage: Mutex::new(vec![None; world]),
+        });
+        (0..world)
+            .map(|rank| Communicator { rank, world, shared: Arc::clone(&shared) })
+            .collect()
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Stages this rank's contribution, then reduces in rank order.
+    ///
+    /// Returns the full sum on every rank via `buf`. Caller must read
+    /// before the next entry barrier.
+    fn stage_and_reduce(&self, data: &[f32]) {
+        // Entry barrier: the previous collective's readers are done.
+        self.barrier();
+        self.shared.stage.lock()[self.rank] = Some(data.to_vec());
+        self.barrier();
+        if self.rank == 0 {
+            // Deterministic rank-order reduction.
+            let mut stage = self.shared.stage.lock();
+            let mut buf = self.shared.buf.lock();
+            buf.clear();
+            buf.resize(data.len(), 0.0);
+            for slot in stage.iter_mut() {
+                let contribution = slot.take().expect("every rank staged");
+                for (b, c) in buf.iter_mut().zip(&contribution) {
+                    *b += *c;
+                }
+            }
+        }
+        self.barrier();
+    }
+
+    /// All-reduce (sum): every rank ends with the elementwise sum.
+    pub fn all_reduce_sum(&self, data: &mut [f32]) {
+        if self.world == 1 {
+            return;
+        }
+        self.stage_and_reduce(data);
+        data.copy_from_slice(&self.shared.buf.lock());
+    }
+
+    /// All-reduce (mean): the data-parallel gradient average.
+    pub fn all_reduce_mean(&self, data: &mut [f32]) {
+        self.all_reduce_sum(data);
+        if self.world > 1 {
+            let inv = 1.0 / self.world as f32;
+            for v in data.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+
+    /// Reduce-scatter (mean): returns this rank's shard of the averaged
+    /// buffer, using [`partition_range`] shard boundaries.
+    pub fn reduce_scatter_mean(&self, data: &[f32]) -> Vec<f32> {
+        let range = partition_range(data.len(), self.world, self.rank);
+        if self.world == 1 {
+            return data[range].to_vec();
+        }
+        self.stage_and_reduce(data);
+        let inv = 1.0 / self.world as f32;
+        self.shared.buf.lock()[range].iter().map(|v| v * inv).collect()
+    }
+
+    /// All-gather: assembles per-rank shards (partitioned by
+    /// [`partition_range`] over `total`) into the full buffer on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard.len()` differs from this rank's partition length.
+    pub fn all_gather(&self, shard: &[f32], total: usize) -> Vec<f32> {
+        let range = partition_range(total, self.world, self.rank);
+        assert_eq!(shard.len(), range.len(), "shard length mismatch");
+        if self.world == 1 {
+            return shard.to_vec();
+        }
+        self.barrier();
+        {
+            let mut buf = self.shared.buf.lock();
+            if buf.len() != total {
+                buf.clear();
+                buf.resize(total, 0.0);
+            }
+            buf[range].copy_from_slice(shard);
+        }
+        self.barrier();
+        let out = self.shared.buf.lock().clone();
+        self.barrier();
+        out
+    }
+
+    /// All-gather with per-rank variable lengths: returns every rank's
+    /// contribution, in rank order, on every rank.
+    ///
+    /// Unlike [`Communicator::all_gather`], shards need not follow
+    /// [`partition_range`] — used e.g. to gather uneven tensor-parallel
+    /// column blocks.
+    pub fn all_gather_var(&self, shard: &[f32]) -> Vec<Vec<f32>> {
+        if self.world == 1 {
+            return vec![shard.to_vec()];
+        }
+        self.barrier();
+        self.shared.stage.lock()[self.rank] = Some(shard.to_vec());
+        self.barrier();
+        let out: Vec<Vec<f32>> = {
+            let stage = self.shared.stage.lock();
+            stage
+                .iter()
+                .map(|slot| slot.as_ref().expect("every rank staged").clone())
+                .collect()
+        };
+        self.barrier();
+        // Rank 0 clears the staging slots for the next collective.
+        if self.rank == 0 {
+            for slot in self.shared.stage.lock().iter_mut() {
+                *slot = None;
+            }
+        }
+        self.barrier();
+        out
+    }
+
+    /// Broadcast from `root`: every rank returns root's `data`.
+    pub fn broadcast(&self, data: &[f32], root: usize) -> Vec<f32> {
+        if self.world == 1 {
+            return data.to_vec();
+        }
+        self.barrier();
+        if self.rank == root {
+            let mut buf = self.shared.buf.lock();
+            buf.clear();
+            buf.extend_from_slice(data);
+        }
+        self.barrier();
+        let out = self.shared.buf.lock().clone();
+        self.barrier();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_group<T: Send + 'static>(
+        world: usize,
+        f: impl Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let comms = Communicator::group(world);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                std::thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    }
+
+    #[test]
+    fn all_reduce_sum_and_mean() {
+        let out = run_group(4, |c| {
+            let mut v = vec![(c.rank() + 1) as f32; 3];
+            c.all_reduce_sum(&mut v);
+            let mut m = vec![(c.rank() + 1) as f32; 3];
+            c.all_reduce_mean(&mut m);
+            (v, m)
+        });
+        for (sum, mean) in out {
+            assert_eq!(sum, vec![10.0; 3]);
+            assert_eq!(mean, vec![2.5; 3]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_returns_owned_shard_of_mean() {
+        let out = run_group(3, |c| {
+            // Rank r contributes [r, r, ..., r] over 7 elements.
+            let data = vec![c.rank() as f32; 7];
+            (c.rank(), c.reduce_scatter_mean(&data))
+        });
+        // Mean over ranks 0,1,2 = 1.0 everywhere; shard lengths 3,2,2.
+        for (rank, shard) in out {
+            let want_len = partition_range(7, 3, rank).len();
+            assert_eq!(shard.len(), want_len);
+            assert!(shard.iter().all(|&v| v == 1.0));
+        }
+    }
+
+    #[test]
+    fn all_gather_reassembles() {
+        let total = 10;
+        let out = run_group(4, move |c| {
+            let range = partition_range(total, 4, c.rank());
+            let shard: Vec<f32> = range.clone().map(|i| i as f32).collect();
+            c.all_gather(&shard, total)
+        });
+        let want: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        for full in out {
+            assert_eq!(full, want);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..3 {
+            let out = run_group(3, move |c| {
+                let data = if c.rank() == root { vec![42.0, 7.0] } else { vec![0.0, 0.0] };
+                c.broadcast(&data, root)
+            });
+            for v in out {
+                assert_eq!(v, vec![42.0, 7.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_reduction_order() {
+        // Floating-point sums depend on order; rank-order staging must make
+        // repeated runs bit-identical even with racing threads.
+        let golden = run_group(4, |c| {
+            let mut v: Vec<f32> = (0..64).map(|i| (i as f32 + 0.1) * (c.rank() as f32 + 0.7)).collect();
+            c.all_reduce_sum(&mut v);
+            v
+        });
+        for _ in 0..5 {
+            let again = run_group(4, |c| {
+                let mut v: Vec<f32> =
+                    (0..64).map(|i| (i as f32 + 0.1) * (c.rank() as f32 + 0.7)).collect();
+                c.all_reduce_sum(&mut v);
+                v
+            });
+            assert_eq!(again, golden);
+        }
+    }
+
+    #[test]
+    fn sequential_collectives_do_not_interfere() {
+        let out = run_group(2, |c| {
+            let mut a = vec![1.0f32; 4];
+            c.all_reduce_sum(&mut a);
+            let shard = c.reduce_scatter_mean(&[2.0, 2.0, 4.0, 4.0]);
+            let full = c.all_gather(&shard, 4);
+            let b = c.broadcast(&full, 1);
+            (a, b)
+        });
+        for (a, b) in out {
+            assert_eq!(a, vec![2.0; 4]);
+            assert_eq!(b, vec![2.0, 2.0, 4.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_var_uneven_blocks() {
+        let out = run_group(3, |c| {
+            // Rank r contributes r+1 elements valued r.
+            let shard = vec![c.rank() as f32; c.rank() + 1];
+            c.all_gather_var(&shard)
+        });
+        for blocks in out {
+            assert_eq!(blocks.len(), 3);
+            for (r, b) in blocks.iter().enumerate() {
+                assert_eq!(b.len(), r + 1);
+                assert!(b.iter().all(|&v| v == r as f32));
+            }
+        }
+        // Back-to-back with other collectives (stage reuse is clean).
+        let out = run_group(2, |c| {
+            let blocks = c.all_gather_var(&[c.rank() as f32]);
+            let mut v = vec![1.0f32];
+            c.all_reduce_sum(&mut v);
+            (blocks, v)
+        });
+        for (blocks, v) in out {
+            assert_eq!(blocks, vec![vec![0.0], vec![1.0]]);
+            assert_eq!(v, vec![2.0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_short_circuits() {
+        let c = Communicator::group(1).pop().unwrap();
+        let mut v = vec![3.0f32];
+        c.all_reduce_sum(&mut v);
+        assert_eq!(v, vec![3.0]);
+        assert_eq!(c.reduce_scatter_mean(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(c.all_gather(&[5.0], 1), vec![5.0]);
+        assert_eq!(c.all_gather_var(&[5.0]), vec![vec![5.0]]);
+        assert_eq!(c.broadcast(&[9.0], 0), vec![9.0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Analytic cost models for communication collectives.
+//!
+//! Multi-GPU schedules (paper Sec. 4.2) are built from reduce-scatter,
+//! all-gather/broadcast and all-reduce. The standard ring-algorithm costs
+//! apply: for `n` participants moving `bytes` of data over per-participant
+//! bus bandwidth `gbps`, a reduce-scatter or all-gather moves
+//! `(n-1)/n · bytes` per GPU, and a full all-reduce is the two composed.
+
+/// Cost model for ring collectives over a homogeneous group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingCost {
+    /// Participants.
+    pub n: u32,
+    /// Per-participant bus bandwidth, GB/s.
+    pub gbps: f64,
+    /// Per-hop launch latency, seconds.
+    pub latency_s: f64,
+}
+
+impl RingCost {
+    /// Creates a cost model; `n` is clamped to at least 1.
+    pub fn new(n: u32, gbps: f64, latency_s: f64) -> RingCost {
+        RingCost { n: n.max(1), gbps, latency_s }
+    }
+
+    fn steps(&self) -> f64 {
+        (self.n - 1) as f64
+    }
+
+    fn wire_secs(&self, bytes: f64) -> f64 {
+        bytes / (self.gbps * 1e9)
+    }
+
+    /// Ring reduce-scatter of a `bytes`-sized buffer: each GPU ends with
+    /// the reduced `1/n` shard.
+    pub fn reduce_scatter_secs(&self, bytes: f64) -> f64 {
+        if self.n == 1 {
+            return 0.0;
+        }
+        self.steps() * (self.wire_secs(bytes / self.n as f64) + self.latency_s)
+    }
+
+    /// Ring all-gather of per-GPU `1/n` shards into the full buffer.
+    pub fn all_gather_secs(&self, bytes: f64) -> f64 {
+        // Symmetric to reduce-scatter.
+        self.reduce_scatter_secs(bytes)
+    }
+
+    /// Ring all-reduce = reduce-scatter + all-gather.
+    pub fn all_reduce_secs(&self, bytes: f64) -> f64 {
+        self.reduce_scatter_secs(bytes) + self.all_gather_secs(bytes)
+    }
+
+    /// Pipelined ring broadcast of `bytes` from one root.
+    pub fn broadcast_secs(&self, bytes: f64) -> f64 {
+        if self.n == 1 {
+            return 0.0;
+        }
+        // Pipelined: bandwidth-bound at ~bytes/bw plus ring fill latency.
+        self.wire_secs(bytes) + self.steps() * self.latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_participant_is_free() {
+        let c = RingCost::new(1, 100.0, 1e-5);
+        assert_eq!(c.reduce_scatter_secs(1e9), 0.0);
+        assert_eq!(c.all_gather_secs(1e9), 0.0);
+        assert_eq!(c.all_reduce_secs(1e9), 0.0);
+        assert_eq!(c.broadcast_secs(1e9), 0.0);
+    }
+
+    #[test]
+    fn allreduce_approaches_2x_bandwidth_bound() {
+        // For large n, ring all-reduce needs ~2·bytes/bw.
+        let c = RingCost::new(128, 10.0, 0.0);
+        let t = c.all_reduce_secs(10e9);
+        let bound = 2.0 * 10e9 / (10.0 * 1e9);
+        assert!((t / bound - (127.0 / 128.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_scatter_is_half_allreduce() {
+        let c = RingCost::new(16, 50.0, 0.0);
+        assert!(
+            (c.all_reduce_secs(4e9) - 2.0 * c.reduce_scatter_secs(4e9)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn latency_term_scales_with_steps() {
+        let fast = RingCost::new(4, 1000.0, 1e-3);
+        // Tiny message: latency dominates; 3 steps of 1 ms.
+        let t = fast.reduce_scatter_secs(4.0);
+        assert!((t - 3e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_is_bandwidth_bound() {
+        let c = RingCost::new(8, 10.0, 0.0);
+        assert!((c.broadcast_secs(1e9) - 0.1).abs() < 1e-9);
+    }
+}

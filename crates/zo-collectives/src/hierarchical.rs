@@ -1,0 +1,145 @@
+//! Two-level (intra-node / inter-node) collective cost model.
+//!
+//! The Fig. 11 cluster is 8 DGX-2 boxes: NVSwitch inside a node, a shared
+//! InfiniBand uplink between nodes. A flat ring over such a topology is
+//! bounded by the slowest hop; the standard hierarchical algorithm does
+//! better: reduce-scatter inside each node, all-reduce the shards across
+//! nodes, then all-gather inside — moving only `1/g` of the data over the
+//! wide-area links (`g` = GPUs per node).
+
+use crate::cost::RingCost;
+
+/// Cost model for hierarchical collectives over a cluster of nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalCost {
+    /// GPUs per node participating.
+    pub gpus_per_node: u32,
+    /// Number of nodes participating.
+    pub nodes: u32,
+    /// Intra-node ring (NVLink/NVSwitch).
+    pub intra: RingCost,
+    /// Inter-node ring (InfiniBand, per-node bandwidth).
+    pub inter: RingCost,
+}
+
+impl HierarchicalCost {
+    /// Builds the model for `world` GPUs over nodes of `gpus_per_node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero or not divisible by `gpus_per_node`
+    /// (partial nodes are not modeled) when it exceeds one node.
+    pub fn new(
+        world: u32,
+        gpus_per_node: u32,
+        nvlink_gbps: f64,
+        ib_gbps_per_node: f64,
+        latency_s: f64,
+    ) -> HierarchicalCost {
+        assert!(world > 0, "world must be non-zero");
+        let (g, nodes) = if world <= gpus_per_node {
+            (world, 1)
+        } else {
+            assert!(
+                world % gpus_per_node == 0,
+                "partial nodes are not modeled: {world} GPUs over nodes of {gpus_per_node}"
+            );
+            (gpus_per_node, world / gpus_per_node)
+        };
+        HierarchicalCost {
+            gpus_per_node: g,
+            nodes,
+            intra: RingCost::new(g, nvlink_gbps, latency_s),
+            inter: RingCost::new(nodes, ib_gbps_per_node, latency_s),
+        }
+    }
+
+    /// Hierarchical all-reduce of `bytes`:
+    /// intra reduce-scatter → inter all-reduce of the 1/g shard → intra
+    /// all-gather.
+    pub fn all_reduce_secs(&self, bytes: f64) -> f64 {
+        let shard = bytes / self.gpus_per_node as f64;
+        self.intra.reduce_scatter_secs(bytes)
+            + self.inter.all_reduce_secs(shard)
+            + self.intra.all_gather_secs(bytes)
+    }
+
+    /// Hierarchical reduce-scatter (half the all-reduce pattern): intra
+    /// reduce-scatter plus inter reduce-scatter of the shard.
+    pub fn reduce_scatter_secs(&self, bytes: f64) -> f64 {
+        let shard = bytes / self.gpus_per_node as f64;
+        self.intra.reduce_scatter_secs(bytes) + self.inter.reduce_scatter_secs(shard)
+    }
+
+    /// Hierarchical all-gather (mirror of reduce-scatter).
+    pub fn all_gather_secs(&self, bytes: f64) -> f64 {
+        self.reduce_scatter_secs(bytes)
+    }
+
+    /// Bytes that actually cross the inter-node fabric per GPU's buffer.
+    pub fn inter_node_bytes(&self, bytes: f64) -> f64 {
+        if self.nodes <= 1 {
+            0.0
+        } else {
+            let shard = bytes / self.gpus_per_node as f64;
+            2.0 * shard * (self.nodes - 1) as f64 / self.nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(world: u32) -> HierarchicalCost {
+        HierarchicalCost::new(world, 16, 120.0, 100.0, 5e-6)
+    }
+
+    #[test]
+    fn single_node_has_no_inter_cost() {
+        let c = cluster(16);
+        assert_eq!(c.nodes, 1);
+        assert_eq!(c.inter_node_bytes(1e9), 0.0);
+        // All-reduce equals a pure intra ring all-reduce (RS + AG).
+        let flat = RingCost::new(16, 120.0, 5e-6);
+        assert!((c.all_reduce_secs(1e9) - flat.all_reduce_secs(1e9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_nodes() {
+        // Flat ring over 128 GPUs is bottlenecked by the IB hop for the
+        // whole buffer; hierarchical only sends 1/16 of it inter-node.
+        let c = cluster(128);
+        let flat_ib = RingCost::new(128, 100.0 / 16.0, 5e-6);
+        let bytes = 20e9;
+        assert!(
+            c.all_reduce_secs(bytes) < flat_ib.all_reduce_secs(bytes),
+            "{} !< {}",
+            c.all_reduce_secs(bytes),
+            flat_ib.all_reduce_secs(bytes)
+        );
+    }
+
+    #[test]
+    fn inter_node_traffic_is_shard_sized() {
+        let c = cluster(32); // 2 nodes
+        let bytes = 16e9;
+        // Per GPU buffer: 1/16 crosses IB, twice (RS + AG), halved by 2/(2)...
+        let want = 2.0 * (bytes / 16.0) * 0.5;
+        assert!((c.inter_node_bytes(bytes) - want).abs() < 1.0);
+    }
+
+    #[test]
+    fn cost_grows_with_nodes() {
+        let bytes = 8e9;
+        let t2 = cluster(32).all_reduce_secs(bytes);
+        let t8 = cluster(128).all_reduce_secs(bytes);
+        assert!(t8 > t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial nodes")]
+    fn partial_nodes_rejected() {
+        HierarchicalCost::new(24, 16, 120.0, 100.0, 0.0);
+    }
+}

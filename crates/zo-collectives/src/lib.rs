@@ -1,0 +1,24 @@
+//! Communication collectives for the ZeRO-Offload reproduction.
+//!
+//! Two layers serve the two execution modes:
+//!
+//! * [`cost`] — analytic ring-collective cost models that the simulated
+//!   multi-GPU schedules (Figs. 10–11) charge for reduce-scatter,
+//!   all-gather/broadcast and all-reduce;
+//! * [`Communicator`] — real shared-memory collectives for the
+//!   thread-based real-execution engine, with deterministic rank-order
+//!   reduction so runs are bit-reproducible;
+//! * [`partition_range`] — the one shard definition (balanced, contiguous)
+//!   every crate uses for ZeRO-2 state partitioning.
+
+#![warn(missing_docs)]
+
+mod comm;
+pub mod cost;
+pub mod hierarchical;
+mod partition;
+
+pub use comm::Communicator;
+pub use cost::RingCost;
+pub use hierarchical::HierarchicalCost;
+pub use partition::{partition_len, partition_range};

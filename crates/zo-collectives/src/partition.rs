@@ -1,0 +1,88 @@
+//! Balanced contiguous partitioning of a parameter range across ranks.
+//!
+//! ZeRO-2 assigns each data-parallel rank ownership of a contiguous shard
+//! of the flattened parameter space (paper Sec. 2, "ZeRO powered data
+//! parallel training"); every crate that partitions state uses this one
+//! definition so shards always line up.
+
+use core::ops::Range;
+
+/// The contiguous shard of `total` elements owned by `rank` of `world`.
+///
+/// Shards are balanced to within one element, ordered by rank, and
+/// collectively tile `0..total` exactly.
+///
+/// # Panics
+///
+/// Panics if `world == 0` or `rank >= world`.
+///
+/// # Examples
+///
+/// ```
+/// use zo_collectives::partition_range;
+///
+/// assert_eq!(partition_range(10, 4, 0), 0..3);
+/// assert_eq!(partition_range(10, 4, 1), 3..6);
+/// assert_eq!(partition_range(10, 4, 2), 6..8);
+/// assert_eq!(partition_range(10, 4, 3), 8..10);
+/// ```
+pub fn partition_range(total: usize, world: usize, rank: usize) -> Range<usize> {
+    assert!(world > 0, "world size must be non-zero");
+    assert!(rank < world, "rank {rank} out of range for world {world}");
+    let base = total / world;
+    let extra = total % world;
+    // The first `extra` ranks get one additional element.
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    start..start + len
+}
+
+/// Length of the shard owned by `rank`.
+pub fn partition_len(total: usize, world: usize, rank: usize) -> usize {
+    partition_range(total, world, rank).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_tile_the_range() {
+        for total in [0usize, 1, 7, 16, 1000, 1001] {
+            for world in [1usize, 2, 3, 7, 16] {
+                let mut next = 0;
+                for rank in 0..world {
+                    let r = partition_range(total, world, rank);
+                    assert_eq!(r.start, next, "total={total} world={world} rank={rank}");
+                    next = r.end;
+                }
+                assert_eq!(next, total);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_balanced_within_one() {
+        for total in [17usize, 100, 129] {
+            for world in [2usize, 3, 8] {
+                let lens: Vec<usize> =
+                    (0..world).map(|r| partition_len(total, world, r)).collect();
+                let min = *lens.iter().min().unwrap();
+                let max = *lens.iter().max().unwrap();
+                assert!(max - min <= 1, "lens {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_must_be_in_world() {
+        partition_range(10, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn world_must_be_positive() {
+        partition_range(10, 0, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for collectives: algebraic identities and cost models.
+
+use proptest::prelude::*;
+use zo_collectives::{partition_range, Communicator, RingCost};
+
+fn run_group<T: Send>(
+    world: usize,
+    f: impl Fn(Communicator) -> T + Send + Sync + Clone,
+) -> Vec<T> {
+    let comms = Communicator::group(world);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                scope.spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// reduce-scatter followed by all-gather equals all-reduce (mean).
+    #[test]
+    fn rs_then_ag_equals_allreduce(
+        world in 1usize..5,
+        len in 1usize..40,
+        seed in 0u32..1000,
+    ) {
+        let data: Vec<Vec<f32>> = (0..world)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((seed as usize + r * 31 + i * 7) % 23) as f32 - 11.0)
+                    .collect()
+            })
+            .collect();
+        let data_rs = data.clone();
+        let composed = run_group(world, move |c| {
+            let mine = data_rs[c.rank()].clone();
+            let shard = c.reduce_scatter_mean(&mine);
+            c.all_gather(&shard, len)
+        });
+        let data_ar = data;
+        let direct = run_group(world, move |c| {
+            let mut mine = data_ar[c.rank()].clone();
+            c.all_reduce_mean(&mut mine);
+            mine
+        });
+        for (a, b) in composed.iter().zip(&direct) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    /// Broadcast is idempotent and rank-independent.
+    #[test]
+    fn broadcast_delivers_root_payload(
+        world in 1usize..5,
+        root_pick in 0usize..5,
+        payload in prop::collection::vec(-100.0f32..100.0, 1..20),
+    ) {
+        let root = root_pick % world;
+        let payload_c = payload.clone();
+        let out = run_group(world, move |c| {
+            let mine = if c.rank() == root { payload_c.clone() } else { vec![0.0; payload_c.len()] };
+            c.broadcast(&mine, root)
+        });
+        for o in out {
+            prop_assert_eq!(&o, &payload);
+        }
+    }
+
+    /// Ring cost model: reduce-scatter time is monotone in bytes and
+    /// bounded by the full-buffer wire time.
+    #[test]
+    fn ring_cost_monotone(
+        n in 2u32..128,
+        gbps in 1.0f64..500.0,
+        bytes in 1.0f64..1e10,
+    ) {
+        let c = RingCost::new(n, gbps, 0.0);
+        let t1 = c.reduce_scatter_secs(bytes);
+        let t2 = c.reduce_scatter_secs(bytes * 2.0);
+        prop_assert!(t2 >= t1);
+        // (n-1)/n of the buffer crosses each link: strictly less than the
+        // whole buffer's wire time.
+        prop_assert!(t1 < bytes / (gbps * 1e9) + 1e-12);
+        prop_assert!((c.all_reduce_secs(bytes) - 2.0 * t1).abs() < 1e-12);
+    }
+
+    /// Partition ranges compose with gather: flattening every rank's shard
+    /// of a buffer reproduces the buffer.
+    #[test]
+    fn partitions_compose(total in 0usize..200, world in 1usize..9) {
+        let buf: Vec<usize> = (0..total).collect();
+        let mut rebuilt = Vec::new();
+        for rank in 0..world {
+            rebuilt.extend_from_slice(&buf[partition_range(total, world, rank)]);
+        }
+        prop_assert_eq!(rebuilt, buf);
+    }
+}

@@ -1,0 +1,255 @@
+//! The training-iteration data-flow graph of paper Sec. 3.1 (Fig. 2).
+//!
+//! Nodes are either model-state data (circles in Fig. 2) or computation
+//! (rectangles); edge weights are bytes moved per iteration, in multiples
+//! of the model size `M`: 2M for fp16 producers, 4M for fp32 producers.
+
+/// The nodes of the mixed-precision Adam training graph.
+///
+/// Order matters: it is the bit position used by
+/// [`Assignment`](crate::partition::Assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// fp16 parameters (2M bytes).
+    P16,
+    /// fp16 gradients (2M bytes).
+    G16,
+    /// fp32 master parameters (4M bytes).
+    P32,
+    /// fp32 momentum (4M bytes).
+    M32,
+    /// fp32 variance (4M bytes).
+    V32,
+    /// Fused forward+backward super-node — O(M·B) compute.
+    FwdBwd,
+    /// The Adam parameter update — O(M) compute.
+    Update,
+    /// The fp32→fp16 parameter cast — O(M) compute.
+    Float2Half,
+}
+
+/// All nodes, in bit order.
+pub const NODES: [Node; 8] = [
+    Node::P16,
+    Node::G16,
+    Node::P32,
+    Node::M32,
+    Node::V32,
+    Node::FwdBwd,
+    Node::Update,
+    Node::Float2Half,
+];
+
+impl Node {
+    /// Bit index of this node in an assignment mask.
+    pub fn index(self) -> usize {
+        match self {
+            Node::P16 => 0,
+            Node::G16 => 1,
+            Node::P32 => 2,
+            Node::M32 => 3,
+            Node::V32 => 4,
+            Node::FwdBwd => 5,
+            Node::Update => 6,
+            Node::Float2Half => 7,
+        }
+    }
+
+    /// Whether this is a model-state data node.
+    pub fn is_data(self) -> bool {
+        matches!(self, Node::P16 | Node::G16 | Node::P32 | Node::M32 | Node::V32)
+    }
+
+    /// Whether this is a computation node.
+    pub fn is_compute(self) -> bool {
+        !self.is_data()
+    }
+
+    /// Resident size of a data node, in multiples of M bytes (0 for
+    /// compute nodes).
+    pub fn size_m(self) -> u32 {
+        match self {
+            Node::P16 | Node::G16 => 2,
+            Node::P32 | Node::M32 | Node::V32 => 4,
+            _ => 0,
+        }
+    }
+
+    /// Compute complexity class of a compute node.
+    pub fn complexity(self) -> Complexity {
+        match self {
+            Node::FwdBwd => Complexity::ModelTimesBatch,
+            Node::Update | Node::Float2Half => Complexity::Model,
+            _ => Complexity::None,
+        }
+    }
+
+    /// Short display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Node::P16 => "p16",
+            Node::G16 => "g16",
+            Node::P32 => "p32",
+            Node::M32 => "m32",
+            Node::V32 => "v32",
+            Node::FwdBwd => "FWD-BWD",
+            Node::Update => "Update",
+            Node::Float2Half => "float2half",
+        }
+    }
+}
+
+/// Asymptotic compute complexity per training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Complexity {
+    /// Data node: no compute.
+    None,
+    /// O(M): scales with model size only (updates, casts, norms).
+    Model,
+    /// O(M·B): scales with model size times batch size (fwd/bwd).
+    ModelTimesBatch,
+}
+
+/// A directed edge with a weight in multiples of M bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing node.
+    pub from: Node,
+    /// Consuming node.
+    pub to: Node,
+    /// Data volume per iteration, in multiples of M bytes.
+    pub weight_m: u32,
+}
+
+/// The data-flow graph of one training iteration.
+#[derive(Debug, Clone)]
+pub struct DataFlowGraph {
+    edges: Vec<Edge>,
+}
+
+impl DataFlowGraph {
+    /// Builds the mixed-precision-Adam training graph of Fig. 2.
+    ///
+    /// Edge weights follow the paper: an fp16 state flows as 2M bytes, an
+    /// fp32 state as 4M. The fp16 parameters are consumed by both halves
+    /// of the fused FWD-BWD super-node, giving that edge weight 4M.
+    pub fn training_iteration() -> DataFlowGraph {
+        use Node::*;
+        let e = |from, to, weight_m| Edge { from, to, weight_m };
+        DataFlowGraph {
+            edges: vec![
+                // Parameters feed forward and backward (2M each, fused).
+                e(P16, FwdBwd, 4),
+                // Backward produces fp16 gradients.
+                e(FwdBwd, G16, 2),
+                // Gradients feed the optimizer.
+                e(G16, Update, 2),
+                // fp32 states are read and written by the update.
+                e(P32, Update, 4),
+                e(Update, P32, 4),
+                e(M32, Update, 4),
+                e(Update, M32, 4),
+                e(V32, Update, 4),
+                e(Update, V32, 4),
+                // Updated master params are cast down to fp16.
+                e(P32, Float2Half, 4),
+                e(Float2Half, P16, 2),
+            ],
+        }
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Total fp16+fp32 model-state bytes, in multiples of M (the paper's
+    /// 16M baseline).
+    pub fn total_state_m(&self) -> u32 {
+        NODES.iter().map(|n| n.size_m()).sum()
+    }
+
+    /// Replaces every edge weight via `f` (used by property tests to
+    /// check that conclusions are robust to weight perturbations).
+    pub fn map_weights(&self, f: impl Fn(&Edge) -> u32) -> DataFlowGraph {
+        DataFlowGraph {
+            edges: self.edges.iter().map(|e| Edge { weight_m: f(e), ..*e }).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_16m() {
+        let g = DataFlowGraph::training_iteration();
+        assert_eq!(g.total_state_m(), 16);
+    }
+
+    #[test]
+    fn node_index_is_a_bijection() {
+        let mut seen = [false; 8];
+        for n in NODES {
+            let i = n.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn data_vs_compute_partition() {
+        let data: Vec<Node> = NODES.iter().copied().filter(|n| n.is_data()).collect();
+        assert_eq!(data.len(), 5);
+        let compute: Vec<Node> = NODES.iter().copied().filter(|n| n.is_compute()).collect();
+        assert_eq!(compute.len(), 3);
+        for n in NODES {
+            assert_ne!(n.is_data(), n.is_compute());
+        }
+    }
+
+    #[test]
+    fn edge_weights_match_precision_rule() {
+        // Every edge whose source produces fp16 data weighs 2M; fp32, 4M.
+        // The p16→FWD-BWD edge is the fused double-read (4M).
+        let g = DataFlowGraph::training_iteration();
+        for e in g.edges() {
+            match e.from {
+                Node::P16 => assert_eq!(e.weight_m, 4, "fused fwd+bwd read"),
+                Node::FwdBwd | Node::G16 | Node::Float2Half => assert_eq!(e.weight_m, 2),
+                Node::P32 | Node::M32 | Node::V32 | Node::Update => assert_eq!(e.weight_m, 4),
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_lies_on_a_cycle() {
+        // Sec. 3.3's minimum-communication argument requires it.
+        let g = DataFlowGraph::training_iteration();
+        // Reachability closure.
+        let reachable = |from: Node| -> Vec<Node> {
+            let mut seen = vec![from];
+            let mut stack = vec![from];
+            while let Some(n) = stack.pop() {
+                for e in g.edges().iter().filter(|e| e.from == n) {
+                    if !seen.contains(&e.to) {
+                        seen.push(e.to);
+                        stack.push(e.to);
+                    }
+                }
+            }
+            seen
+        };
+        for n in NODES {
+            // A node is on a cycle iff some successor can reach it.
+            let on_cycle = g
+                .edges()
+                .iter()
+                .filter(|e| e.from == n)
+                .any(|e| reachable(e.to).contains(&n));
+            assert!(on_cycle, "{} is not on a cycle", n.name());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Two-way GPU/CPU partitioning of the data-flow graph (paper Sec. 3.1).
+//!
+//! An offload strategy is an assignment of every graph node to GPU or CPU.
+//! This module enumerates assignments and computes the three metrics of the
+//! paper's first-principles analysis: CPU compute class, CPU↔GPU
+//! communication volume, and GPU memory footprint.
+
+use crate::graph::{Complexity, DataFlowGraph, Node, NODES};
+
+/// Which device a node is placed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// The accelerator.
+    Gpu,
+    /// The host.
+    Cpu,
+}
+
+/// An assignment of all eight graph nodes to devices, packed as a bitmask
+/// (bit set = CPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Assignment(pub u8);
+
+impl Assignment {
+    /// The all-GPU baseline (no offload).
+    pub const ALL_GPU: Assignment = Assignment(0);
+
+    /// Places `node` on `device`, returning the new assignment.
+    #[must_use]
+    pub fn with(self, node: Node, device: Device) -> Assignment {
+        let bit = 1u8 << node.index();
+        match device {
+            Device::Cpu => Assignment(self.0 | bit),
+            Device::Gpu => Assignment(self.0 & !bit),
+        }
+    }
+
+    /// The device `node` is placed on.
+    pub fn device_of(self, node: Node) -> Device {
+        if self.0 & (1 << node.index()) != 0 {
+            Device::Cpu
+        } else {
+            Device::Gpu
+        }
+    }
+
+    /// Iterates over every possible assignment (2^8 = 256).
+    pub fn all() -> impl Iterator<Item = Assignment> {
+        (0u16..256).map(|m| Assignment(m as u8))
+    }
+
+    /// Whether at least one model-state data node lives on the CPU
+    /// (the paper's definition of an *offload* strategy).
+    pub fn is_offload(self) -> bool {
+        NODES
+            .iter()
+            .any(|n| n.is_data() && self.device_of(*n) == Device::Cpu)
+    }
+
+    /// Communication volume across the cut, in multiples of M bytes.
+    pub fn comm_volume_m(self, graph: &DataFlowGraph) -> u32 {
+        graph
+            .edges()
+            .iter()
+            .filter(|e| self.device_of(e.from) != self.device_of(e.to))
+            .map(|e| e.weight_m)
+            .sum()
+    }
+
+    /// The heaviest compute class assigned to the CPU.
+    pub fn cpu_compute(self) -> Complexity {
+        NODES
+            .iter()
+            .filter(|n| self.device_of(**n) == Device::Cpu)
+            .map(|n| n.complexity())
+            .max()
+            .unwrap_or(Complexity::None)
+    }
+
+    /// Model-state bytes resident on the GPU, in multiples of M.
+    pub fn gpu_memory_m(self) -> u32 {
+        NODES
+            .iter()
+            .filter(|n| self.device_of(**n) == Device::Gpu)
+            .map(|n| n.size_m())
+            .sum()
+    }
+
+    /// Memory reduction factor versus the 16M all-GPU baseline.
+    pub fn memory_reduction(self, graph: &DataFlowGraph) -> f64 {
+        let gpu = self.gpu_memory_m();
+        if gpu == 0 {
+            f64::INFINITY
+        } else {
+            graph.total_state_m() as f64 / gpu as f64
+        }
+    }
+
+    /// The ZeRO-Offload strategy (Sec. 3.5): fp16 params + FWD-BWD on GPU;
+    /// gradients, fp32 states, update, and cast on CPU.
+    pub fn zero_offload() -> Assignment {
+        Assignment::ALL_GPU
+            .with(Node::G16, Device::Cpu)
+            .with(Node::P32, Device::Cpu)
+            .with(Node::M32, Device::Cpu)
+            .with(Node::V32, Device::Cpu)
+            .with(Node::Update, Device::Cpu)
+            .with(Node::Float2Half, Device::Cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_and_device_of_roundtrip() {
+        let a = Assignment::ALL_GPU.with(Node::G16, Device::Cpu);
+        assert_eq!(a.device_of(Node::G16), Device::Cpu);
+        assert_eq!(a.device_of(Node::P16), Device::Gpu);
+        let back = a.with(Node::G16, Device::Gpu);
+        assert_eq!(back, Assignment::ALL_GPU);
+    }
+
+    #[test]
+    fn all_enumerates_256_distinct() {
+        let v: Vec<Assignment> = Assignment::all().collect();
+        assert_eq!(v.len(), 256);
+        let mut sorted: Vec<u8> = v.iter().map(|a| a.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256);
+    }
+
+    #[test]
+    fn baseline_metrics() {
+        let g = DataFlowGraph::training_iteration();
+        let base = Assignment::ALL_GPU;
+        assert!(!base.is_offload());
+        assert_eq!(base.comm_volume_m(&g), 0);
+        assert_eq!(base.gpu_memory_m(), 16);
+        assert_eq!(base.cpu_compute(), Complexity::None);
+        assert!((base.memory_reduction(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_offload_metrics_match_paper() {
+        let g = DataFlowGraph::training_iteration();
+        let zo = Assignment::zero_offload();
+        assert!(zo.is_offload());
+        // Sec. 3.3: minimum communication volume is 4M.
+        assert_eq!(zo.comm_volume_m(&g), 4);
+        // Sec. 3.4: 2M resident (p16 only) = 8x reduction.
+        assert_eq!(zo.gpu_memory_m(), 2);
+        assert!((zo.memory_reduction(&g) - 8.0).abs() < 1e-12);
+        // Sec. 3.2: CPU never executes O(M·B) work.
+        assert_eq!(zo.cpu_compute(), Complexity::Model);
+    }
+
+    #[test]
+    fn g16_only_offload_is_row_two_of_table1() {
+        let g = DataFlowGraph::training_iteration();
+        let a = Assignment::ALL_GPU.with(Node::G16, Device::Cpu);
+        assert_eq!(a.comm_volume_m(&g), 4);
+        assert_eq!(a.gpu_memory_m(), 14);
+    }
+
+    #[test]
+    fn splitting_fp32_states_raises_communication() {
+        // Placing p32 on CPU but the update on GPU must cost at least 6M
+        // (Sec. 3.3's fp32 super-node argument).
+        let g = DataFlowGraph::training_iteration();
+        let a = Assignment::ALL_GPU.with(Node::P32, Device::Cpu);
+        assert!(a.comm_volume_m(&g) >= 6, "got {}", a.comm_volume_m(&g));
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: the unique-optimality conclusion is robust to the exact
+//! byte weights, as long as the precision ordering (fp16 < fp32) holds.
+
+use proptest::prelude::*;
+use zo_dataflow::{
+    check_unique_optimality, min_offload_comm_m, Assignment, DataFlowGraph, Node,
+};
+
+/// Rebuilds the training graph with fp16 edges weighing `w16` units and
+/// fp32 edges `w32` (the fused p16→FWD-BWD edge weighs `2*w16`).
+fn scaled_graph(w16: u32, w32: u32) -> DataFlowGraph {
+    DataFlowGraph::training_iteration().map_weights(|e| match e.from {
+        Node::P16 => 2 * w16,
+        Node::FwdBwd | Node::G16 | Node::Float2Half => w16,
+        Node::P32 | Node::M32 | Node::V32 | Node::Update => w32,
+    })
+}
+
+proptest! {
+    /// For any fp16/fp32 weights with w16 <= w32, the minimum offload
+    /// communication volume is exactly two fp16 edges.
+    #[test]
+    fn min_comm_is_two_fp16_edges(w16 in 1u32..50, extra in 0u32..50) {
+        let w32 = w16 + extra;
+        let g = scaled_graph(w16, w32);
+        prop_assert_eq!(min_offload_comm_m(&g), 2 * w16);
+    }
+
+    /// The unique-optimality theorem holds for any such weighting.
+    #[test]
+    fn unique_optimality_is_weight_robust(w16 in 1u32..50, extra in 0u32..50) {
+        let w32 = w16 + extra;
+        let g = scaled_graph(w16, w32);
+        let zo = check_unique_optimality(&g);
+        prop_assert!(zo.is_ok(), "violations: {:?}", zo.err());
+        let m = zo.unwrap();
+        prop_assert_eq!(m.comm_volume_m, 2 * w16);
+        prop_assert_eq!(m.gpu_memory_m, 2); // p16 only (sizes unscaled)
+    }
+
+    /// Communication volume is symmetric under swapping the two devices
+    /// (a cut has no orientation).
+    #[test]
+    fn comm_volume_symmetric(mask in 0u8..=255) {
+        let g = DataFlowGraph::training_iteration();
+        let a = Assignment(mask);
+        let flipped = Assignment(!mask);
+        prop_assert_eq!(a.comm_volume_m(&g), flipped.comm_volume_m(&g));
+    }
+
+    /// GPU memory + CPU memory is conserved across every partition.
+    #[test]
+    fn memory_conserved(mask in 0u8..=255) {
+        let g = DataFlowGraph::training_iteration();
+        let a = Assignment(mask);
+        let flipped = Assignment(!mask);
+        prop_assert_eq!(
+            a.gpu_memory_m() + flipped.gpu_memory_m(),
+            g.total_state_m()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the hardware simulator.
+
+use core::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A memory allocation exceeded pool capacity — the simulated OOM.
+    OutOfMemory {
+        /// Pool name (e.g. "gpu0.hbm").
+        pool: String,
+        /// Requested bytes.
+        requested: u64,
+        /// Bytes already in use.
+        used: u64,
+        /// Pool capacity in bytes.
+        capacity: u64,
+    },
+    /// An allocation handle was freed twice or never existed.
+    UnknownAllocation {
+        /// Pool name.
+        pool: String,
+        /// The offending handle id.
+        id: u64,
+    },
+    /// A task referenced a dependency that has not been submitted.
+    UnknownTask {
+        /// The offending task id.
+        id: usize,
+    },
+    /// A task referenced a resource that does not exist.
+    UnknownResource {
+        /// The offending resource id.
+        id: usize,
+    },
+    /// A task duration was negative or NaN.
+    InvalidDuration {
+        /// The offending duration in seconds.
+        duration: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { pool, requested, used, capacity } => write!(
+                f,
+                "out of memory in pool '{pool}': requested {requested} B with {used}/{capacity} B used"
+            ),
+            SimError::UnknownAllocation { pool, id } => {
+                write!(f, "unknown allocation {id} in pool '{pool}'")
+            }
+            SimError::UnknownTask { id } => write!(f, "unknown task dependency {id}"),
+            SimError::UnknownResource { id } => write!(f, "unknown resource {id}"),
+            SimError::InvalidDuration { duration } => {
+                write!(f, "invalid task duration {duration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::OutOfMemory {
+            pool: "gpu0.hbm".into(),
+            requested: 10,
+            used: 5,
+            capacity: 12,
+        };
+        assert!(e.to_string().contains("gpu0.hbm"));
+        assert!(e.to_string().contains("10"));
+        assert!(SimError::UnknownTask { id: 3 }.to_string().contains('3'));
+        assert!(SimError::InvalidDuration { duration: -1.0 }.to_string().contains("-1"));
+    }
+}

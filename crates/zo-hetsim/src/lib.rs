@@ -1,0 +1,28 @@
+//! Discrete-event heterogeneous-hardware simulator.
+//!
+//! The paper's evaluation runs on hardware this reproduction does not have
+//! (V100 GPUs, DGX-2 nodes, an InfiniBand cluster). This crate substitutes
+//! a calibrated simulator:
+//!
+//! * [`specs`] / [`presets`] — device models matching Table 2 (V100-32GB,
+//!   2×Xeon 8168, 32 GB/s bidirectional PCIe, NVSwitch, IB fabric);
+//! * [`MemoryPool`] — capacity-accounting allocators whose OOM failures
+//!   bound trainable model size exactly as CUDA OOM does (Fig. 7);
+//! * [`Sim`] / [`Timeline`] — a stream-ordered task-graph simulator that
+//!   reproduces the overlap semantics of CUDA streams + async copies,
+//!   which every throughput experiment (Figs. 8–11) is built on.
+
+#![warn(missing_docs)]
+
+mod error;
+mod memory;
+pub mod presets;
+mod sim;
+pub mod specs;
+pub mod trace;
+
+pub use error::SimError;
+pub use memory::{Allocation, MemoryPool};
+pub use sim::{ScheduledTask, Sim, StreamId, TaskId, Timeline};
+pub use trace::{render_gantt, render_report, utilization_report, StreamReport};
+pub use specs::{ClusterSpec, CpuSpec, GpuSpec, LinkSpec, NodeSpec, GIB};

@@ -1,0 +1,196 @@
+//! Accounting memory pools with OOM semantics.
+//!
+//! Model-scale experiments (Fig. 7) are questions about whether a given
+//! allocation plan fits a device: pools track usage and peak and fail
+//! allocations that exceed capacity, which is exactly the "CUDA OOM" that
+//! bounds trainable model size.
+
+use std::collections::HashMap;
+
+use crate::error::SimError;
+
+/// A handle to a live allocation in a [`MemoryPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Allocation {
+    id: u64,
+    bytes: u64,
+}
+
+impl Allocation {
+    /// Size of this allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A fixed-capacity memory pool with usage tracking.
+///
+/// # Examples
+///
+/// ```
+/// use zo_hetsim::MemoryPool;
+///
+/// let mut pool = MemoryPool::new("gpu0.hbm", 100);
+/// let a = pool.alloc(60, "params").unwrap();
+/// assert!(pool.alloc(60, "grads").is_err()); // OOM
+/// pool.free(a).unwrap();
+/// assert_eq!(pool.used(), 0);
+/// assert_eq!(pool.peak(), 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    name: String,
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    next_id: u64,
+    live: HashMap<u64, (u64, String)>,
+}
+
+impl MemoryPool {
+    /// Creates a pool with `capacity` bytes.
+    pub fn new(name: impl Into<String>, capacity: u64) -> MemoryPool {
+        MemoryPool {
+            name: name.into(),
+            capacity,
+            used: 0,
+            peak: 0,
+            next_id: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Pool name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of usage.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Allocates `bytes`, tagged with `label` for diagnostics.
+    ///
+    /// Returns [`SimError::OutOfMemory`] if the pool cannot hold it.
+    pub fn alloc(&mut self, bytes: u64, label: impl Into<String>) -> Result<Allocation, SimError> {
+        if self.used + bytes > self.capacity {
+            return Err(SimError::OutOfMemory {
+                pool: self.name.clone(),
+                requested: bytes,
+                used: self.used,
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.live.insert(id, (bytes, label.into()));
+        Ok(Allocation { id, bytes })
+    }
+
+    /// Frees a live allocation.
+    ///
+    /// Returns [`SimError::UnknownAllocation`] on double-free.
+    pub fn free(&mut self, alloc: Allocation) -> Result<(), SimError> {
+        match self.live.remove(&alloc.id) {
+            Some((bytes, _)) => {
+                self.used -= bytes;
+                Ok(())
+            }
+            None => Err(SimError::UnknownAllocation { pool: self.name.clone(), id: alloc.id }),
+        }
+    }
+
+    /// Returns `(label, bytes)` for every live allocation, largest first.
+    pub fn live_allocations(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> =
+            self.live.values().map(|(b, l)| (l.clone(), *b)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Whether an allocation of `bytes` would currently succeed.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        self.used + bytes <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut pool = MemoryPool::new("p", 100);
+        let a = pool.alloc(40, "a").unwrap();
+        let b = pool.alloc(60, "b").unwrap();
+        assert_eq!(pool.used(), 100);
+        assert_eq!(pool.available(), 0);
+        assert!(!pool.would_fit(1));
+        pool.free(a).unwrap();
+        assert_eq!(pool.used(), 60);
+        assert!(pool.would_fit(40));
+        pool.free(b).unwrap();
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.peak(), 100);
+    }
+
+    #[test]
+    fn oom_reports_context() {
+        let mut pool = MemoryPool::new("gpu", 10);
+        pool.alloc(8, "x").unwrap();
+        match pool.alloc(5, "y") {
+            Err(SimError::OutOfMemory { pool, requested, used, capacity }) => {
+                assert_eq!(pool, "gpu");
+                assert_eq!(requested, 5);
+                assert_eq!(used, 8);
+                assert_eq!(capacity, 10);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // Failed allocation must not change usage.
+        assert_eq!(pool.used(), 8);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut pool = MemoryPool::new("p", 10);
+        let a = pool.alloc(4, "a").unwrap();
+        pool.free(a).unwrap();
+        assert!(matches!(pool.free(a), Err(SimError::UnknownAllocation { .. })));
+    }
+
+    #[test]
+    fn live_allocations_sorted() {
+        let mut pool = MemoryPool::new("p", 100);
+        pool.alloc(10, "small").unwrap();
+        pool.alloc(50, "big").unwrap();
+        let live = pool.live_allocations();
+        assert_eq!(live[0], ("big".to_string(), 50));
+        assert_eq!(live[1], ("small".to_string(), 10));
+    }
+
+    #[test]
+    fn zero_byte_allocations_allowed() {
+        let mut pool = MemoryPool::new("p", 0);
+        let a = pool.alloc(0, "empty").unwrap();
+        pool.free(a).unwrap();
+    }
+}

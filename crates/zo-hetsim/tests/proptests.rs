@@ -1,0 +1,106 @@
+//! Property tests for the stream simulator and memory pools.
+
+use proptest::prelude::*;
+use zo_hetsim::{MemoryPool, Sim, StreamId, TaskId};
+
+proptest! {
+    /// The makespan is at least the busiest stream's busy time and at
+    /// least the longest dependency chain... lower-bounded here by the
+    /// maximum single-stream load.
+    #[test]
+    fn makespan_lower_bounds(
+        durations in prop::collection::vec(0.0f64..10.0, 1..40),
+        streams in 1usize..4,
+    ) {
+        let mut sim = Sim::new();
+        let ids: Vec<StreamId> = (0..streams).map(|i| sim.stream(format!("s{i}"))).collect();
+        for (i, d) in durations.iter().enumerate() {
+            sim.task(ids[i % streams], *d, &[], format!("t{i}")).unwrap();
+        }
+        let tl = sim.run().unwrap();
+        let max_load = (0..streams)
+            .map(|i| tl.busy_secs(ids[i]))
+            .fold(0.0f64, f64::max);
+        prop_assert!(tl.makespan() >= max_load - 1e-9);
+        // Total busy equals the sum of durations.
+        let total: f64 = (0..streams).map(|i| tl.busy_secs(ids[i])).sum();
+        let want: f64 = durations.iter().sum();
+        prop_assert!((total - want).abs() < 1e-6);
+    }
+
+    /// With a single stream, the makespan is exactly the duration sum
+    /// regardless of dependencies (in-order execution).
+    #[test]
+    fn single_stream_serializes(
+        durations in prop::collection::vec(0.0f64..5.0, 1..30),
+        dep_stride in 1usize..5,
+    ) {
+        let mut sim = Sim::new();
+        let s = sim.stream("only");
+        let mut prev: Vec<TaskId> = Vec::new();
+        for (i, d) in durations.iter().enumerate() {
+            let deps: Vec<TaskId> = if i % dep_stride == 0 { prev.clone() } else { vec![] };
+            let id = sim.task(s, *d, &deps, format!("t{i}")).unwrap();
+            prev = vec![id];
+        }
+        let tl = sim.run().unwrap();
+        let want: f64 = durations.iter().sum();
+        prop_assert!((tl.makespan() - want).abs() < 1e-9);
+    }
+
+    /// Adding a dependency can only delay a task, never speed it up.
+    #[test]
+    fn dependencies_are_monotone(
+        d1 in 0.1f64..5.0,
+        d2 in 0.1f64..5.0,
+        d3 in 0.1f64..5.0,
+    ) {
+        // Without the cross dependency.
+        let mut sim = Sim::new();
+        let a = sim.stream("a");
+        let b = sim.stream("b");
+        sim.task(a, d1, &[], "x").unwrap();
+        let y = sim.task(b, d2, &[], "y").unwrap();
+        let z = sim.task(b, d3, &[y], "z").unwrap();
+        let free = sim.run().unwrap().finish_of(z);
+
+        // With it.
+        let mut sim = Sim::new();
+        let a = sim.stream("a");
+        let b = sim.stream("b");
+        let x = sim.task(a, d1, &[], "x").unwrap();
+        let y = sim.task(b, d2, &[x], "y").unwrap();
+        let z = sim.task(b, d3, &[y], "z").unwrap();
+        let gated = sim.run().unwrap().finish_of(z);
+
+        prop_assert!(gated >= free - 1e-12);
+    }
+
+    /// Memory pool usage accounting is exact under arbitrary alloc/free
+    /// interleavings, and peak is the max of running usage.
+    #[test]
+    fn pool_accounting(ops in prop::collection::vec((0u64..100, any::<bool>()), 1..50)) {
+        let mut pool = MemoryPool::new("p", 2000);
+        let mut live = Vec::new();
+        let mut used = 0u64;
+        let mut peak = 0u64;
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (alloc, bytes) = live.pop().unwrap();
+                pool.free(alloc).unwrap();
+                used -= bytes;
+            } else if let Ok(a) = pool.alloc(size, "x") {
+                prop_assert!(used + size <= 2000);
+                used += size;
+                peak = peak.max(used);
+                live.push((a, size));
+            } else {
+                // Failed alloc must only happen when it would overflow.
+                prop_assert!(used + size > 2000);
+            }
+            prop_assert_eq!(pool.used(), used);
+        }
+        prop_assert_eq!(pool.peak(), peak);
+        prop_assert_eq!(pool.available(), 2000 - used);
+    }
+}

@@ -1,0 +1,240 @@
+//! Synthetic datasets for the convergence experiments (Figs. 12–13).
+//!
+//! The paper's convergence claims compare *variants of the same training
+//! run* (baseline vs. ZeRO-Offload vs. ZeRO-Offload+DPU), so the substrate
+//! task only needs to be (a) learnable and (b) exactly reproducible from a
+//! seed. Two generators cover the two experiments:
+//!
+//! * [`BigramLm`] — a language-modeling task drawn from a fixed random
+//!   bigram chain (GPT-2 pretraining analog, Fig. 12);
+//! * [`GaussianClassification`] — a sequence classification task with
+//!   class-dependent Gaussian features (BERT fine-tuning analog, Fig. 13).
+
+use zo_tensor::{Init, Tensor};
+
+/// A batch of token ids for language modeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmBatch {
+    /// Input token ids, `batch * seq_len` row-major.
+    pub inputs: Vec<usize>,
+    /// Next-token targets, same shape.
+    pub targets: Vec<usize>,
+    /// Number of sequences.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+/// A synthetic LM corpus generated from a fixed random bigram chain.
+///
+/// Each vocabulary item has a handful of likely successors; a model that
+/// learns the chain drives its cross-entropy from `ln(vocab)` down toward
+/// the chain's conditional entropy, producing the smooth, informative loss
+/// curves the Fig. 12 comparison needs.
+pub struct BigramLm {
+    vocab: usize,
+    /// `successors[t]` lists the favoured next tokens of `t`.
+    successors: Vec<[usize; 4]>,
+    rng: Init,
+    /// Probability of an off-chain (uniform) token.
+    noise: f32,
+}
+
+impl BigramLm {
+    /// Creates a corpus over `vocab` tokens with `noise` off-chain mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 8`.
+    pub fn new(vocab: usize, noise: f32, seed: u64) -> BigramLm {
+        assert!(vocab >= 8, "vocab must be at least 8");
+        // The chain itself comes from a separate, fixed stream so that
+        // sampling order cannot change the task.
+        let mut chain_rng = Init::new(seed ^ 0x5EED_C8A1_u64);
+        let successors = (0..vocab)
+            .map(|_| {
+                [
+                    chain_rng.index(vocab),
+                    chain_rng.index(vocab),
+                    chain_rng.index(vocab),
+                    chain_rng.index(vocab),
+                ]
+            })
+            .collect();
+        BigramLm { vocab, successors, rng: Init::new(seed), noise }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Samples a batch of sequences.
+    pub fn batch(&mut self, batch: usize, seq_len: usize) -> LmBatch {
+        let mut inputs = Vec::with_capacity(batch * seq_len);
+        let mut targets = Vec::with_capacity(batch * seq_len);
+        for _ in 0..batch {
+            let mut tok = self.rng.index(self.vocab);
+            for _ in 0..seq_len {
+                inputs.push(tok);
+                let next = if self.rng.uniform(0.0, 1.0) < self.noise {
+                    self.rng.index(self.vocab)
+                } else {
+                    self.successors[tok][self.rng.index(4)]
+                };
+                targets.push(next);
+                tok = next;
+            }
+        }
+        LmBatch { inputs, targets, batch, seq_len }
+    }
+}
+
+/// A batch of feature vectors with class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassBatch {
+    /// Features, `(batch, dim)`.
+    pub features: Tensor,
+    /// Class labels in `[0, classes)`.
+    pub labels: Vec<usize>,
+}
+
+/// Gaussian-mixture classification (the fine-tuning analog).
+pub struct GaussianClassification {
+    classes: usize,
+    dim: usize,
+    /// Per-class mean vectors.
+    means: Vec<Vec<f32>>,
+    rng: Init,
+    /// Within-class standard deviation.
+    spread: f32,
+}
+
+impl GaussianClassification {
+    /// Creates a task with `classes` classes of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes < 2` or `dim == 0`.
+    pub fn new(classes: usize, dim: usize, spread: f32, seed: u64) -> GaussianClassification {
+        assert!(classes >= 2, "need at least two classes");
+        assert!(dim > 0, "need at least one feature dimension");
+        let mut task_rng = Init::new(seed ^ 0xC1A5_5E5E_u64);
+        let means = (0..classes)
+            .map(|_| (0..dim).map(|_| task_rng.standard_normal() * 2.0).collect())
+            .collect();
+        GaussianClassification { classes, dim, means, rng: Init::new(seed), spread }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Samples a batch.
+    pub fn batch(&mut self, batch: usize) -> ClassBatch {
+        let mut features = Tensor::zeros(batch, self.dim);
+        let mut labels = Vec::with_capacity(batch);
+        for r in 0..batch {
+            let label = self.rng.index(self.classes);
+            labels.push(label);
+            let row = features.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.means[label][j] + self.rng.standard_normal() * self.spread;
+            }
+        }
+        ClassBatch { features, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_batches_are_reproducible() {
+        let mut a = BigramLm::new(64, 0.1, 9);
+        let mut b = BigramLm::new(64, 0.1, 9);
+        assert_eq!(a.batch(4, 16), b.batch(4, 16));
+        // Different seed, different batch.
+        let mut c = BigramLm::new(64, 0.1, 10);
+        assert_ne!(a.batch(4, 16), c.batch(4, 16));
+    }
+
+    #[test]
+    fn lm_targets_shift_inputs() {
+        let mut lm = BigramLm::new(32, 0.0, 1);
+        let b = lm.batch(2, 8);
+        assert_eq!(b.inputs.len(), 16);
+        assert_eq!(b.targets.len(), 16);
+        // Within a sequence, target t becomes input t+1.
+        for s in 0..2 {
+            for t in 0..7 {
+                assert_eq!(b.targets[s * 8 + t], b.inputs[s * 8 + t + 1]);
+            }
+        }
+        assert!(b.inputs.iter().all(|&t| t < 32));
+    }
+
+    #[test]
+    fn lm_chain_is_learnable_structure() {
+        // With zero noise, every (token, next) pair must be one of the 4
+        // designated successors.
+        let mut lm = BigramLm::new(16, 0.0, 3);
+        let chain = lm.successors.clone();
+        let b = lm.batch(8, 32);
+        for i in 0..b.inputs.len() {
+            let tok = b.inputs[i];
+            let next = b.targets[i];
+            assert!(chain[tok].contains(&next), "{next} not a successor of {tok}");
+        }
+    }
+
+    #[test]
+    fn classification_batches_reproducible_and_separable() {
+        let mut a = GaussianClassification::new(4, 8, 0.3, 5);
+        let mut b = GaussianClassification::new(4, 8, 0.3, 5);
+        let ba = a.batch(32);
+        let bb = b.batch(32);
+        assert_eq!(ba.labels, bb.labels);
+        assert_eq!(ba.features.data(), bb.features.data());
+        assert!(ba.labels.iter().all(|&l| l < 4));
+        // Features of a class cluster near its mean: nearest-mean
+        // classification should beat chance comfortably.
+        let task = GaussianClassification::new(4, 8, 0.3, 5);
+        let mut correct = 0;
+        for r in 0..32 {
+            let row = ba.features.row(r);
+            let best = (0..4)
+                .min_by(|&i, &j| {
+                    let di: f32 =
+                        row.iter().zip(&task.means[i]).map(|(x, m)| (x - m).powi(2)).sum();
+                    let dj: f32 =
+                        row.iter().zip(&task.means[j]).map(|(x, m)| (x - m).powi(2)).sum();
+                    di.partial_cmp(&dj).unwrap()
+                })
+                .unwrap();
+            if best == ba.labels[r] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 28, "only {correct}/32 nearest-mean correct");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn classification_needs_two_classes() {
+        GaussianClassification::new(1, 4, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab")]
+    fn lm_needs_vocab() {
+        BigramLm::new(4, 0.0, 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation workloads for the ZeRO-Offload reproduction.
+//!
+//! * [`TransformerConfig`] — GPT-2-like architecture accounting
+//!   (parameters, FLOPs, activation bytes) for the Table 3 model zoo;
+//! * [`configs`] — the exact Table 3 rows plus BERT-large;
+//! * [`data`] — seeded synthetic datasets for the convergence experiments.
+
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod data;
+mod transformer;
+
+pub use configs::{bert_large, by_label, table3, EvalConfig, TOTAL_BATCH};
+pub use data::{BigramLm, ClassBatch, GaussianClassification, LmBatch};
+pub use transformer::{ModelStateBytes, TransformerConfig};

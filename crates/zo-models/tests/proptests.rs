@@ -1,0 +1,92 @@
+//! Property tests for model accounting and synthetic data.
+
+use proptest::prelude::*;
+use zo_models::{BigramLm, GaussianClassification, ModelStateBytes, TransformerConfig};
+
+proptest! {
+    /// Parameter count grows monotonically in depth and width.
+    #[test]
+    fn params_monotone(layers in 1u32..100, hidden_step in 1u32..30) {
+        let hidden = 64 * hidden_step;
+        let base = TransformerConfig::gpt2_like(layers, hidden);
+        let deeper = TransformerConfig::gpt2_like(layers + 1, hidden);
+        let wider = TransformerConfig::gpt2_like(layers, hidden + 64);
+        prop_assert!(deeper.total_params() > base.total_params());
+        prop_assert!(wider.total_params() > base.total_params());
+        // Depth adds exactly one layer's parameters.
+        prop_assert_eq!(
+            deeper.total_params() - base.total_params(),
+            base.params_per_layer()
+        );
+    }
+
+    /// The 16M rule holds exactly for any parameter count.
+    #[test]
+    fn state_bytes_16m(params in 1u64..1_000_000_000_000) {
+        let st = ModelStateBytes::for_params(params);
+        prop_assert_eq!(st.total(), 16 * params);
+        prop_assert_eq!(st.p16 + st.g16, 4 * params);
+        prop_assert_eq!(st.p32 + st.optim, 12 * params);
+    }
+
+    /// FLOPs and activations are linear/affine in micro-batch.
+    #[test]
+    fn flops_and_activations_scale(
+        layers in 1u32..40,
+        h_step in 1u32..16,
+        mb in 1u64..32,
+    ) {
+        let cfg = TransformerConfig::gpt2_like(layers, 128 * h_step);
+        let f1 = cfg.flops_per_iter(mb);
+        let f2 = cfg.flops_per_iter(2 * mb);
+        prop_assert!((f2 / f1 - 2.0).abs() < 1e-9);
+        let a1 = cfg.activation_bytes(mb);
+        let a2 = cfg.activation_bytes(2 * mb);
+        // Activations are linear in batch with zero intercept.
+        prop_assert_eq!(a2, 2 * a1);
+    }
+
+    /// LM batches are always in-vocabulary and shift-consistent.
+    #[test]
+    fn lm_batch_well_formed(
+        vocab_step in 1usize..10,
+        batch in 1usize..6,
+        seq in 2usize..20,
+        seed in 0u64..500,
+    ) {
+        let vocab = 8 * vocab_step;
+        let mut lm = BigramLm::new(vocab, 0.1, seed);
+        let b = lm.batch(batch, seq);
+        prop_assert_eq!(b.inputs.len(), batch * seq);
+        prop_assert_eq!(b.targets.len(), batch * seq);
+        prop_assert!(b.inputs.iter().all(|&t| t < vocab));
+        prop_assert!(b.targets.iter().all(|&t| t < vocab));
+        for s in 0..batch {
+            for t in 0..seq - 1 {
+                prop_assert_eq!(b.targets[s * seq + t], b.inputs[s * seq + t + 1]);
+            }
+        }
+    }
+
+    /// Classification labels are uniform-ish and features finite.
+    #[test]
+    fn classification_batch_well_formed(
+        classes in 2usize..6,
+        dim in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut task = GaussianClassification::new(classes, dim, 0.5, seed);
+        let b = task.batch(64);
+        prop_assert_eq!(b.labels.len(), 64);
+        prop_assert_eq!(b.features.shape(), (64, dim));
+        prop_assert!(b.labels.iter().all(|&l| l < classes));
+        prop_assert!(b.features.data().iter().all(|v| v.is_finite()));
+        // Every class appears at least once in 64 draws with high
+        // probability (classes <= 6).
+        let mut seen = vec![false; classes];
+        for &l in &b.labels {
+            seen[l] = true;
+        }
+        prop_assert!(seen.iter().filter(|&&s| s).count() >= classes - 1);
+    }
+}

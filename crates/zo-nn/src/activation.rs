@@ -1,0 +1,97 @@
+//! Stateless activation layers (GELU, ReLU).
+
+use zo_tensor::{ops, Tensor};
+
+/// Which nonlinearity to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// GELU (tanh approximation), the transformer default.
+    Gelu,
+    /// ReLU.
+    Relu,
+}
+
+/// Saved forward input for the backward pass.
+#[derive(Debug, Clone)]
+pub struct ActivationCache {
+    /// The forward input.
+    pub x: Tensor,
+}
+
+impl Activation {
+    /// Applies the nonlinearity elementwise.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, ActivationCache) {
+        let mut y = x.clone();
+        match self {
+            Activation::Gelu => {
+                for v in y.data_mut() {
+                    *v = ops::gelu(*v);
+                }
+            }
+            Activation::Relu => {
+                for v in y.data_mut() {
+                    *v = ops::relu(*v);
+                }
+            }
+        }
+        (y, ActivationCache { x: x.clone() })
+    }
+
+    /// Chain rule through the nonlinearity.
+    pub fn backward(&self, cache: &ActivationCache, dy: &Tensor) -> Tensor {
+        let mut dx = dy.clone();
+        let grads = cache.x.data();
+        match self {
+            Activation::Gelu => {
+                for (d, x) in dx.data_mut().iter_mut().zip(grads) {
+                    *d *= ops::gelu_grad(*x);
+                }
+            }
+            Activation::Relu => {
+                for (d, x) in dx.data_mut().iter_mut().zip(grads) {
+                    *d *= ops::relu_grad(*x);
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zo_tensor::Init;
+
+    #[test]
+    fn relu_forward_backward() {
+        let x = Tensor::from_rows(&[&[-1.0, 2.0]]).unwrap();
+        let (y, cache) = Activation::Relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let dy = Tensor::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let dx = Activation::Relu.backward(&cache, &dy);
+        assert_eq!(dx.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_difference() {
+        let mut init = Init::new(4);
+        let x = init.normal_tensor(2, 5, 1.0);
+        let (_, cache) = Activation::Gelu.forward(&x);
+        let dy = Tensor::full(2, 5, 1.0);
+        let dx = Activation::Gelu.backward(&cache, &dy);
+        let h = 1e-3;
+        for r in 0..2 {
+            for j in 0..5 {
+                let mut xp = x.clone();
+                xp.set(r, j, x.get(r, j).unwrap() + h).unwrap();
+                let mut xm = x.clone();
+                xm.set(r, j, x.get(r, j).unwrap() - h).unwrap();
+                let (yp, _) = Activation::Gelu.forward(&xp);
+                let (ym, _) = Activation::Gelu.forward(&xm);
+                let fd = (yp.data().iter().sum::<f32>() - ym.data().iter().sum::<f32>())
+                    / (2.0 * h);
+                assert!((dx.get(r, j).unwrap() - fd).abs() < 1e-2);
+            }
+        }
+    }
+}

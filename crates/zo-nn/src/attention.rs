@@ -1,0 +1,324 @@
+//! Causal multi-head self-attention with manual backward.
+//!
+//! Activations flow as `(batch·seq, hidden)` matrices; the layer is told
+//! the `(batch, seq)` factorization so it can slice per-sequence,
+//! per-head blocks for the attention core.
+
+use zo_tensor::{matmul, matmul_a_bt, matmul_at_b, ops, Init, Tensor, TensorError};
+
+use crate::linear::{Linear, LinearCache};
+
+/// Causal multi-head self-attention.
+#[derive(Debug, Clone)]
+pub struct CausalSelfAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    heads: usize,
+}
+
+/// Saved forward state for the backward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    q_cache: LinearCache,
+    k_cache: LinearCache,
+    v_cache: LinearCache,
+    o_cache: LinearCache,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax probabilities, one `(seq, seq)` tensor per `(batch, head)`.
+    probs: Vec<Tensor>,
+    batch: usize,
+    seq: usize,
+}
+
+/// Copies the `(seq, head_dim)` block of head `h` in sequence `b` out of a
+/// `(batch*seq, hidden)` tensor.
+fn head_block(x: &Tensor, b: usize, h: usize, seq: usize, head_dim: usize) -> Tensor {
+    let mut out = Tensor::zeros(seq, head_dim);
+    for t in 0..seq {
+        let src = &x.row(b * seq + t)[h * head_dim..(h + 1) * head_dim];
+        out.row_mut(t).copy_from_slice(src);
+    }
+    out
+}
+
+/// Adds a `(seq, head_dim)` block back into its position in `dst`.
+fn add_head_block(dst: &mut Tensor, block: &Tensor, b: usize, h: usize, seq: usize, head_dim: usize) {
+    for t in 0..seq {
+        let d = &mut dst.row_mut(b * seq + t)[h * head_dim..(h + 1) * head_dim];
+        for (dv, sv) in d.iter_mut().zip(block.row(t)) {
+            *dv += *sv;
+        }
+    }
+}
+
+impl CausalSelfAttention {
+    /// Creates attention over `hidden` features with `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`.
+    pub fn new(hidden: usize, heads: usize, init: &mut Init) -> CausalSelfAttention {
+        assert!(heads > 0 && hidden % heads == 0, "hidden must divide into heads");
+        CausalSelfAttention {
+            wq: Linear::new(hidden, hidden, init),
+            wk: Linear::new(hidden, hidden, init),
+            wv: Linear::new(hidden, hidden, init),
+            wo: Linear::new(hidden, hidden, init),
+            heads,
+        }
+    }
+
+    /// Head count.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.wq.num_params() + self.wk.num_params() + self.wv.num_params() + self.wo.num_params()
+    }
+
+    /// Forward pass over `(batch*seq, hidden)` activations.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+    ) -> Result<(Tensor, AttentionCache), TensorError> {
+        let hidden = self.wq.fan_in();
+        if x.rows() != batch * seq || x.cols() != hidden {
+            return Err(TensorError::ShapeMismatch {
+                op: "attention",
+                lhs: (batch * seq, hidden),
+                rhs: x.shape(),
+            });
+        }
+        let head_dim = hidden / self.heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+
+        let (q, q_cache) = self.wq.forward(x)?;
+        let (k, k_cache) = self.wk.forward(x)?;
+        let (v, v_cache) = self.wv.forward(x)?;
+
+        let mut ctx = Tensor::zeros(batch * seq, hidden);
+        let mut probs = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let qb = head_block(&q, b, h, seq, head_dim);
+                let kb = head_block(&k, b, h, seq, head_dim);
+                let vb = head_block(&v, b, h, seq, head_dim);
+                // scores[i][j] = q_i · k_j * scale, causal mask j <= i.
+                let mut scores = matmul_a_bt(&qb, &kb)?;
+                for i in 0..seq {
+                    let row = scores.row_mut(i);
+                    for (j, s) in row.iter_mut().enumerate() {
+                        if j > i {
+                            *s = f32::NEG_INFINITY;
+                        } else {
+                            *s *= scale;
+                        }
+                    }
+                    ops::softmax_row(row);
+                }
+                let ctx_b = matmul(&scores, &vb)?;
+                add_head_block(&mut ctx, &ctx_b, b, h, seq, head_dim);
+                probs.push(scores);
+            }
+        }
+        let (out, o_cache) = self.wo.forward(&ctx)?;
+        Ok((
+            out,
+            AttentionCache { q_cache, k_cache, v_cache, o_cache, q, k, v, probs, batch, seq },
+        ))
+    }
+
+    /// Backward pass; accumulates projection grads, returns `dx`.
+    pub fn backward(
+        &mut self,
+        cache: &AttentionCache,
+        dy: &Tensor,
+    ) -> Result<Tensor, TensorError> {
+        let hidden = self.wq.fan_in();
+        let head_dim = hidden / self.heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let (batch, seq) = (cache.batch, cache.seq);
+
+        let dctx = self.wo.backward(&cache.o_cache, dy)?;
+
+        let mut dq = Tensor::zeros(batch * seq, hidden);
+        let mut dk = Tensor::zeros(batch * seq, hidden);
+        let mut dv = Tensor::zeros(batch * seq, hidden);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let p = &cache.probs[b * self.heads + h];
+                let kb = head_block(&cache.k, b, h, seq, head_dim);
+                let vb = head_block(&cache.v, b, h, seq, head_dim);
+                let qb = head_block(&cache.q, b, h, seq, head_dim);
+                let dctx_b = head_block(&dctx, b, h, seq, head_dim);
+
+                // dV = Pᵀ · dctx ; dP = dctx · Vᵀ.
+                let dv_b = matmul_at_b(p, &dctx_b)?;
+                let dp = matmul_a_bt(&dctx_b, &vb)?;
+
+                // Softmax backward per row: ds = p ⊙ (dp - Σ dp⊙p).
+                let mut ds = Tensor::zeros(seq, seq);
+                for i in 0..seq {
+                    let prow = p.row(i);
+                    let dprow = dp.row(i);
+                    let dot: f32 = prow.iter().zip(dprow).map(|(a, b)| a * b).sum();
+                    let dsrow = ds.row_mut(i);
+                    for j in 0..seq {
+                        dsrow[j] = prow[j] * (dprow[j] - dot) * scale;
+                    }
+                }
+
+                // dQ = ds · K ; dK = dsᵀ · Q.
+                let dq_b = matmul(&ds, &kb)?;
+                let dk_b = matmul_at_b(&ds, &qb)?;
+
+                add_head_block(&mut dq, &dq_b, b, h, seq, head_dim);
+                add_head_block(&mut dk, &dk_b, b, h, seq, head_dim);
+                add_head_block(&mut dv, &dv_b, b, h, seq, head_dim);
+            }
+        }
+
+        let mut dx = self.wq.backward(&cache.q_cache, &dq)?;
+        let dxk = self.wk.backward(&cache.k_cache, &dk)?;
+        let dxv = self.wv.backward(&cache.v_cache, &dv)?;
+        ops::add_assign(dx.data_mut(), dxk.data())?;
+        ops::add_assign(dx.data_mut(), dxv.data())?;
+        Ok(dx)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.wq.zero_grads();
+        self.wk.zero_grads();
+        self.wv.zero_grads();
+        self.wo.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causality_holds() {
+        // Changing a future token must not change past outputs.
+        let mut init = Init::new(10);
+        let attn = CausalSelfAttention::new(8, 2, &mut init);
+        let mut rng = Init::new(11);
+        let x = rng.normal_tensor(6, 8, 1.0); // batch=1, seq=6
+        let (y, _) = attn.forward(&x, 1, 6).unwrap();
+        let mut x2 = x.clone();
+        for j in 0..8 {
+            x2.set(5, j, 9.0).unwrap(); // Perturb the last position.
+        }
+        let (y2, _) = attn.forward(&x2, 1, 6).unwrap();
+        for t in 0..5 {
+            assert_eq!(y.row(t), y2.row(t), "position {t} leaked future info");
+        }
+        assert_ne!(y.row(5), y2.row(5));
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let mut init = Init::new(12);
+        let attn = CausalSelfAttention::new(8, 2, &mut init);
+        let mut rng = Init::new(13);
+        let x = rng.normal_tensor(8, 8, 1.0); // batch=2, seq=4
+        let (_, cache) = attn.forward(&x, 2, 4).unwrap();
+        assert_eq!(cache.probs.len(), 4); // 2 sequences × 2 heads
+        for p in &cache.probs {
+            for i in 0..4 {
+                let row = p.row(i);
+                let total: f32 = row.iter().sum();
+                assert!((total - 1.0).abs() < 1e-5);
+                for (j, &v) in row.iter().enumerate() {
+                    if j > i {
+                        assert_eq!(v, 0.0, "mass above the diagonal");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut init = Init::new(14);
+        let mut attn = CausalSelfAttention::new(4, 2, &mut init);
+        let mut rng = Init::new(15);
+        let x = rng.normal_tensor(3, 4, 0.8); // batch=1, seq=3
+        let loss = |attn: &CausalSelfAttention, x: &Tensor| -> f32 {
+            let (y, _) = attn.forward(x, 1, 3).unwrap();
+            // Weighted sum for non-uniform dy.
+            y.data().iter().enumerate().map(|(i, v)| v * (0.1 * i as f32 + 0.5)).sum()
+        };
+        let (y, cache) = attn.forward(&x, 1, 3).unwrap();
+        let mut dy = Tensor::zeros(3, 4);
+        for i in 0..dy.len() {
+            dy.data_mut()[i] = 0.1 * i as f32 + 0.5;
+        }
+        let _ = y;
+        let dx = attn.backward(&cache, &dy).unwrap();
+        let h = 1e-3;
+
+        // Check every dx entry.
+        for r in 0..3 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c).unwrap() + h).unwrap();
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c).unwrap() - h).unwrap();
+                let fd = (loss(&attn, &xp) - loss(&attn, &xm)) / (2.0 * h);
+                let got = dx.get(r, c).unwrap();
+                assert!((got - fd).abs() < 2e-2, "dx[{r}][{c}] {got} vs {fd}");
+            }
+        }
+
+        // Spot-check a weight gradient in each projection.
+        fn proj(attn: &mut CausalSelfAttention, i: usize) -> &mut Linear {
+            match i {
+                0 => &mut attn.wq,
+                1 => &mut attn.wk,
+                2 => &mut attn.wv,
+                _ => &mut attn.wo,
+            }
+        }
+        for i in 0..4 {
+            let got = proj(&mut attn, i).dw.get(1, 2).unwrap();
+            let orig = proj(&mut attn, i).w.get(1, 2).unwrap();
+            proj(&mut attn, i).w.set(1, 2, orig + h).unwrap();
+            let up = loss(&attn, &x);
+            proj(&mut attn, i).w.set(1, 2, orig - h).unwrap();
+            let down = loss(&attn, &x);
+            proj(&mut attn, i).w.set(1, 2, orig).unwrap();
+            let fd = (up - down) / (2.0 * h);
+            assert!((got - fd).abs() < 2e-2, "projection {i} dw {got} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut init = Init::new(16);
+        let attn = CausalSelfAttention::new(8, 2, &mut init);
+        let x = Tensor::zeros(5, 8);
+        assert!(attn.forward(&x, 2, 3).is_err()); // 5 != 2*3
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn heads_must_divide_hidden() {
+        let mut init = Init::new(17);
+        CausalSelfAttention::new(10, 3, &mut init);
+    }
+}

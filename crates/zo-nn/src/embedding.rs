@@ -1,0 +1,132 @@
+//! Token and position embeddings with manual backward.
+
+use zo_tensor::{Init, Tensor, TensorError};
+
+/// A learned embedding table.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Table, `(vocab, dim)`.
+    pub table: Tensor,
+    /// Gradients for the table.
+    pub dtable: Tensor,
+}
+
+/// Saved token ids for the backward pass.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    /// The looked-up ids, one per output row.
+    pub ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// Creates a table of `vocab` rows of size `dim` (std 0.02, GPT-2's
+    /// initialization scale).
+    pub fn new(vocab: usize, dim: usize, init: &mut Init) -> Embedding {
+        Embedding {
+            table: init.normal_tensor(vocab, dim, 0.02),
+            dtable: Tensor::zeros(vocab, dim),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Looks up `ids`, producing one row per id.
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an id outside the
+    /// vocabulary.
+    pub fn forward(&self, ids: &[usize]) -> Result<(Tensor, EmbeddingCache), TensorError> {
+        let mut out = Tensor::zeros(ids.len(), self.dim());
+        for (r, &id) in ids.iter().enumerate() {
+            if id >= self.vocab() {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: (id, 0),
+                    shape: (self.vocab(), self.dim()),
+                });
+            }
+            out.row_mut(r).copy_from_slice(self.table.row(id));
+        }
+        Ok((out, EmbeddingCache { ids: ids.to_vec() }))
+    }
+
+    /// Scatters `dy` rows back into the table gradient.
+    pub fn backward(&mut self, cache: &EmbeddingCache, dy: &Tensor) -> Result<(), TensorError> {
+        if dy.rows() != cache.ids.len() || dy.cols() != self.dim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "embedding backward",
+                lhs: (cache.ids.len(), self.dim()),
+                rhs: dy.shape(),
+            });
+        }
+        for (r, &id) in cache.ids.iter().enumerate() {
+            let dst = self.dtable.row_mut(id);
+            for (d, s) in dst.iter_mut().zip(dy.row(r)) {
+                *d += *s;
+            }
+        }
+        Ok(())
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.dtable.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_copies_rows() {
+        let mut init = Init::new(1);
+        let emb = Embedding::new(4, 3, &mut init);
+        let (out, _) = emb.forward(&[2, 0, 2]).unwrap();
+        assert_eq!(out.row(0), emb.table.row(2));
+        assert_eq!(out.row(1), emb.table.row(0));
+        assert_eq!(out.row(2), emb.table.row(2));
+    }
+
+    #[test]
+    fn out_of_vocab_rejected() {
+        let mut init = Init::new(1);
+        let emb = Embedding::new(4, 3, &mut init);
+        assert!(emb.forward(&[4]).is_err());
+    }
+
+    #[test]
+    fn backward_scatters_and_accumulates_duplicates() {
+        let mut init = Init::new(2);
+        let mut emb = Embedding::new(5, 2, &mut init);
+        let (_, cache) = emb.forward(&[1, 1, 3]).unwrap();
+        let dy = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        emb.backward(&cache, &dy).unwrap();
+        // Token 1 appears twice: gradients add.
+        assert_eq!(emb.dtable.row(1), &[4.0, 6.0]);
+        assert_eq!(emb.dtable.row(3), &[5.0, 6.0]);
+        assert_eq!(emb.dtable.row(0), &[0.0, 0.0]);
+        emb.zero_grads();
+        assert!(emb.dtable.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn backward_shape_checked() {
+        let mut init = Init::new(3);
+        let mut emb = Embedding::new(5, 2, &mut init);
+        let (_, cache) = emb.forward(&[0]).unwrap();
+        let bad = Tensor::zeros(2, 2);
+        assert!(emb.backward(&cache, &bad).is_err());
+    }
+}

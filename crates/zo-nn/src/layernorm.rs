@@ -1,0 +1,227 @@
+//! Row-wise layer normalization with manual backward.
+
+use zo_tensor::{Init, Tensor, TensorError};
+
+/// Layer normalization over the last dimension with learned scale/shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale, length = feature dim.
+    pub gamma: Vec<f32>,
+    /// Shift, length = feature dim.
+    pub beta: Vec<f32>,
+    /// Scale gradients.
+    pub dgamma: Vec<f32>,
+    /// Shift gradients.
+    pub dbeta: Vec<f32>,
+    eps: f32,
+}
+
+/// Saved forward state for the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalized activations `(x - mean) / std`, same shape as input.
+    pub xhat: Tensor,
+    /// Per-row inverse standard deviation.
+    pub inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over `dim` features (gamma = 1, beta = 0).
+    pub fn new(dim: usize, _init: &mut Init) -> LayerNorm {
+        LayerNorm {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            dgamma: vec![0.0; dim],
+            dbeta: vec![0.0; dim],
+            eps: 1e-5,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `x.cols() != dim`.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LayerNormCache), TensorError> {
+        let d = self.dim();
+        if x.cols() != d {
+            return Err(TensorError::LengthMismatch {
+                op: "layernorm",
+                expected: d,
+                actual: x.cols(),
+            });
+        }
+        let mut y = Tensor::zeros(x.rows(), d);
+        let mut xhat = Tensor::zeros(x.rows(), d);
+        let mut inv_std = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            let xh = xhat.row_mut(r);
+            let yr = y.row_mut(r);
+            for j in 0..d {
+                let h = (row[j] - mean) * istd;
+                xh[j] = h;
+                yr[j] = h * self.gamma[j] + self.beta[j];
+            }
+        }
+        Ok((y, LayerNormCache { xhat, inv_std }))
+    }
+
+    /// Backward pass: accumulates `dgamma`/`dbeta`, returns `dx`.
+    pub fn backward(&mut self, cache: &LayerNormCache, dy: &Tensor) -> Result<Tensor, TensorError> {
+        let d = self.dim();
+        if dy.cols() != d {
+            return Err(TensorError::LengthMismatch {
+                op: "layernorm backward",
+                expected: d,
+                actual: dy.cols(),
+            });
+        }
+        let mut dx = Tensor::zeros(dy.rows(), d);
+        for r in 0..dy.rows() {
+            let dyr = dy.row(r);
+            let xh = cache.xhat.row(r);
+            let istd = cache.inv_std[r];
+            // Parameter grads.
+            for j in 0..d {
+                self.dgamma[j] += dyr[j] * xh[j];
+                self.dbeta[j] += dyr[j];
+            }
+            // dxhat = dy * gamma; then the standard two-reduction formula:
+            // dx = istd/d * (d*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat)).
+            let mut sum_dxh = 0.0f32;
+            let mut sum_dxh_xh = 0.0f32;
+            for j in 0..d {
+                let dxh = dyr[j] * self.gamma[j];
+                sum_dxh += dxh;
+                sum_dxh_xh += dxh * xh[j];
+            }
+            let dxr = dx.row_mut(r);
+            let inv_d = 1.0 / d as f32;
+            for j in 0..d {
+                let dxh = dyr[j] * self.gamma[j];
+                dxr[j] = istd * (dxh - inv_d * sum_dxh - xh[j] * inv_d * sum_dxh_xh);
+            }
+        }
+        Ok(dx)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.dgamma.fill(0.0);
+        self.dbeta.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_normalized() {
+        let mut init = Init::new(1);
+        let ln = LayerNorm::new(8, &mut init);
+        let x = init.normal_tensor(4, 8, 3.0);
+        let (y, _) = ln.forward(&x).unwrap();
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut init = Init::new(2);
+        let mut ln = LayerNorm::new(4, &mut init);
+        ln.gamma = vec![2.0; 4];
+        ln.beta = vec![1.0; 4];
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        let (y, _) = ln.forward(&x).unwrap();
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-5); // beta shifts the mean
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut init = Init::new(9);
+        let mut ln = LayerNorm::new(6, &mut init);
+        // Non-trivial gamma to exercise the chain rule.
+        for (j, g) in ln.gamma.iter_mut().enumerate() {
+            *g = 1.0 + 0.1 * j as f32;
+        }
+        let x = init.normal_tensor(3, 6, 1.5);
+        // Loss = weighted sum to give row-varying dy.
+        let dy_fn = |r: usize, j: usize| (r as f32 + 1.0) * 0.3 + j as f32 * 0.05;
+        let loss = |ln: &LayerNorm, x: &Tensor| -> f32 {
+            let (y, _) = ln.forward(x).unwrap();
+            let mut s = 0.0;
+            for r in 0..y.rows() {
+                for j in 0..y.cols() {
+                    s += y.get(r, j).unwrap() * dy_fn(r, j);
+                }
+            }
+            s
+        };
+        let (_, cache) = ln.forward(&x).unwrap();
+        let mut dy = Tensor::zeros(3, 6);
+        for r in 0..3 {
+            for j in 0..6 {
+                dy.set(r, j, dy_fn(r, j)).unwrap();
+            }
+        }
+        let dx = ln.backward(&cache, &dy).unwrap();
+
+        let h = 1e-3;
+        // dgamma[2].
+        let orig = ln.gamma[2];
+        ln.gamma[2] = orig + h;
+        let up = loss(&ln, &x);
+        ln.gamma[2] = orig - h;
+        let down = loss(&ln, &x);
+        ln.gamma[2] = orig;
+        assert!((ln.dgamma[2] - (up - down) / (2.0 * h)).abs() < 1e-2);
+        // dbeta[4].
+        let orig = ln.beta[4];
+        ln.beta[4] = orig + h;
+        let up = loss(&ln, &x);
+        ln.beta[4] = orig - h;
+        let down = loss(&ln, &x);
+        ln.beta[4] = orig;
+        assert!((ln.dbeta[4] - (up - down) / (2.0 * h)).abs() < 1e-2);
+        // dx[1][3].
+        let mut x2 = x.clone();
+        let orig = x2.get(1, 3).unwrap();
+        x2.set(1, 3, orig + h).unwrap();
+        let up = loss(&ln, &x2);
+        x2.set(1, 3, orig - h).unwrap();
+        let down = loss(&ln, &x2);
+        let fd = (up - down) / (2.0 * h);
+        assert!(
+            (dx.get(1, 3).unwrap() - fd).abs() < 1e-2,
+            "dx {} vs fd {fd}",
+            dx.get(1, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let mut init = Init::new(1);
+        let ln = LayerNorm::new(4, &mut init);
+        assert!(ln.forward(&Tensor::zeros(2, 5)).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Real-execution neural-network substrate.
+//!
+//! The convergence experiments (paper Figs. 12–13) need actual training
+//! dynamics, so this crate implements a small but complete NN stack with
+//! hand-written backward passes: [`Linear`], [`LayerNorm`],
+//! [`CausalSelfAttention`], [`TransformerBlock`], embeddings,
+//! cross-entropy, and two full models — [`GptModel`] (decoder-only LM) and
+//! [`Classifier`] (fine-tuning analog).
+//!
+//! Training engines access parameters exclusively through the [`Model`]
+//! visitation trait: ordered `(layer_bucket, param, grad)` slices, which is
+//! the shape the offload schedules need for flattening, per-layer gradient
+//! streaming, and partitioned updates.
+
+#![warn(missing_docs)]
+
+mod activation;
+mod attention;
+mod block;
+mod checkpoint;
+mod dropout;
+mod embedding;
+mod layernorm;
+mod linear;
+pub mod loss;
+mod model;
+pub mod mp;
+
+pub use activation::{Activation, ActivationCache};
+pub use attention::{AttentionCache, CausalSelfAttention};
+pub use block::{BlockCache, Mlp, MlpCache, TransformerBlock};
+pub use checkpoint::{CheckpointCache, CheckpointedBlock};
+pub use dropout::{Dropout, DropoutCache};
+pub use embedding::{Embedding, EmbeddingCache};
+pub use layernorm::{LayerNorm, LayerNormCache};
+pub use linear::{Linear, LinearCache};
+pub use loss::{accuracy, cross_entropy};
+pub use model::{Classifier, GptCache, GptConfig, GptModel, Model};
+pub use mp::{ColumnParallelLinear, RowParallelLinear};

@@ -1,0 +1,167 @@
+//! Fully connected layer with manual backward.
+
+use zo_tensor::{matmul, ops, Init, Tensor, TensorError};
+
+/// A dense layer `y = x·W + b` with gradient accumulation.
+///
+/// Gradients accumulate across calls to [`Linear::backward`] (micro-batch
+/// gradient accumulation, as the paper's throughput runs use) until
+/// [`Linear::zero_grads`] is called.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, `(fan_in, fan_out)`.
+    pub w: Tensor,
+    /// Bias, `fan_out`.
+    pub b: Vec<f32>,
+    /// Weight gradients.
+    pub dw: Tensor,
+    /// Bias gradients.
+    pub db: Vec<f32>,
+}
+
+/// Saved forward state needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    /// The forward input.
+    pub x: Tensor,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    pub fn new(fan_in: usize, fan_out: usize, init: &mut Init) -> Linear {
+        Linear {
+            w: init.xavier(fan_in, fan_out),
+            b: vec![0.0; fan_out],
+            dw: Tensor::zeros(fan_in, fan_out),
+            db: vec![0.0; fan_out],
+        }
+    }
+
+    /// Input dimension.
+    pub fn fan_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn fan_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Total parameter count (weights + bias).
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward pass: `y = x·W + b`.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LinearCache), TensorError> {
+        let mut y = matmul(x, &self.w)?;
+        for r in 0..y.rows() {
+            ops::add_assign(y.row_mut(r), &self.b)?;
+        }
+        Ok((y, LinearCache { x: x.clone() }))
+    }
+
+    /// Backward pass: accumulates `dW += xᵀ·dy`, `db += Σ dy`, returns
+    /// `dx = dy·Wᵀ`.
+    pub fn backward(&mut self, cache: &LinearCache, dy: &Tensor) -> Result<Tensor, TensorError> {
+        zo_tensor::matmul::matmul_at_b_acc(&cache.x, dy, &mut self.dw)?;
+        for r in 0..dy.rows() {
+            ops::add_assign(&mut self.db, dy.row(r))?;
+        }
+        zo_tensor::matmul::matmul_a_bt(dy, &self.w)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.dw.fill_zero();
+        self.db.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut init = Init::new(1);
+        let mut layer = Linear::new(2, 3, &mut init);
+        layer.w = Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, -1.0]]).unwrap();
+        layer.b = vec![0.5, -0.5, 0.0];
+        let x = Tensor::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let (y, _) = layer.forward(&x).unwrap();
+        assert_eq!(y.data(), &[1.5, 1.5, 0.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut init = Init::new(7);
+        let mut layer = Linear::new(3, 2, &mut init);
+        let x = init.normal_tensor(4, 3, 1.0);
+        // Loss = sum(y), so dy = ones.
+        let (y0, cache) = layer.forward(&x).unwrap();
+        let dy = Tensor::full(4, 2, 1.0);
+        let dx = layer.backward(&cache, &dy).unwrap();
+
+        let h = 1e-3;
+        // Check dW[0][1] and db[1] and dx[2][0] by central difference.
+        let base_sum: f32 = y0.data().iter().sum();
+        let _ = base_sum;
+        let probe = |layer: &mut Linear, x: &Tensor| -> f32 {
+            let (y, _) = layer.forward(x).unwrap();
+            y.data().iter().sum()
+        };
+        let orig = layer.w.get(0, 1).unwrap();
+        layer.w.set(0, 1, orig + h).unwrap();
+        let up = probe(&mut layer, &x);
+        layer.w.set(0, 1, orig - h).unwrap();
+        let down = probe(&mut layer, &x);
+        layer.w.set(0, 1, orig).unwrap();
+        let fd = (up - down) / (2.0 * h);
+        assert!((layer.dw.get(0, 1).unwrap() - fd).abs() < 1e-2, "dW mismatch");
+
+        let origb = layer.b[1];
+        layer.b[1] = origb + h;
+        let upb = probe(&mut layer, &x);
+        layer.b[1] = origb - h;
+        let downb = probe(&mut layer, &x);
+        layer.b[1] = origb;
+        let fdb = (upb - downb) / (2.0 * h);
+        assert!((layer.db[1] - fdb).abs() < 1e-2, "db mismatch");
+
+        let mut x2 = x.clone();
+        let origx = x2.get(2, 0).unwrap();
+        x2.set(2, 0, origx + h).unwrap();
+        let upx = probe(&mut layer, &x2);
+        x2.set(2, 0, origx - h).unwrap();
+        let downx = probe(&mut layer, &x2);
+        let fdx = (upx - downx) / (2.0 * h);
+        assert!((dx.get(2, 0).unwrap() - fdx).abs() < 1e-2, "dx mismatch");
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut init = Init::new(3);
+        let mut layer = Linear::new(2, 2, &mut init);
+        let x = Tensor::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let dy = Tensor::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let (_, cache) = layer.forward(&x).unwrap();
+        layer.backward(&cache, &dy).unwrap();
+        let once = layer.dw.clone();
+        layer.backward(&cache, &dy).unwrap();
+        for (a, b) in layer.dw.data().iter().zip(once.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+        layer.zero_grads();
+        assert!(layer.dw.data().iter().all(|&v| v == 0.0));
+        assert!(layer.db.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let mut init = Init::new(5);
+        let layer = Linear::new(3, 2, &mut init);
+        let bad = Tensor::zeros(1, 4);
+        assert!(layer.forward(&bad).is_err());
+    }
+}

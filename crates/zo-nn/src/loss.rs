@@ -1,0 +1,124 @@
+//! Cross-entropy loss over logits, with fused softmax backward.
+
+use zo_tensor::{ops, Tensor, TensorError};
+
+/// Mean cross-entropy of `logits` `(n, classes)` against integer `targets`.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax - onehot) / n` —
+/// the gradient of the mean loss, ready to feed the model backward.
+///
+/// Returns [`TensorError::LengthMismatch`] if `targets.len() != n`, and
+/// [`TensorError::IndexOutOfBounds`] for a target outside `[0, classes)`.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor), TensorError> {
+    let (n, classes) = logits.shape();
+    if targets.len() != n {
+        return Err(TensorError::LengthMismatch {
+            op: "cross_entropy",
+            expected: n,
+            actual: targets.len(),
+        });
+    }
+    let mut dlogits = logits.clone();
+    let mut loss = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for (r, &t) in targets.iter().enumerate() {
+        if t >= classes {
+            return Err(TensorError::IndexOutOfBounds { index: (r, t), shape: (n, classes) });
+        }
+        let row = dlogits.row_mut(r);
+        ops::softmax_row(row);
+        // Guard against log(0) when the target prob underflows.
+        loss -= (row[t].max(1e-30) as f64).ln();
+        row[t] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    Ok(((loss / n as f64) as f32, dlogits))
+}
+
+/// Fraction of rows whose argmax equals the target (accuracy).
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        let row = logits.row(r);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if argmax == t {
+            correct += 1;
+        }
+    }
+    correct as f32 / targets.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(3, 4);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros(1, 3);
+        logits.set(0, 1, 10.0).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[1]).unwrap();
+        assert!(loss < 1e-3);
+        let (bad, _) = cross_entropy(&logits, &[0]).unwrap();
+        assert!(bad > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_rows(&[&[0.3, -0.7, 1.1], &[0.0, 0.5, -0.5]]).unwrap();
+        let targets = [2usize, 0];
+        let (_, d) = cross_entropy(&logits, &targets).unwrap();
+        let h = 1e-3;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c).unwrap() + h).unwrap();
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c).unwrap() - h).unwrap();
+                let (up, _) = cross_entropy(&lp, &targets).unwrap();
+                let (down, _) = cross_entropy(&lm, &targets).unwrap();
+                let fd = (up - down) / (2.0 * h);
+                assert!((d.get(r, c).unwrap() - fd).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let (_, d) = cross_entropy(&logits, &[0]).unwrap();
+        let s: f32 = d.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let logits = Tensor::zeros(2, 3);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.2, 0.1]]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Tensor::zeros(0, 2), &[]), 0.0);
+    }
+}

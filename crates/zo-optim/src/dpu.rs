@@ -1,0 +1,211 @@
+//! One-step Delayed Parameter Update (DPU) bookkeeping (paper Sec. 5.2).
+//!
+//! DPU lets the CPU optimizer step for step *i*'s gradients run
+//! concurrently with step *i+1*'s GPU forward/backward, at the cost of one
+//! step of parameter staleness: step *i+1* trains on parameters updated
+//! with gradients from step *i−1*.
+//!
+//! This module provides the *semantic* state machine, executed
+//! synchronously, so convergence experiments reproduce DPU's exact staleness
+//! without needing real concurrency. The engine crate layers actual
+//! CPU/GPU overlap on top (and its schedule tests assert the same ordering
+//! this state machine defines).
+//!
+//! Schedule (Fig. 6): steps `1..warmup_steps` update normally (training is
+//! unstable early, so staleness is deferred); the first DPU step stashes
+//! its gradients and applies nothing; every later step applies the stashed
+//! gradients from the previous step and stashes its own.
+
+use crate::cpu_adam::CpuAdam;
+use crate::error::OptimError;
+
+/// What a DPU step did to the parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpuAction {
+    /// Warm-up phase: gradients were applied immediately (no staleness).
+    Immediate,
+    /// Transition step: gradients were stashed; no update applied.
+    Skipped,
+    /// Steady state: the previous step's stashed gradients were applied and
+    /// this step's gradients stashed.
+    Delayed,
+}
+
+/// One-step delayed parameter update wrapper around [`CpuAdam`].
+///
+/// # Examples
+///
+/// ```
+/// use zo_optim::{CpuAdam, CpuAdamConfig, DelayedUpdate, DpuAction};
+///
+/// let opt = CpuAdam::new(CpuAdamConfig::default(), 2);
+/// let mut dpu = DelayedUpdate::new(opt, 1);
+/// let mut p = vec![1.0f32, 1.0];
+/// // warmup_steps = 1: the first step is immediate, the second skipped.
+/// assert_eq!(dpu.step(&mut p, &[0.1, 0.1]).unwrap(), DpuAction::Immediate);
+/// assert_eq!(dpu.step(&mut p, &[0.1, 0.1]).unwrap(), DpuAction::Skipped);
+/// assert_eq!(dpu.step(&mut p, &[0.1, 0.1]).unwrap(), DpuAction::Delayed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayedUpdate {
+    inner: CpuAdam,
+    warmup_steps: u64,
+    steps_seen: u64,
+    pending: Option<Vec<f32>>,
+}
+
+impl DelayedUpdate {
+    /// Wraps `inner`, enabling DPU after `warmup_steps` immediate steps.
+    ///
+    /// The paper enables DPU "after a few dozen iterations"; its
+    /// convergence experiments use 40.
+    pub fn new(inner: CpuAdam, warmup_steps: u64) -> DelayedUpdate {
+        DelayedUpdate { inner, warmup_steps, steps_seen: 0, pending: None }
+    }
+
+    /// Steps observed so far (including the skipped transition step).
+    pub fn steps_seen(&self) -> u64 {
+        self.steps_seen
+    }
+
+    /// Whether a gradient is currently stashed awaiting application.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Returns the wrapped optimizer.
+    pub fn inner(&self) -> &CpuAdam {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped optimizer (checkpoint restore).
+    pub fn inner_mut(&mut self) -> &mut CpuAdam {
+        &mut self.inner
+    }
+
+    /// The stashed gradient awaiting application, if any.
+    pub fn pending(&self) -> Option<&[f32]> {
+        self.pending.as_deref()
+    }
+
+    /// Restores DPU bookkeeping from a checkpoint.
+    pub fn restore(&mut self, steps_seen: u64, pending: Option<Vec<f32>>) {
+        self.steps_seen = steps_seen;
+        self.pending = pending;
+    }
+
+    /// Feeds the gradients of the step that just finished.
+    ///
+    /// Returns which action was taken. After this call the parameters are
+    /// exactly what the *next* forward pass should use under DPU semantics.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) -> Result<DpuAction, OptimError> {
+        self.steps_seen += 1;
+        if self.steps_seen <= self.warmup_steps {
+            self.inner.step(params, grads)?;
+            return Ok(DpuAction::Immediate);
+        }
+        match self.pending.take() {
+            None => {
+                // Transition step N: stash, skip the update.
+                self.pending = Some(grads.to_vec());
+                Ok(DpuAction::Skipped)
+            }
+            Some(prev) => {
+                // Steady state: apply gradients from the previous step.
+                self.inner.step(params, &prev)?;
+                self.pending = Some(grads.to_vec());
+                Ok(DpuAction::Delayed)
+            }
+        }
+    }
+
+    /// Applies any stashed gradient immediately (end-of-training flush).
+    pub fn flush(&mut self, params: &mut [f32]) -> Result<bool, OptimError> {
+        match self.pending.take() {
+            Some(prev) => {
+                self.inner.step(params, &prev)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::AdamParams;
+    use crate::cpu_adam::CpuAdamConfig;
+
+    fn opt(n: usize) -> CpuAdam {
+        CpuAdam::new(
+            CpuAdamConfig {
+                hp: AdamParams { lr: 0.1, ..AdamParams::default() },
+                ..CpuAdamConfig::default()
+            },
+            n,
+        )
+    }
+
+    #[test]
+    fn schedule_matches_paper_figure6() {
+        // warmup 2: steps 1-2 immediate, step 3 skipped, 4+ delayed.
+        let mut dpu = DelayedUpdate::new(opt(1), 2);
+        let mut p = vec![0.0f32];
+        assert_eq!(dpu.step(&mut p, &[1.0]).unwrap(), DpuAction::Immediate);
+        assert_eq!(dpu.step(&mut p, &[1.0]).unwrap(), DpuAction::Immediate);
+        assert_eq!(dpu.step(&mut p, &[1.0]).unwrap(), DpuAction::Skipped);
+        assert!(dpu.has_pending());
+        assert_eq!(dpu.step(&mut p, &[1.0]).unwrap(), DpuAction::Delayed);
+        assert_eq!(dpu.steps_seen(), 4);
+    }
+
+    #[test]
+    fn delayed_params_lag_by_one_step() {
+        // With distinguishable gradients, after feeding g1..g4 (warmup 0),
+        // the applied sequence must be g1, g2, g3 (g4 still pending) —
+        // i.e. the parameters lag exactly one gradient behind.
+        let mut dpu = DelayedUpdate::new(opt(1), 0);
+        let mut p_dpu = vec![0.0f32];
+        let grads = [[0.3f32], [-0.7], [0.2], [0.9]];
+        for g in &grads {
+            dpu.step(&mut p_dpu, g).unwrap();
+        }
+        // Reference: apply only the first three gradients immediately.
+        let mut plain = opt(1);
+        let mut p_ref = vec![0.0f32];
+        for g in &grads[..3] {
+            plain.step(&mut p_ref, g).unwrap();
+        }
+        assert_eq!(p_dpu, p_ref);
+        // Flushing applies the final pending gradient.
+        assert!(dpu.flush(&mut p_dpu).unwrap());
+        plain.step(&mut p_ref, &grads[3]).unwrap();
+        assert_eq!(p_dpu, p_ref);
+        assert!(!dpu.flush(&mut p_dpu).unwrap());
+    }
+
+    #[test]
+    fn warmup_only_behaves_like_plain_adam() {
+        let mut dpu = DelayedUpdate::new(opt(2), 100);
+        let mut plain = opt(2);
+        let mut p1 = vec![1.0f32, -1.0];
+        let mut p2 = p1.clone();
+        for i in 0..20 {
+            let g = vec![0.01 * i as f32, -0.02 * i as f32];
+            assert_eq!(dpu.step(&mut p1, &g).unwrap(), DpuAction::Immediate);
+            plain.step(&mut p2, &g).unwrap();
+        }
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn length_errors_propagate() {
+        let mut dpu = DelayedUpdate::new(opt(2), 0);
+        let mut p = vec![0.0f32; 2];
+        // Transition stashes without touching the optimizer, so feed twice.
+        dpu.step(&mut p, &[1.0, 1.0]).unwrap();
+        let mut p3 = vec![0.0f32; 3];
+        assert!(dpu.step(&mut p3, &[1.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for optimizers.
+
+use core::fmt;
+
+/// Errors produced by optimizer steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimError {
+    /// Parameter and gradient buffers had different lengths.
+    LengthMismatch {
+        /// Parameter buffer length.
+        params: usize,
+        /// Gradient buffer length.
+        grads: usize,
+    },
+    /// The optimizer state was built for a different parameter count.
+    StateMismatch {
+        /// Length the optimizer state was created with.
+        state: usize,
+        /// Length of the buffers passed to `step`.
+        given: usize,
+    },
+    /// An output (e.g. fp16 parameter mirror) had the wrong length.
+    OutputMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::LengthMismatch { params, grads } => {
+                write!(f, "parameter/gradient length mismatch: {params} vs {grads}")
+            }
+            OptimError::StateMismatch { state, given } => {
+                write!(f, "optimizer state sized for {state} params, got {given}")
+            }
+            OptimError::OutputMismatch { expected, actual } => {
+                write!(f, "output buffer length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = OptimError::LengthMismatch { params: 4, grads: 5 };
+        assert_eq!(e.to_string(), "parameter/gradient length mismatch: 4 vs 5");
+        let e = OptimError::StateMismatch { state: 8, given: 9 };
+        assert!(e.to_string().contains("sized for 8"));
+        let e = OptimError::OutputMismatch { expected: 2, actual: 3 };
+        assert!(e.to_string().contains("expected 2"));
+    }
+}

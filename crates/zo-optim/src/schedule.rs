@@ -1,0 +1,130 @@
+//! Learning-rate schedules used by the paper's training recipes.
+//!
+//! GPT-2 pretraining and BERT fine-tuning both use linear warm-up followed
+//! by decay ("we follow the same training procedure and hyperparameter
+//! settings", Sec. 6.1); cosine decay is included because GPT-2's original
+//! recipe uses it.
+
+/// A learning-rate schedule: maps the (1-based) step to a multiplier of
+/// the base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant base learning rate.
+    Constant,
+    /// Linear warm-up over `warmup_steps`, then constant.
+    WarmupConstant {
+        /// Steps to ramp from 0 to the base rate.
+        warmup_steps: u64,
+    },
+    /// Linear warm-up then linear decay to zero at `total_steps`.
+    WarmupLinearDecay {
+        /// Steps to ramp from 0 to the base rate.
+        warmup_steps: u64,
+        /// Step at which the rate reaches zero.
+        total_steps: u64,
+    },
+    /// Linear warm-up then cosine decay to `min_factor` at `total_steps`.
+    WarmupCosine {
+        /// Steps to ramp from 0 to the base rate.
+        warmup_steps: u64,
+        /// Step at which the rate reaches `min_factor`.
+        total_steps: u64,
+        /// Final multiplier (e.g. 0.1).
+        min_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier for (1-based) `step`.
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::WarmupConstant { warmup_steps } => warmup(step, warmup_steps),
+            LrSchedule::WarmupLinearDecay { warmup_steps, total_steps } => {
+                if step <= warmup_steps {
+                    warmup(step, warmup_steps)
+                } else if step >= total_steps {
+                    0.0
+                } else {
+                    let span = (total_steps - warmup_steps) as f32;
+                    (total_steps - step) as f32 / span
+                }
+            }
+            LrSchedule::WarmupCosine { warmup_steps, total_steps, min_factor } => {
+                if step <= warmup_steps {
+                    warmup(step, warmup_steps)
+                } else if step >= total_steps {
+                    min_factor
+                } else {
+                    let span = (total_steps - warmup_steps) as f32;
+                    let t = (step - warmup_steps) as f32 / span;
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                    min_factor + (1.0 - min_factor) * cos
+                }
+            }
+        }
+    }
+
+    /// The absolute learning rate for `step` given a base rate.
+    pub fn lr(&self, base_lr: f32, step: u64) -> f32 {
+        base_lr * self.factor(step)
+    }
+}
+
+fn warmup(step: u64, warmup_steps: u64) -> f32 {
+    if warmup_steps == 0 {
+        1.0
+    } else {
+        (step as f32 / warmup_steps as f32).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.factor(1), 1.0);
+        assert_eq!(s.factor(1_000_000), 1.0);
+        assert_eq!(s.lr(3e-4, 10), 3e-4);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::WarmupConstant { warmup_steps: 10 };
+        assert!((s.factor(1) - 0.1).abs() < 1e-6);
+        assert!((s.factor(5) - 0.5).abs() < 1e-6);
+        assert_eq!(s.factor(10), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+        // Degenerate warm-up of zero steps starts at full rate.
+        assert_eq!(LrSchedule::WarmupConstant { warmup_steps: 0 }.factor(1), 1.0);
+    }
+
+    #[test]
+    fn linear_decay_hits_zero() {
+        let s = LrSchedule::WarmupLinearDecay { warmup_steps: 10, total_steps: 110 };
+        assert_eq!(s.factor(10), 1.0);
+        assert!((s.factor(60) - 0.5).abs() < 1e-6);
+        assert_eq!(s.factor(110), 0.0);
+        assert_eq!(s.factor(200), 0.0);
+    }
+
+    #[test]
+    fn cosine_decay_shape() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 0, total_steps: 100, min_factor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-5);
+        // Midpoint of cosine = (1 + min)/2.
+        assert!((s.factor(50) - 0.55).abs() < 1e-3);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        assert_eq!(s.factor(500), 0.1);
+        // Monotone decreasing after warm-up.
+        let mut last = f32::INFINITY;
+        for step in 0..=100 {
+            let f = s.factor(step);
+            assert!(f <= last + 1e-6);
+            last = f;
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! SGD with momentum — a secondary optimizer used by tests and ablations.
+
+use crate::error::OptimError;
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum factor (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay added to the gradient.
+    pub weight_decay: f32,
+}
+
+impl Default for SgdParams {
+    fn default() -> SgdParams {
+        SgdParams { lr: 0.01, momentum: 0.9, weight_decay: 0.0 }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// # Examples
+///
+/// ```
+/// use zo_optim::{Sgd, SgdParams};
+///
+/// let mut opt = Sgd::new(SgdParams { lr: 0.1, momentum: 0.0, weight_decay: 0.0 }, 1);
+/// let mut p = vec![1.0f32];
+/// opt.step(&mut p, &[0.5]).unwrap();
+/// assert_eq!(p[0], 0.95);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    hp: SgdParams,
+    velocity: Vec<f32>,
+    step: u64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer for `n` parameters.
+    pub fn new(hp: SgdParams, n: usize) -> Sgd {
+        Sgd { hp, velocity: vec![0.0; n], step: 0 }
+    }
+
+    /// Completed step count.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Performs one update: `v = mu*v + g; p -= lr*v`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) -> Result<(), OptimError> {
+        if params.len() != grads.len() {
+            return Err(OptimError::LengthMismatch { params: params.len(), grads: grads.len() });
+        }
+        if params.len() != self.velocity.len() {
+            return Err(OptimError::StateMismatch {
+                state: self.velocity.len(),
+                given: params.len(),
+            });
+        }
+        self.step += 1;
+        for i in 0..params.len() {
+            let g = grads[i] + self.hp.weight_decay * params[i];
+            self.velocity[i] = self.hp.momentum * self.velocity[i] + g;
+            params[i] -= self.hp.lr * self.velocity[i];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut opt = Sgd::new(SgdParams { lr: 0.5, momentum: 0.0, weight_decay: 0.0 }, 2);
+        let mut p = vec![1.0f32, -2.0];
+        opt.step(&mut p, &[1.0, -1.0]).unwrap();
+        assert_eq!(p, vec![0.5, -1.5]);
+        assert_eq!(opt.step_count(), 1);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(SgdParams { lr: 1.0, momentum: 0.5, weight_decay: 0.0 }, 1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]).unwrap(); // v = 1, p = -1
+        assert_eq!(p[0], -1.0);
+        opt.step(&mut p, &[1.0]).unwrap(); // v = 1.5, p = -2.5
+        assert_eq!(p[0], -2.5);
+    }
+
+    #[test]
+    fn weight_decay_applies() {
+        let mut opt = Sgd::new(SgdParams { lr: 0.1, momentum: 0.0, weight_decay: 1.0 }, 1);
+        let mut p = vec![2.0f32];
+        opt.step(&mut p, &[0.0]).unwrap();
+        assert!((p[0] - 1.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn length_validation() {
+        let mut opt = Sgd::new(SgdParams::default(), 2);
+        let mut p = vec![0.0; 2];
+        assert!(opt.step(&mut p, &[0.0; 3]).is_err());
+        let mut p3 = vec![0.0; 3];
+        assert!(opt.step(&mut p3, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Sgd::new(SgdParams { lr: 0.1, momentum: 0.9, weight_decay: 0.0 }, 1);
+        let mut p = vec![5.0f32];
+        for _ in 0..200 {
+            let g = vec![p[0]];
+            opt.step(&mut p, &g).unwrap();
+        }
+        assert!(p[0].abs() < 1e-3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for optimizer invariants.
+
+use proptest::prelude::*;
+use zo_optim::{
+    adam_reference_step, AdamParams, AdamState, CpuAdam, CpuAdamConfig, DelayedUpdate,
+    DpuAction, NaiveAdam,
+};
+
+fn grads_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, n..=n)
+}
+
+proptest! {
+    /// CpuAdam equals the scalar reference bit-for-bit under arbitrary
+    /// gradients, thread counts, and tile widths.
+    #[test]
+    fn cpu_adam_bitwise_reference(
+        g1 in grads_strategy(67),
+        g2 in grads_strategy(67),
+        threads in 1usize..5,
+        tile in 1usize..100,
+    ) {
+        let hp = AdamParams::default();
+        let cfg = CpuAdamConfig { hp, num_threads: threads, tile_width: tile };
+        let mut fast = CpuAdam::new(cfg, 67);
+        let mut st = AdamState::new(67);
+        let mut p_fast = vec![0.3f32; 67];
+        let mut p_ref = vec![0.3f32; 67];
+        for g in [&g1, &g2] {
+            fast.step(&mut p_fast, g).unwrap();
+            adam_reference_step(&hp, &mut st, &mut p_ref, g).unwrap();
+        }
+        prop_assert_eq!(p_fast, p_ref);
+    }
+
+    /// Naive (op-by-op) Adam tracks the reference within a tight bound.
+    #[test]
+    fn naive_adam_close_to_reference(g in grads_strategy(33)) {
+        let hp = AdamParams::default();
+        let mut naive = NaiveAdam::new(hp, 33);
+        let mut st = AdamState::new(33);
+        let mut p_naive = vec![-0.2f32; 33];
+        let mut p_ref = vec![-0.2f32; 33];
+        naive.step(&mut p_naive, &g).unwrap();
+        adam_reference_step(&hp, &mut st, &mut p_ref, &g).unwrap();
+        for (a, b) in p_naive.iter().zip(&p_ref) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// An Adam step never moves a parameter by more than ~lr (bias
+    /// correction keeps the per-step displacement bounded, eps aside).
+    #[test]
+    fn adam_step_size_bounded(g in grads_strategy(16), lr in 1e-4f32..0.1) {
+        let hp = AdamParams { lr, ..AdamParams::default() };
+        let mut st = AdamState::new(16);
+        let mut p = vec![0.0f32; 16];
+        let before = p.clone();
+        adam_reference_step(&hp, &mut st, &mut p, &g).unwrap();
+        for (a, b) in p.iter().zip(&before) {
+            // First-step |update| <= lr * |m-hat| / (|v-hat|^0.5) ~= lr.
+            prop_assert!((a - b).abs() <= lr * 1.01 + 1e-7);
+        }
+    }
+
+    /// DPU total gradient mass is conserved: after flush, the sequence of
+    /// applied updates equals the eager sequence applied one step later.
+    #[test]
+    fn dpu_applies_every_gradient_exactly_once(
+        steps in 1usize..8,
+        warmup in 0u64..4,
+        seed in 0u32..100,
+    ) {
+        let n = 5;
+        let make = || CpuAdam::new(CpuAdamConfig::default(), n);
+        let grads: Vec<Vec<f32>> = (0..steps)
+            .map(|s| {
+                (0..n)
+                    .map(|i| (((seed as usize + s * 7 + i * 13) % 19) as f32 - 9.0) * 0.05)
+                    .collect()
+            })
+            .collect();
+        // DPU run + flush.
+        let mut dpu = DelayedUpdate::new(make(), warmup);
+        let mut p_dpu = vec![1.0f32; n];
+        for g in &grads {
+            dpu.step(&mut p_dpu, g).unwrap();
+        }
+        dpu.flush(&mut p_dpu).unwrap();
+        // Eager run.
+        let mut plain = make();
+        let mut p_plain = vec![1.0f32; n];
+        for g in &grads {
+            plain.step(&mut p_plain, g).unwrap();
+        }
+        prop_assert_eq!(p_dpu, p_plain);
+    }
+
+    /// The DPU action sequence is Immediate^warmup, Skipped, Delayed*.
+    #[test]
+    fn dpu_action_grammar(steps in 1usize..10, warmup in 0u64..5) {
+        let mut dpu = DelayedUpdate::new(CpuAdam::new(CpuAdamConfig::default(), 1), warmup);
+        let mut p = vec![0.0f32];
+        for i in 0..steps {
+            let action = dpu.step(&mut p, &[0.1]).unwrap();
+            let expected = if (i as u64) < warmup {
+                DpuAction::Immediate
+            } else if i as u64 == warmup {
+                DpuAction::Skipped
+            } else {
+                DpuAction::Delayed
+            };
+            prop_assert_eq!(action, expected, "step {}", i);
+        }
+    }
+
+    /// Momentum/variance stay finite and variance non-negative for any
+    /// bounded gradient stream.
+    #[test]
+    fn state_stays_well_formed(gs in prop::collection::vec(grads_strategy(8), 1..6)) {
+        let mut opt = CpuAdam::new(CpuAdamConfig::default(), 8);
+        let mut p = vec![0.5f32; 8];
+        for g in &gs {
+            opt.step(&mut p, g).unwrap();
+        }
+        for (&m, &v) in opt.state().m.iter().zip(&opt.state().v) {
+            prop_assert!(m.is_finite());
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+        prop_assert!(p.iter().all(|x| x.is_finite()));
+    }
+}

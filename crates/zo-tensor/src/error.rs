@@ -1,0 +1,70 @@
+//! Error types for tensor operations.
+
+use core::fmt;
+
+/// Errors produced by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Left-hand operand shape (rows, cols).
+        lhs: (usize, usize),
+        /// Right-hand operand shape (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A buffer length did not match the expected element count.
+    LengthMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Expected number of elements.
+        expected: usize,
+        /// Actual number of elements.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index (row, col).
+        index: (usize, usize),
+        /// The tensor shape (rows, cols).
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch { op, expected, actual } => {
+                write!(f, "length mismatch in {op}: expected {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for shape {}x{}",
+                index.0, index.1, shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: lhs 2x3, rhs 4x5");
+        let e = TensorError::LengthMismatch { op: "axpy", expected: 8, actual: 7 };
+        assert_eq!(e.to_string(), "length mismatch in axpy: expected 8, got 7");
+        let e = TensorError::IndexOutOfBounds { index: (9, 0), shape: (3, 3) };
+        assert_eq!(e.to_string(), "index (9, 0) out of bounds for shape 3x3");
+    }
+}

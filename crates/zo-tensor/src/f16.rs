@@ -1,0 +1,447 @@
+//! IEEE 754 binary16 ("half precision") implemented from scratch.
+//!
+//! ZeRO-Offload's offload strategy is defined in terms of fp16 model states
+//! (parameters and gradients) versus fp32 optimizer states, so the library
+//! needs a real 16-bit storage type: GPU-resident parameters and the
+//! gradients streamed over the (simulated) PCIe link are stored as [`F16`],
+//! while master parameters, momentum and variance stay `f32`.
+//!
+//! Conversions implement round-to-nearest-even, gradual underflow to
+//! subnormals, and NaN/infinity propagation, matching the semantics of
+//! hardware `float2half` that the paper's tiled copy-back relies on.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// A 16-bit IEEE 754 binary16 floating point number.
+///
+/// Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+/// Arithmetic is performed by widening to `f32`, which is exact for every
+/// representable `F16` value.
+///
+/// # Examples
+///
+/// ```
+/// use zo_tensor::F16;
+///
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// assert_eq!(F16::from_f32(65_520.0), F16::INFINITY); // overflow rounds up
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+
+const MAN_BITS: u32 = 10;
+const EXP_BIAS: i32 = 15;
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: F16 = F16(0x8000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Negative one.
+    pub const NEG_ONE: F16 = F16(0xBC00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest finite value, -65504.
+    pub const MIN: F16 = F16(0xFBFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, 2^-24.
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+    /// Machine epsilon, 2^-10.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Creates an `F16` from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to `F16` with round-to-nearest-even.
+    ///
+    /// Values above the finite range become infinities; tiny values flush
+    /// gradually through the subnormal range to (signed) zero.
+    #[inline]
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN: preserve NaN payload top bits, force quiet.
+            return if man == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                F16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            };
+        }
+
+        // Unbiased exponent of the f32 value.
+        let unbiased = exp - 127;
+        let half_exp = unbiased + EXP_BIAS;
+
+        if half_exp >= 0x1F {
+            // Overflow to infinity.
+            return F16(sign | EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or zero. The implicit leading 1 must be made
+            // explicit, then the mantissa is shifted right by the exponent
+            // deficit with round-to-nearest-even.
+            if half_exp < -10 {
+                // Too small even for the largest shift: signed zero.
+                return F16(sign);
+            }
+            let man = man | 0x0080_0000; // Make the leading 1 explicit.
+            let shift = (14 - half_exp) as u32; // In [14, 24].
+            let halfway = 1u32 << (shift - 1);
+            let mut out = (man >> shift) as u16;
+            let rem = man & ((1 << shift) - 1);
+            match rem.cmp(&halfway) {
+                Ordering::Greater => out += 1,
+                Ordering::Equal => out += out & 1, // Ties to even.
+                Ordering::Less => {}
+            }
+            return F16(sign | out);
+        }
+
+        // Normal range: round the 23-bit mantissa to 10 bits.
+        let mut out = ((half_exp as u16) << MAN_BITS) | ((man >> 13) as u16);
+        let rem = man & 0x1FFF;
+        match rem.cmp(&0x1000) {
+            Ordering::Greater => out += 1, // May carry into exponent: correct.
+            Ordering::Equal => out += out & 1,
+            Ordering::Less => {}
+        }
+        F16(sign | out)
+    }
+
+    /// Converts to `f32` exactly (every `F16` is representable in `f32`).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & EXP_MASK) >> MAN_BITS) as i32;
+        let man = (self.0 & MAN_MASK) as u32;
+
+        if exp == 0x1F {
+            // Infinity or NaN.
+            return f32::from_bits(sign | 0x7F80_0000 | (man << 13));
+        }
+        if exp == 0 {
+            if man == 0 {
+                return f32::from_bits(sign);
+            }
+            // Subnormal: value = man * 2^-24. With the highest set bit of
+            // `man` at position p, the value is 2^(p-24) * 1.xxx, i.e. a
+            // biased f32 exponent of 103 + p = 113 - shift.
+            let shift = man.leading_zeros() - (31 - MAN_BITS);
+            // Shift the leading 1 up to bit 11, drop it, and keep the
+            // 11 remaining fraction bits; f32 needs them at bits 12..23.
+            let frac = (man << (shift + 1)) & 0x07FF;
+            let exp = (113 - shift as i32) as u32;
+            return f32::from_bits(sign | (exp << 23) | (frac << 12));
+        }
+        let exp = (exp - EXP_BIAS + 127) as u32;
+        f32::from_bits(sign | (exp << 23) | (man << 13))
+    }
+
+    /// Converts an `f64` by first narrowing to `f32`.
+    #[inline]
+    pub fn from_f64(value: f64) -> F16 {
+        F16::from_f32(value as f32)
+    }
+
+    /// Widens to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Returns `true` if this value is NaN.
+    #[inline]
+    pub const fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Returns `true` if this value is positive or negative infinity.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// Returns `true` if this value is neither infinite nor NaN.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Returns `true` if the value is subnormal (nonzero with zero exponent).
+    #[inline]
+    pub const fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Returns `true` if the sign bit is set (including -0.0 and NaNs).
+    #[inline]
+    pub const fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Returns the absolute value.
+    #[inline]
+    pub const fn abs(self) -> F16 {
+        F16(self.0 & !SIGN_MASK)
+    }
+
+    /// Returns the negation.
+    #[inline]
+    pub const fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl From<f32> for F16 {
+    #[inline]
+    fn from(v: f32) -> F16 {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    #[inline]
+    fn from(v: F16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    #[inline]
+    fn partial_cmp(&self, other: &F16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl core::ops::Add for F16 {
+    type Output = F16;
+    #[inline]
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl core::ops::Sub for F16 {
+    type Output = F16;
+    #[inline]
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl core::ops::Mul for F16 {
+    type Output = F16;
+    #[inline]
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl core::ops::Div for F16 {
+    type Output = F16;
+    #[inline]
+    fn div(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl core::ops::Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}f16", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+/// Casts a slice of `f32` into `F16` with round-to-nearest-even.
+///
+/// This is the `float2half` edge of the paper's data-flow graph (Fig. 2):
+/// it is what the CPU-side optimizer runs before the tiled copy of updated
+/// parameters back to the GPU.
+pub fn cast_f32_to_f16(src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "cast length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = F16::from_f32(*s);
+    }
+}
+
+/// Widens a slice of `F16` into `f32` exactly.
+pub fn cast_f16_to_f32(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "cast length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = s.to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_roundtrip() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN.to_f32(), -65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::MIN_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(F16::EPSILON.to_f32(), 2.0f32.powi(-10));
+        assert!(F16::NAN.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(F16::NEG_INFINITY.is_infinite());
+    }
+
+    #[test]
+    fn simple_values() {
+        for v in [0.5f32, 1.0, 1.5, 2.0, -3.25, 100.0, 1024.0, 0.099975586] {
+            let h = F16::from_f32(v);
+            assert_eq!(h.to_f32(), v, "value {v} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1.0009765625 (the
+        // next representable value); ties-to-even keeps 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway), F16::ONE);
+        // Slightly above the halfway point rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+        // 1 + 3*2^-11 is halfway between ulp 1 and ulp 2; even is ulp 2.
+        let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway2).to_f32(), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+        // 65520 is the rounding boundary; it rounds to infinity.
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+        assert_eq!(F16::from_f32(65519.9), F16::MAX);
+        assert_eq!(F16::from_f32(-65520.0), F16::NEG_INFINITY);
+        assert_eq!(F16::from_f32(1e30), F16::INFINITY);
+        // Below half the smallest subnormal: flush to zero, keeping sign.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)), F16::ZERO);
+        assert_eq!(F16::from_f32(-2.0f32.powi(-26)), F16::NEG_ZERO);
+        // Exactly halfway between 0 and the smallest subnormal → even (0).
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)), F16::ZERO);
+    }
+
+    #[test]
+    fn subnormals() {
+        let sub = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(sub), F16::MIN_SUBNORMAL);
+        assert_eq!(F16::MIN_SUBNORMAL.to_f32(), sub);
+        assert!(F16::MIN_SUBNORMAL.is_subnormal());
+        // The largest subnormal: (2^10 - 1) * 2^-24.
+        let big_sub = 1023.0 * 2.0f32.powi(-24);
+        let h = F16::from_f32(big_sub);
+        assert_eq!(h.to_f32(), big_sub);
+        assert!(h.is_subnormal());
+        // One ulp up is the smallest normal.
+        assert_eq!(F16(h.0 + 1), F16::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn nan_propagation() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+        assert!((F16::ONE / F16::ZERO).is_infinite());
+        assert!((F16::ZERO / F16::ZERO).is_nan());
+    }
+
+    #[test]
+    fn signed_zero() {
+        assert_eq!(F16::from_f32(-0.0), F16::NEG_ZERO);
+        assert!(F16::NEG_ZERO.is_sign_negative());
+        assert_eq!(F16::NEG_ZERO.to_f32().to_bits(), (-0.0f32).to_bits());
+        // IEEE: -0.0 == 0.0 numerically.
+        assert_eq!(F16::NEG_ZERO.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b / a).to_f32(), 1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+        assert_eq!(a.abs(), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_f16_f32_f16() {
+        // Every finite f16 must survive the f32 round trip bit-exactly.
+        for bits in 0..=u16::MAX {
+            let h = F16(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.0, h.0, "bits {bits:#06x} did not round trip");
+        }
+    }
+
+    #[test]
+    fn slice_casts() {
+        let src = [0.0f32, 1.0, -2.5, 65504.0, 1e-8];
+        let mut h = [F16::ZERO; 5];
+        cast_f32_to_f16(&src, &mut h);
+        let mut back = [0.0f32; 5];
+        cast_f16_to_f32(&h, &mut back);
+        assert_eq!(back[0], 0.0);
+        assert_eq!(back[1], 1.0);
+        assert_eq!(back[2], -2.5);
+        assert_eq!(back[3], 65504.0);
+        // 1e-8 underflows to zero in f16.
+        assert_eq!(back[4], 0.0);
+    }
+}

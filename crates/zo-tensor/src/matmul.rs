@@ -1,0 +1,238 @@
+//! Cache-blocked matrix multiplication kernels.
+//!
+//! Three variants cover everything a manual-backward NN needs:
+//!
+//! * `matmul`      — `C = A · B`          (forward)
+//! * `matmul_at_b` — `C = Aᵀ · B`         (weight gradients)
+//! * `matmul_a_bt` — `C = A · Bᵀ`         (input gradients)
+//!
+//! All kernels accumulate into `C` (caller zeroes it first if needed),
+//! which lets gradient accumulation reuse the same entry points.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Block edge for the cache-blocked loops.
+const BLOCK: usize = 64;
+
+/// `c += a · b` where `a` is `(m, k)` and `b` is `(k, n)`.
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ or
+/// `c` is not `(m, n)`.
+pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch { op: "matmul", lhs: a.shape(), rhs: b.shape() });
+    }
+    if c.shape() != (m, n) {
+        return Err(TensorError::ShapeMismatch { op: "matmul(out)", lhs: (m, n), rhs: c.shape() });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    // i-k-j loop order with blocking: the inner j loop is a contiguous
+    // axpy over a row of B and a row of C, which autovectorizes well.
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..ka).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(ka);
+            for i in i0..i1 {
+                let crow = &mut cd[i * n..(i + 1) * n];
+                for k in k0..k1 {
+                    let aik = ad[i * ka + k];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[k * n..(k + 1) * n];
+                    for (cv, bv) in crow.iter_mut().zip(brow) {
+                        *cv = bv.mul_add(aik, *cv);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `C = A · B`, allocating the output.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let mut c = Tensor::zeros(a.rows(), b.cols());
+    matmul_acc(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// `c += aᵀ · b` where `a` is `(k, m)` and `b` is `(k, n)`.
+///
+/// This is the weight-gradient kernel: for a linear layer `y = x · W`,
+/// `dW = xᵀ · dy`.
+pub fn matmul_at_b_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch { op: "matmul_at_b", lhs: a.shape(), rhs: b.shape() });
+    }
+    if c.shape() != (m, n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b(out)",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv = bv.mul_add(aki, *cv);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `C = Aᵀ · B`, allocating the output.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let mut c = Tensor::zeros(a.cols(), b.cols());
+    matmul_at_b_acc(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// `c += a · bᵀ` where `a` is `(m, k)` and `b` is `(n, k)`.
+///
+/// This is the input-gradient kernel: for `y = x · W`, `dx = dy · Wᵀ`.
+pub fn matmul_a_bt_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch { op: "matmul_a_bt", lhs: a.shape(), rhs: b.shape() });
+    }
+    if c.shape() != (m, n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt(out)",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc = av.mul_add(*bv, acc);
+            }
+            *cv += acc;
+        }
+    }
+    Ok(())
+}
+
+/// `C = A · Bᵀ`, allocating the output.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let mut c = Tensor::zeros(a.rows(), b.rows());
+    matmul_a_bt_acc(a, b, &mut c)?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let (_, n) = b.shape();
+        let mut c = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(i, p).unwrap() * b.get(p, j).unwrap();
+                }
+                c.set(i, j, s).unwrap();
+            }
+        }
+        c
+    }
+
+    fn randomish(rows: usize, cols: usize, seed: u32) -> Tensor {
+        // Deterministic pseudo-random fill without pulling in `rand` here.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.data_mut() {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5;
+        }
+        t
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matches_naive_on_odd_shapes() {
+        // Shapes straddling the block boundary exercise the tail handling.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 63, 130), (100, 1, 9)] {
+            let a = randomish(m, k, (m * 31 + k) as u32);
+            let b = randomish(k, n, (k * 17 + n) as u32);
+            assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = randomish(13, 7, 1);
+        let b = randomish(13, 9, 2);
+        let want = naive(&a.transposed(), &b);
+        assert_close(&matmul_at_b(&a, &b).unwrap(), &want, 1e-4);
+
+        let a2 = randomish(6, 11, 3);
+        let b2 = randomish(8, 11, 4);
+        let want2 = naive(&a2, &b2.transposed());
+        assert_close(&matmul_a_bt(&a2, &b2).unwrap(), &want2, 1e-4);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 5);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_at_b(&a, &b).is_err());
+        assert!(matmul_a_bt(&a, &b).is_err());
+        let mut bad_out = Tensor::zeros(1, 1);
+        let b_ok = Tensor::zeros(3, 5);
+        assert!(matmul_acc(&a, &b_ok, &mut bad_out).is_err());
+    }
+
+    #[test]
+    fn accumulating_entry_points_accumulate() {
+        let a = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let b = Tensor::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let mut c = Tensor::full(2, 2, 1.0);
+        matmul_acc(&a, &b, &mut c).unwrap();
+        assert_eq!(c, Tensor::from_rows(&[&[3.0, 1.0], &[1.0, 3.0]]).unwrap());
+    }
+}

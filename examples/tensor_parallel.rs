@@ -1,0 +1,67 @@
+//! Tensor-slicing model parallelism for real: the Megatron MLP pattern
+//! (column-parallel → GELU → row-parallel) on thread ranks, verified
+//! against the serial computation.
+//!
+//! This is the substrate that lets ZeRO-Offload train 70B-class models on
+//! a DGX-2 (paper Sec. 4.2, "Model Parallel training").
+//!
+//! Run with: `cargo run --release -p zo-bench --example tensor_parallel`
+
+use zo_collectives::Communicator;
+use zo_nn::{Activation, ColumnParallelLinear, Linear, RowParallelLinear};
+use zo_tensor::{Init, Tensor};
+
+fn main() {
+    let (hidden, rows, world) = (64, 16, 4);
+    let x = Init::new(9).normal_tensor(rows, hidden, 1.0);
+
+    // Serial reference MLP.
+    let fc1 = Linear::new(hidden, 4 * hidden, &mut Init::new(1));
+    let mut fc2 = Linear::new(4 * hidden, hidden, &mut Init::new(2));
+    fc2.b = vec![0.0; hidden];
+    let (h1, _) = fc1.forward(&x).unwrap();
+    let (a1, _) = Activation::Gelu.forward(&h1);
+    let (serial_out, _) = fc2.forward(&a1).unwrap();
+
+    // The same MLP sliced across `world` thread ranks.
+    let comms = Communicator::group(world);
+    let x_ref = &x;
+    let outputs: Vec<(usize, usize, Tensor)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                scope.spawn(move || {
+                    let col = ColumnParallelLinear::new(hidden, 4 * hidden, 1, comm.clone());
+                    let row = RowParallelLinear::new(4 * hidden, hidden, 2, comm);
+                    let local_cols = col.local_range().len();
+                    let (h1, _) = col.forward(x_ref).unwrap();
+                    let (a1, _) = Activation::Gelu.forward(&h1);
+                    let (y, _) = row.forward(&a1).unwrap();
+                    (col.comm().rank(), local_cols, y)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    println!("Megatron-style MLP, hidden {hidden}, {world} tensor-parallel ranks:");
+    for (rank, local_cols, y) in &outputs {
+        let max_diff = y
+            .data()
+            .iter()
+            .zip(serial_out.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        println!(
+            "  rank {rank}: holds {local_cols}/{} fc1 columns; output max |diff| vs serial = {max_diff:.2e}",
+            4 * hidden
+        );
+        assert!(max_diff < 1e-4);
+    }
+    println!("\nper-rank weight bytes: {} of {} (1/{world} of the MLP)",
+        outputs[0].1 * hidden * 4,
+        4 * hidden * hidden * 4,
+    );
+    println!("forward collectives: one column all-gather + one row all-reduce — the");
+    println!("activation traffic the Fig. 10 Megatron model charges per layer.");
+}

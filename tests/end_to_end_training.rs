@@ -1,0 +1,207 @@
+//! End-to-end integration: the full library stack training real models.
+
+use zero_offload::{StepOutcome, ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_models::{BigramLm, GaussianClassification};
+use zo_nn::{accuracy, Classifier, GptConfig, GptModel};
+use zo_optim::{AdamParams, LossScaleConfig};
+
+fn engine_cfg() -> ZeroOffloadConfig {
+    ZeroOffloadConfig {
+        adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        ..ZeroOffloadConfig::default()
+    }
+}
+
+#[test]
+fn gpt_pretraining_learns_the_bigram_chain() {
+    let cfg = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let mut engine = ZeroOffloadEngine::new(GptModel::new(cfg, 42), engine_cfg());
+    let mut data = BigramLm::new(cfg.vocab, 0.02, 7);
+
+    let eval = data.batch(16, cfg.seq_len);
+    let before = engine
+        .model()
+        .eval_loss(&eval.inputs, &eval.targets, 16, cfg.seq_len)
+        .unwrap();
+    for _ in 0..250 {
+        let b = data.batch(8, cfg.seq_len);
+        engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 8, cfg.seq_len, |_| {}))
+            .unwrap();
+    }
+    let after = engine
+        .model()
+        .eval_loss(&eval.inputs, &eval.targets, 16, cfg.seq_len)
+        .unwrap();
+    // From ~ln(32) = 3.47 toward the chain's ~ln(4) = 1.39 floor.
+    assert!(before > 3.0, "start loss {before}");
+    assert!(after < before * 0.8, "no learning: {before} -> {after}");
+}
+
+#[test]
+fn classifier_fine_tuning_reaches_high_accuracy() {
+    let (classes, dim) = (4, 16);
+    let mut engine =
+        ZeroOffloadEngine::new(Classifier::new(dim, 32, classes, 3), engine_cfg());
+    let mut data = GaussianClassification::new(classes, dim, 0.4, 11);
+    for _ in 0..250 {
+        let b = data.batch(16);
+        engine.step(|m| m.train_step(&b.features, &b.labels, |_| {})).unwrap();
+    }
+    let eval = data.batch(128);
+    let logits = engine.model().forward(&eval.features).unwrap();
+    let acc = accuracy(&logits, &eval.labels);
+    assert!(acc > 0.85, "accuracy only {acc}");
+}
+
+#[test]
+fn gradient_accumulation_equivalent_to_large_batch() {
+    // Two engines, same seed: one sees a 8-sequence batch at once, the
+    // other as 4 accumulated micro-batches of 2. One optimizer step each;
+    // resulting parameters must agree to fp16 wire precision.
+    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 1 };
+    let mut data = BigramLm::new(cfg.vocab, 0.05, 5);
+    let big = data.batch(8, cfg.seq_len);
+
+    let mut whole = ZeroOffloadEngine::new(GptModel::new(cfg, 9), engine_cfg());
+    let out = whole
+        .step(|m| m.train_step(&big.inputs, &big.targets, 8, cfg.seq_len, |_| {}))
+        .unwrap();
+    assert!(matches!(out, StepOutcome::Applied { .. }));
+
+    let mut accum = ZeroOffloadEngine::new(
+        GptModel::new(cfg, 9),
+        ZeroOffloadConfig { grad_accumulation: 4, ..engine_cfg() },
+    );
+    for k in 0..4 {
+        let lo = k * 2 * cfg.seq_len;
+        let hi = (k + 1) * 2 * cfg.seq_len;
+        let inputs = big.inputs[lo..hi].to_vec();
+        let targets = big.targets[lo..hi].to_vec();
+        accum
+            .step(|m| m.train_step(&inputs, &targets, 2, cfg.seq_len, |_| {}))
+            .unwrap();
+    }
+    assert_eq!(accum.stats().steps_applied, 1);
+
+    let max_diff = whole
+        .master_params()
+        .iter()
+        .zip(accum.master_params())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    // Each micro-batch's mean loss over 2 sequences sums to 4x the
+    // 8-sequence mean; the engine divides by the accumulation count, so
+    // only fp16 rounding and summation order differ.
+    assert!(max_diff < 5e-3, "accumulated vs whole-batch diverged: {max_diff}");
+}
+
+#[test]
+fn long_run_with_dpu_stays_finite_and_converges() {
+    let cfg = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let mut engine = ZeroOffloadEngine::new(
+        GptModel::new(cfg, 12),
+        ZeroOffloadConfig { dpu_warmup: Some(40), ..engine_cfg() },
+    );
+    let mut data = BigramLm::new(cfg.vocab, 0.05, 31);
+    let mut losses = Vec::new();
+    for _ in 0..300 {
+        let b = data.batch(8, cfg.seq_len);
+        let out = engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 8, cfg.seq_len, |_| {}))
+            .unwrap();
+        assert!(out.loss().is_finite(), "loss diverged");
+        losses.push(out.loss());
+    }
+    let head: f32 = losses[..20].iter().sum::<f32>() / 20.0;
+    let tail: f32 = losses[280..].iter().sum::<f32>() / 20.0;
+    assert!(tail < head * 0.85, "{head} -> {tail}");
+    // Every parameter stays fp16-representable (no silent overflow).
+    for &p in engine.master_params() {
+        assert!(p.abs() < 65000.0, "parameter escaped fp16 range: {p}");
+    }
+}
+
+#[test]
+fn loss_scaler_recovers_after_forced_overflow() {
+    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 1 };
+    // Start with an absurd scale: the engine must back off and then train.
+    let mut engine = ZeroOffloadEngine::new(
+        GptModel::new(cfg, 4),
+        ZeroOffloadConfig {
+            loss_scale: LossScaleConfig { init_scale: 1.0e9, ..Default::default() },
+            adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+            ..ZeroOffloadConfig::default()
+        },
+    );
+    let mut data = BigramLm::new(cfg.vocab, 0.05, 8);
+    let mut applied = 0;
+    for _ in 0..60 {
+        let b = data.batch(4, cfg.seq_len);
+        match engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 4, cfg.seq_len, |_| {}))
+            .unwrap()
+        {
+            StepOutcome::Applied { .. } => applied += 1,
+            StepOutcome::SkippedOverflow { .. } | StepOutcome::Accumulating { .. } => {}
+        }
+    }
+    assert!(engine.stats().steps_skipped > 0, "never overflowed?");
+    assert!(applied > 20, "scaler failed to recover: {applied} applied");
+    assert!(engine.loss_scale() < 1.0e9);
+}
+
+#[test]
+fn backward_errors_propagate_and_engine_recovers() {
+    // A failing micro-batch must surface the error without corrupting the
+    // engine; subsequent good steps proceed normally.
+    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 1 };
+    let mut engine = ZeroOffloadEngine::new(GptModel::new(cfg, 2), engine_cfg());
+    let mut data = BigramLm::new(cfg.vocab, 0.05, 17);
+
+    // Inject an out-of-vocabulary token: train_step must return Err.
+    let bad_inputs = vec![999usize; 8];
+    let targets = vec![0usize; 8];
+    let err = engine.step(|m| m.train_step(&bad_inputs, &targets, 1, cfg.seq_len, |_| {}));
+    assert!(err.is_err(), "invalid batch must error");
+    assert_eq!(engine.stats().steps_applied, 0);
+
+    // The engine still trains afterwards.
+    for _ in 0..5 {
+        let b = data.batch(2, cfg.seq_len);
+        let out = engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 2, cfg.seq_len, |_| {}))
+            .unwrap();
+        assert!(out.loss().is_finite());
+    }
+    assert!(engine.stats().steps_applied >= 4);
+}
+
+#[test]
+fn checkpointed_activations_train_identically_under_the_engine() {
+    // Activation checkpointing must be invisible to the training
+    // trajectory even through the full engine (fp16 params, loss scaling).
+    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 2 };
+    let mut plain = ZeroOffloadEngine::new(GptModel::new(cfg, 4), engine_cfg());
+    let mut ckpt_model = GptModel::new(cfg, 4);
+    ckpt_model.set_activation_checkpointing(true);
+    let mut ckpt = ZeroOffloadEngine::new(ckpt_model, engine_cfg());
+
+    let mut d1 = BigramLm::new(cfg.vocab, 0.05, 23);
+    let mut d2 = BigramLm::new(cfg.vocab, 0.05, 23);
+    for _ in 0..10 {
+        let b1 = d1.batch(2, cfg.seq_len);
+        let b2 = d2.batch(2, cfg.seq_len);
+        let l1 = plain
+            .step(|m| m.train_step(&b1.inputs, &b1.targets, 2, cfg.seq_len, |_| {}))
+            .unwrap()
+            .loss();
+        let l2 = ckpt
+            .step(|m| m.train_step(&b2.inputs, &b2.targets, 2, cfg.seq_len, |_| {}))
+            .unwrap()
+            .loss();
+        assert_eq!(l1, l2);
+    }
+    assert_eq!(plain.master_params(), ckpt.master_params());
+}
