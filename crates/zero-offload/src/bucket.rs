@@ -25,6 +25,8 @@ pub struct GradBucketer {
     emitted: Vec<Bytes>,
     total_payload_bytes: u64,
     total_wire_bytes: u64,
+    tracer: zo_trace::Tracer,
+    track: String,
 }
 
 impl GradBucketer {
@@ -34,6 +36,17 @@ impl GradBucketer {
     ///
     /// Panics if `capacity_bytes < 2` (smaller than one fp16 element).
     pub fn new(capacity_bytes: usize) -> GradBucketer {
+        GradBucketer::traced(capacity_bytes, zo_trace::Tracer::disabled(), "pcie")
+    }
+
+    /// Like [`GradBucketer::new`], additionally recording send-side
+    /// counters on `track` as each frame is emitted: `tx_wire_bytes`,
+    /// `tx_payload_bytes` and `tx_frames`.
+    pub fn traced(
+        capacity_bytes: usize,
+        tracer: zo_trace::Tracer,
+        track: impl Into<String>,
+    ) -> GradBucketer {
         assert!(capacity_bytes >= 2, "bucket must hold at least one element");
         GradBucketer {
             capacity_elems: capacity_bytes / 2,
@@ -43,6 +56,8 @@ impl GradBucketer {
             emitted: Vec::new(),
             total_payload_bytes: 0,
             total_wire_bytes: 0,
+            tracer,
+            track: track.into(),
         }
     }
 
@@ -88,6 +103,14 @@ impl GradBucketer {
         let frame = encode_frame(self.seq, offset, &self.staged);
         self.total_payload_bytes += 2 * self.staged.len() as u64;
         self.total_wire_bytes += frame.len() as u64;
+        self.tracer
+            .add(&self.track, "tx_wire_bytes", frame.len() as u64);
+        self.tracer.add(
+            &self.track,
+            "tx_payload_bytes",
+            2 * self.staged.len() as u64,
+        );
+        self.tracer.add(&self.track, "tx_frames", 1);
         self.emitted.push(frame);
         self.seq += 1;
         self.staged.clear();
@@ -127,7 +150,11 @@ pub fn scatter_frames(frames: &[crate::wire::GradFrame], dst: &mut [f32]) -> usi
     for f in frames {
         let start = f.offset as usize;
         let end = start + f.values.len();
-        assert!(end <= dst.len(), "frame [{start}, {end}) exceeds buffer {}", dst.len());
+        assert!(
+            end <= dst.len(),
+            "frame [{start}, {end}) exceeds buffer {}",
+            dst.len()
+        );
         for (d, v) in dst[start..end].iter_mut().zip(&f.values) {
             *d = v.to_f32();
         }
@@ -160,8 +187,11 @@ mod tests {
         b.push(10, &vals(10..20));
         assert_eq!(b.frames_emitted(), 2);
         b.flush();
-        let frames: Vec<_> =
-            b.take_frames().into_iter().map(|f| decode_frame(f).unwrap()).collect();
+        let frames: Vec<_> = b
+            .take_frames()
+            .into_iter()
+            .map(|f| decode_frame(f).unwrap())
+            .collect();
         assert_eq!(frames.len(), 3);
         assert_eq!(frames[0].offset, 0);
         assert_eq!(frames[0].values.len(), 8);
@@ -169,7 +199,10 @@ mod tests {
         assert_eq!(frames[2].offset, 16);
         assert_eq!(frames[2].values.len(), 4);
         // Sequence numbers are monotone.
-        assert_eq!(frames.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            frames.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -178,8 +211,11 @@ mod tests {
         b.push(0, &vals(0..3));
         b.push(100, &vals(0..3)); // Gap: first bucket must close.
         b.flush();
-        let frames: Vec<_> =
-            b.take_frames().into_iter().map(|f| decode_frame(f).unwrap()).collect();
+        let frames: Vec<_> = b
+            .take_frames()
+            .into_iter()
+            .map(|f| decode_frame(f).unwrap())
+            .collect();
         assert_eq!(frames.len(), 2);
         assert_eq!(frames[0].offset, 0);
         assert_eq!(frames[1].offset, 100);
@@ -200,8 +236,11 @@ mod tests {
         let src: Vec<F16> = (0..13).map(|i| F16::from_f32(i as f32)).collect();
         b.push(7, &src);
         b.flush();
-        let frames: Vec<_> =
-            b.take_frames().into_iter().map(|f| decode_frame(f).unwrap()).collect();
+        let frames: Vec<_> = b
+            .take_frames()
+            .into_iter()
+            .map(|f| decode_frame(f).unwrap())
+            .collect();
         let mut dst = vec![0.0f32; 32];
         let written = scatter_frames(&frames, &mut dst);
         assert_eq!(written, 13);

@@ -62,7 +62,10 @@ impl core::fmt::Display for CheckpointError {
                 "checkpoint holds {checkpoint} parameters, engine expects {engine}"
             ),
             CheckpointError::ModeMismatch => {
-                write!(f, "checkpoint DPU state does not match the engine's DPU mode")
+                write!(
+                    f,
+                    "checkpoint DPU state does not match the engine's DPU mode"
+                )
             }
         }
     }
@@ -89,10 +92,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
     /// The model is reloaded with the fp16 view of the restored master
     /// parameters, so the next step continues the original trajectory
     /// exactly (verified bitwise by the resume tests).
-    pub fn restore_checkpoint(
-        &mut self,
-        ckpt: &TrainingCheckpoint,
-    ) -> Result<(), CheckpointError> {
+    pub fn restore_checkpoint(&mut self, ckpt: &TrainingCheckpoint) -> Result<(), CheckpointError> {
         let n = self.master_params().len();
         if ckpt.master.len() != n || ckpt.optim.len() != n {
             return Err(CheckpointError::SizeMismatch {
@@ -143,12 +143,24 @@ mod tests {
     use zo_nn::{GptConfig, GptModel, Model};
     use zo_optim::{AdamParams, LossScaleConfig};
 
-    const GPT: GptConfig = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 2 };
+    const GPT: GptConfig = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 2,
+    };
 
     fn cfg() -> ZeroOffloadConfig {
         ZeroOffloadConfig {
-            adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
-            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+            adam: AdamParams {
+                lr: 3e-3,
+                ..AdamParams::default()
+            },
+            loss_scale: LossScaleConfig {
+                init_scale: 256.0,
+                ..Default::default()
+            },
             ..ZeroOffloadConfig::default()
         }
     }
@@ -202,7 +214,10 @@ mod tests {
 
     #[test]
     fn dpu_pending_gradient_survives_checkpoint() {
-        let dpu_cfg = ZeroOffloadConfig { dpu_warmup: Some(2), ..cfg() };
+        let dpu_cfg = ZeroOffloadConfig {
+            dpu_warmup: Some(2),
+            ..cfg()
+        };
         let mut continuous = ZeroOffloadEngine::new(GptModel::new(GPT, 5), dpu_cfg);
         let all = run(&mut continuous, 0, 12);
 
@@ -235,7 +250,10 @@ mod tests {
         assert!(ckpt.dpu.is_none());
         let mut dpu_engine = ZeroOffloadEngine::new(
             GptModel::new(GPT, 1),
-            ZeroOffloadConfig { dpu_warmup: Some(0), ..cfg() },
+            ZeroOffloadConfig {
+                dpu_warmup: Some(0),
+                ..cfg()
+            },
         );
         assert!(matches!(
             dpu_engine.restore_checkpoint(&ckpt),

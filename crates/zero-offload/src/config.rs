@@ -3,6 +3,46 @@
 use serde::{Deserialize, Serialize};
 use zo_optim::{AdamParams, LossScaleConfig};
 
+/// A `Copy` handle to an installed [`zo_trace::Tracer`].
+///
+/// The engine config must stay `Copy` (it is captured by value in the
+/// per-rank closures of [`run_ranks`](crate::zero2::run_ranks)), so it
+/// cannot hold a `Tracer` directly; instead it carries an index into the
+/// process-wide tracer registry.
+///
+/// ```
+/// use zero_offload::{TracerRef, ZeroOffloadConfig};
+///
+/// let tracer = zo_trace::Tracer::new();
+/// let cfg = ZeroOffloadConfig {
+///     tracer: Some(TracerRef::install(tracer.clone())),
+///     ..ZeroOffloadConfig::default()
+/// };
+/// assert!(cfg.tracer.unwrap().resolve().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracerRef(pub usize);
+
+impl TracerRef {
+    /// Pins `tracer` into the registry and returns its handle.
+    pub fn install(tracer: zo_trace::Tracer) -> TracerRef {
+        TracerRef(zo_trace::install(tracer))
+    }
+
+    /// Resolves the handle (`None` if the index was never installed).
+    pub fn resolve(&self) -> Option<zo_trace::Tracer> {
+        zo_trace::lookup(self.0)
+    }
+}
+
+/// Resolves an optional handle to a concrete tracer, falling back to the
+/// inert disabled tracer.
+pub(crate) fn resolve_tracer(tracer: Option<TracerRef>) -> zo_trace::Tracer {
+    tracer
+        .and_then(|t| t.resolve())
+        .unwrap_or_else(zo_trace::Tracer::disabled)
+}
+
 /// Where the optimizer states and step live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OffloadDevice {
@@ -44,6 +84,8 @@ pub struct ZeroOffloadConfig {
     pub optimizer_threads: usize,
     /// Elements per copy-back tile (Algorithm 1 line 15).
     pub tile_width: usize,
+    /// Step-timeline tracer handle (`None` disables tracing).
+    pub tracer: Option<TracerRef>,
 }
 
 impl Default for ZeroOffloadConfig {
@@ -57,6 +99,7 @@ impl Default for ZeroOffloadConfig {
             grad_accumulation: 1,
             optimizer_threads: 1,
             tile_width: 2 * 1024 * 1024,
+            tracer: None,
         }
     }
 }
@@ -99,10 +142,8 @@ mod tests {
         assert_eq!(back.dpu_warmup, Some(40));
         assert_eq!(back.grad_accumulation, cfg.grad_accumulation);
         // Partial config: unknown-but-valid subset with defaults.
-        let partial = ZeroOffloadConfig::from_json(
-            r#"{"offload": "None", "grad_accumulation": 8}"#,
-        )
-        .unwrap();
+        let partial =
+            ZeroOffloadConfig::from_json(r#"{"offload": "None", "grad_accumulation": 8}"#).unwrap();
         assert_eq!(partial.offload, OffloadDevice::None);
         assert_eq!(partial.grad_accumulation, 8);
         assert!(partial.dpu_warmup.is_none());

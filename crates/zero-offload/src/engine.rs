@@ -18,8 +18,8 @@ use zo_optim::{
 use zo_tensor::{cast_f32_to_f16, F16};
 
 use crate::bucket::{scatter_frames, GradBucketer};
-use crate::config::{OffloadDevice, ZeroOffloadConfig};
-use crate::wire::decode_frame;
+use crate::config::{resolve_tracer, OffloadDevice, ZeroOffloadConfig};
+use crate::wire::decode_frame_traced;
 
 /// What a call to [`ZeroOffloadEngine::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +93,8 @@ pub struct ZeroOffloadEngine<M: Model> {
     stats: EngineStats,
     /// Flat offset ranges of each layer bucket, in canonical order.
     layer_ranges: Vec<core::ops::Range<usize>>,
+    /// Step-timeline recorder (inert unless configured).
+    tracer: zo_trace::Tracer,
 }
 
 impl<M: Model> ZeroOffloadEngine<M> {
@@ -137,9 +139,15 @@ impl<M: Model> ZeroOffloadEngine<M> {
             micro_in_window: 0,
             stats: EngineStats::default(),
             layer_ranges: layer_ranges_init,
+            tracer: resolve_tracer(cfg.tracer),
         };
         engine.sync_model_params();
         engine
+    }
+
+    /// The engine's tracer (disabled unless the config installed one).
+    pub fn tracer(&self) -> &zo_trace::Tracer {
+        &self.tracer
     }
 
     /// The wrapped model (parameters are the fp16 view).
@@ -168,9 +176,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
     }
 
     /// Snapshot of optimizer state + DPU bookkeeping (checkpointing).
-    pub(crate) fn updater_state(
-        &self,
-    ) -> (AdamState, Option<crate::checkpoint::DpuCheckpoint>) {
+    pub(crate) fn updater_state(&self) -> (AdamState, Option<crate::checkpoint::DpuCheckpoint>) {
         match &self.updater {
             Updater::Reference(state, _) => (state.clone(), None),
             Updater::Cpu(opt) => (opt.state().clone(), None),
@@ -195,14 +201,12 @@ impl<M: Model> ZeroOffloadEngine<M> {
                 *state = optim.clone();
                 Ok(())
             }
-            (Updater::Cpu(opt), None) => {
-                opt.load_state(optim.clone()).map_err(|_| {
-                    crate::checkpoint::CheckpointError::SizeMismatch {
-                        checkpoint: optim.len(),
-                        engine: self.master.len(),
-                    }
-                })
-            }
+            (Updater::Cpu(opt), None) => opt.load_state(optim.clone()).map_err(|_| {
+                crate::checkpoint::CheckpointError::SizeMismatch {
+                    checkpoint: optim.len(),
+                    engine: self.master.len(),
+                }
+            }),
             (Updater::Dpu(wrapper), Some(d)) => {
                 wrapper.inner_mut().load_state(optim.clone()).map_err(|_| {
                     crate::checkpoint::CheckpointError::SizeMismatch {
@@ -263,7 +267,10 @@ impl<M: Model> ZeroOffloadEngine<M> {
         if self.micro_in_window == 0 {
             self.model.zero_grads();
         }
-        let loss = run_backward(&mut self.model)?;
+        let loss = {
+            let _fwd = self.tracer.span("gpu", "fwd_bwd");
+            run_backward(&mut self.model)?
+        };
         self.micro_in_window += 1;
         if self.micro_in_window < self.cfg.grad_accumulation {
             return Ok(StepOutcome::Accumulating { loss });
@@ -274,11 +281,16 @@ impl<M: Model> ZeroOffloadEngine<M> {
         // layer spans into wire frames in backward order (head bucket
         // first, blocks reversed, embeddings last — the order they become
         // ready in Sec. 4.1), ship, validate, scatter into host memory.
+        let transfer = self.tracer.span("pcie", "grad_offload");
         self.model.copy_grads_to(&mut self.grads);
         let scale = self.scaler.scale();
         let denom = self.cfg.grad_accumulation as f32;
         let mut overflow = false;
-        let mut bucketer = GradBucketer::new(crate::bucket::default_bucket_bytes());
+        let mut bucketer = GradBucketer::traced(
+            crate::bucket::default_bucket_bytes(),
+            self.tracer.clone(),
+            "pcie",
+        );
         let mut span = Vec::new();
         for range in self.layer_ranges.iter().rev() {
             span.clear();
@@ -296,16 +308,31 @@ impl<M: Model> ZeroOffloadEngine<M> {
         let frames: Vec<crate::wire::GradFrame> = bucketer
             .take_frames()
             .into_iter()
-            .map(|f| decode_frame(f).expect("loopback frames are well-formed"))
+            .map(|f| {
+                decode_frame_traced(&self.tracer, "pcie", f)
+                    .expect("loopback frames are well-formed")
+            })
             .collect();
         scatter_frames(&frames, &mut self.grads);
         zo_tensor::ops::scale(&mut self.grads, 1.0 / scale);
         self.stats.d2h_bytes += bucketer.payload_bytes();
         self.stats.wire_bytes += bucketer.wire_bytes();
         self.stats.frames += u64::from(bucketer.frames_emitted());
+        self.tracer
+            .add("pcie", "d2h_bytes", bucketer.payload_bytes());
+        // Memory high-water marks: fp16 parameters + the transient staging
+        // bucket on the device; master + Adam moments + fp32 gradient
+        // buffer on the host.
+        let n = self.master.len() as f64;
+        self.tracer
+            .gauge_max("gpu_hwm_bytes", 2.0 * n + bucketer.wire_bytes() as f64);
+        self.tracer.gauge_max("cpu_hwm_bytes", 16.0 * n);
+        drop(transfer);
 
         if !self.scaler.update(overflow) {
             self.stats.steps_skipped += 1;
+            self.tracer.add("engine", "steps_skipped", 1);
+            self.tracer.finish_step();
             return Ok(StepOutcome::SkippedOverflow { loss });
         }
 
@@ -313,28 +340,38 @@ impl<M: Model> ZeroOffloadEngine<M> {
             clip::clip_global_norm(&mut [&mut self.grads], self.cfg.max_grad_norm);
         }
 
-        match &mut self.updater {
-            Updater::Reference(state, hp) => {
-                // The recurrence is identical to CpuAdam's, bit for bit.
-                adam_reference_step(hp, state, &mut self.master, &self.grads)
-                    .expect("engine buffers are sized together");
-            }
-            Updater::Cpu(opt) => {
-                opt.step_mixed(&mut self.master, &self.grads, &mut self.p16)
-                    .expect("engine buffers are sized together");
-            }
-            Updater::Dpu(dpu) => {
-                dpu.step(&mut self.master, &self.grads)
-                    .expect("engine buffers are sized together");
+        {
+            let _adam = self.tracer.span("cpu", "cpu_adam");
+            match &mut self.updater {
+                Updater::Reference(state, hp) => {
+                    // The recurrence is identical to CpuAdam's, bit for bit.
+                    adam_reference_step(hp, state, &mut self.master, &self.grads)
+                        .expect("engine buffers are sized together");
+                }
+                Updater::Cpu(opt) => {
+                    opt.step_mixed(&mut self.master, &self.grads, &mut self.p16)
+                        .expect("engine buffers are sized together");
+                }
+                Updater::Dpu(dpu) => {
+                    dpu.step(&mut self.master, &self.grads)
+                        .expect("engine buffers are sized together");
+                }
             }
         }
         // Refresh the fp16 mirror (for the Cpu path this re-does the tiled
         // cast; for Reference/Dpu it is the float2half copy-back) and load
         // it into the model — the h2d parameter copy.
-        cast_f32_to_f16(&self.master, &mut self.p16);
-        self.stats.h2d_bytes += 2 * self.p16.len() as u64;
-        self.sync_model_params();
+        {
+            let _copy = self.tracer.span("pcie", "param_copy_back");
+            cast_f32_to_f16(&self.master, &mut self.p16);
+            self.stats.h2d_bytes += 2 * self.p16.len() as u64;
+            self.tracer
+                .add("pcie", "h2d_bytes", 2 * self.p16.len() as u64);
+            self.sync_model_params();
+        }
         self.stats.steps_applied += 1;
+        self.tracer.add("engine", "steps_applied", 1);
+        self.tracer.finish_step();
         Ok(StepOutcome::Applied { loss })
     }
 }
@@ -347,15 +384,27 @@ mod tests {
 
     fn tiny_model(seed: u64) -> GptModel {
         GptModel::new(
-            GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 2 },
+            GptConfig {
+                vocab: 16,
+                seq_len: 8,
+                hidden: 8,
+                heads: 2,
+                layers: 2,
+            },
             seed,
         )
     }
 
     fn small_scale_cfg() -> ZeroOffloadConfig {
         ZeroOffloadConfig {
-            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
-            adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+            loss_scale: LossScaleConfig {
+                init_scale: 256.0,
+                ..Default::default()
+            },
+            adam: AdamParams {
+                lr: 3e-3,
+                ..AdamParams::default()
+            },
             ..ZeroOffloadConfig::default()
         }
     }
@@ -399,17 +448,26 @@ mod tests {
 
     #[test]
     fn dpu_trails_by_one_step_then_converges() {
-        let cfg = ZeroOffloadConfig { dpu_warmup: Some(5), ..small_scale_cfg() };
+        let cfg = ZeroOffloadConfig {
+            dpu_warmup: Some(5),
+            ..small_scale_cfg()
+        };
         let mut dpu = ZeroOffloadEngine::new(tiny_model(3), cfg);
         let losses = run_steps(&mut dpu, 150, 11);
         let head: f32 = losses[..10].iter().sum::<f32>() / 10.0;
         let tail: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
-        assert!(tail < head * 0.9, "DPU run did not converge: {head} -> {tail}");
+        assert!(
+            tail < head * 0.9,
+            "DPU run did not converge: {head} -> {tail}"
+        );
     }
 
     #[test]
     fn dpu_matches_plain_during_warmup() {
-        let cfg = ZeroOffloadConfig { dpu_warmup: Some(20), ..small_scale_cfg() };
+        let cfg = ZeroOffloadConfig {
+            dpu_warmup: Some(20),
+            ..small_scale_cfg()
+        };
         let mut dpu = ZeroOffloadEngine::new(tiny_model(4), cfg);
         let mut plain = ZeroOffloadEngine::new(tiny_model(4), small_scale_cfg());
         let l1 = run_steps(&mut dpu, 20, 13);
@@ -435,7 +493,10 @@ mod tests {
 
     #[test]
     fn gradient_accumulation_windows() {
-        let cfg = ZeroOffloadConfig { grad_accumulation: 4, ..small_scale_cfg() };
+        let cfg = ZeroOffloadConfig {
+            grad_accumulation: 4,
+            ..small_scale_cfg()
+        };
         let mut engine = ZeroOffloadEngine::new(tiny_model(6), cfg);
         let mut data = zo_models::BigramLm::new(16, 0.05, 20);
         let mut outcomes = Vec::new();
@@ -446,7 +507,10 @@ mod tests {
                 .unwrap();
             outcomes.push(matches!(out, StepOutcome::Applied { .. }));
         }
-        assert_eq!(outcomes, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            outcomes,
+            vec![false, false, false, true, false, false, false, true]
+        );
         assert_eq!(engine.stats().steps_applied, 2);
     }
 
@@ -454,7 +518,10 @@ mod tests {
     fn overflow_backs_off_scale_and_skips() {
         // A huge init scale forces immediate fp16 overflow.
         let cfg = ZeroOffloadConfig {
-            loss_scale: LossScaleConfig { init_scale: 3.4e38, ..Default::default() },
+            loss_scale: LossScaleConfig {
+                init_scale: 3.4e38,
+                ..Default::default()
+            },
             ..ZeroOffloadConfig::default()
         };
         let mut engine = ZeroOffloadEngine::new(tiny_model(8), cfg);

@@ -50,7 +50,7 @@ pub mod wire;
 mod zero2;
 
 pub use checkpoint::{CheckpointError, DpuCheckpoint, TrainingCheckpoint};
-pub use config::{OffloadDevice, ZeroOffloadConfig};
+pub use config::{OffloadDevice, TracerRef, ZeroOffloadConfig};
 pub use engine::{EngineStats, StepOutcome, ZeroOffloadEngine};
 pub use overlap::AsyncDpu;
 pub use perf::{IterStats, ZeroOffloadPerf};

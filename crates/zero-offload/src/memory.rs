@@ -69,8 +69,7 @@ pub fn fits(
 ) -> bool {
     let usable = (gpu_capacity as f64 * USABLE_GPU_FRACTION) as u64;
     let cpu_usable = (cpu_capacity as f64 * USABLE_CPU_FRACTION) as u64;
-    gpu_bytes(cfg, micro_batch, mp_degree) <= usable
-        && cpu_bytes(cfg, mp_degree) <= cpu_usable
+    gpu_bytes(cfg, micro_batch, mp_degree) <= usable && cpu_bytes(cfg, mp_degree) <= cpu_usable
 }
 
 /// The model-size family used for scale searches: hidden width by size
@@ -86,7 +85,9 @@ pub fn config_for_params(target: u64) -> TransformerConfig {
     };
     let per_layer = TransformerConfig::gpt2_like(1, hidden).params_per_layer();
     let emb = TransformerConfig::gpt2_like(0, hidden).total_params();
-    let layers = ((target.saturating_sub(emb)) as f64 / per_layer as f64).round().max(1.0) as u32;
+    let layers = ((target.saturating_sub(emb)) as f64 / per_layer as f64)
+        .round()
+        .max(1.0) as u32;
     TransformerConfig::gpt2_like(layers, hidden)
 }
 
@@ -121,7 +122,10 @@ mod tests {
         let params = cfg.total_params();
         let g = gpu_bytes(&cfg, 1, 1);
         assert!(g > 2 * params);
-        assert!(g < 2 * params + 4 * 1024 * 1024 * 1024, "activations too large: {g}");
+        assert!(
+            g < 2 * params + 4 * 1024 * 1024 * 1024,
+            "activations too large: {g}"
+        );
     }
 
     #[test]
@@ -170,7 +174,12 @@ mod tests {
 
     #[test]
     fn config_family_hits_targets() {
-        for &t in &[1_000_000_000u64, 10_000_000_000, 40_000_000_000, 70_000_000_000] {
+        for &t in &[
+            1_000_000_000u64,
+            10_000_000_000,
+            40_000_000_000,
+            70_000_000_000,
+        ] {
             let cfg = config_for_params(t);
             let got = cfg.total_params() as f64;
             let rel = (got - t as f64).abs() / t as f64;
@@ -181,9 +190,8 @@ mod tests {
     #[test]
     fn max_trainable_search_matches_direct_check() {
         let node = presets::single_v100_node();
-        let max = max_trainable_params(|cfg| {
-            fits(cfg, 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes)
-        });
+        let max =
+            max_trainable_params(|cfg| fits(cfg, 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
         // Should land in the paper's 13B ballpark (9x over PyTorch).
         assert!(
             (11e9..16e9).contains(&(max as f64)),
@@ -191,8 +199,20 @@ mod tests {
             max as f64 / 1e9
         );
         // And the found maximum actually fits while max+20% does not.
-        assert!(fits(&config_for_params(max), 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
+        assert!(fits(
+            &config_for_params(max),
+            1,
+            1,
+            node.gpu.mem_bytes,
+            node.cpu.mem_bytes
+        ));
         let over = (max as f64 * 1.2) as u64;
-        assert!(!fits(&config_for_params(over), 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
+        assert!(!fits(
+            &config_for_params(over),
+            1,
+            1,
+            node.gpu.mem_bytes,
+            node.cpu.mem_bytes
+        ));
     }
 }

@@ -49,6 +49,20 @@ impl AsyncDpu {
     /// Spawns the optimizer thread, transferring ownership of the master
     /// parameters to it (they live in "CPU memory").
     pub fn spawn(master: Vec<f32>, cfg: CpuAdamConfig) -> AsyncDpu {
+        AsyncDpu::spawn_traced(master, cfg, zo_trace::Tracer::disabled())
+    }
+
+    /// Like [`AsyncDpu::spawn`], additionally recording each update as a
+    /// `cpu_adam_step` span on the `optimizer` track (plus an
+    /// `optimizer_steps` counter). Because the span is recorded from the
+    /// worker thread against the tracer's shared epoch, its wall-clock
+    /// overlap with caller-side spans is directly checkable — the Fig. 6
+    /// overlap becomes an assertable fact rather than a diagram.
+    pub fn spawn_traced(
+        master: Vec<f32>,
+        cfg: CpuAdamConfig,
+        tracer: zo_trace::Tracer,
+    ) -> AsyncDpu {
         let (job_tx, job_rx) = bounded::<Job>(1);
         let (done_tx, done_rx) = bounded::<Done>(1);
         let worker = std::thread::spawn(move || {
@@ -58,9 +72,16 @@ impl AsyncDpu {
             while let Ok(job) = job_rx.recv() {
                 match job {
                     Job::Step(grads) => {
-                        opt.step_mixed(&mut master, &grads, &mut p16)
-                            .expect("worker buffers are sized together");
-                        let done = Done { p16: p16.clone(), steps: opt.step_count() };
+                        {
+                            let _update = tracer.span("optimizer", "cpu_adam_step");
+                            opt.step_mixed(&mut master, &grads, &mut p16)
+                                .expect("worker buffers are sized together");
+                        }
+                        tracer.add("optimizer", "optimizer_steps", 1);
+                        let done = Done {
+                            p16: p16.clone(),
+                            steps: opt.step_count(),
+                        };
                         if done_tx.send(done).is_err() {
                             break;
                         }
@@ -70,7 +91,12 @@ impl AsyncDpu {
             }
             master
         });
-        AsyncDpu { tx: job_tx, rx: done_rx, worker: Some(worker), in_flight: false }
+        AsyncDpu {
+            tx: job_tx,
+            rx: done_rx,
+            worker: Some(worker),
+            in_flight: false,
+        }
     }
 
     /// Submits gradients for an asynchronous update; returns immediately.
@@ -81,7 +107,9 @@ impl AsyncDpu {
     /// [`AsyncDpu::wait_params`] first) or the worker died.
     pub fn submit(&mut self, grads: Vec<f32>) {
         assert!(!self.in_flight, "an update is already in flight");
-        self.tx.send(Job::Step(grads)).expect("optimizer thread alive");
+        self.tx
+            .send(Job::Step(grads))
+            .expect("optimizer thread alive");
         self.in_flight = true;
     }
 
@@ -137,7 +165,9 @@ mod tests {
     use zo_optim::DelayedUpdate;
 
     fn grads_for(step: usize, n: usize) -> Vec<f32> {
-        (0..n).map(|i| (((step * 13 + i * 7) % 19) as f32 - 9.0) * 0.02).collect()
+        (0..n)
+            .map(|i| (((step * 13 + i * 7) % 19) as f32 - 9.0) * 0.02)
+            .collect()
     }
 
     #[test]
@@ -166,7 +196,8 @@ mod tests {
         let mut p_ref = master;
         let mut p16_ref = vec![F16::ZERO; n];
         for step in 0..steps {
-            opt.step_mixed(&mut p_ref, &grads_for(step, n), &mut p16_ref).unwrap();
+            opt.step_mixed(&mut p_ref, &grads_for(step, n), &mut p16_ref)
+                .unwrap();
         }
         assert_eq!(final_master, p_ref);
         assert_eq!(last_p16.unwrap(), p16_ref);
@@ -227,6 +258,55 @@ mod tests {
         assert_eq!(p16.len(), n);
         assert!(!dpu.in_flight());
         dpu.shutdown();
+    }
+
+    #[test]
+    fn traced_update_overlaps_callers_next_forward() {
+        // Fig. 6 as a wall-clock fact: the optimizer span for step i's
+        // gradients must run concurrently with the caller-side span that
+        // stands in for step i+1's forward/backward. Spans from both
+        // threads share the tracer's epoch, so overlap is checkable.
+        let tracer = zo_trace::Tracer::new();
+        let n = 1 << 21;
+        let steps = 3;
+        let mut dpu =
+            AsyncDpu::spawn_traced(vec![0.5; n], CpuAdamConfig::default(), tracer.clone());
+        for step in 0..steps {
+            dpu.submit(grads_for(step, n));
+            {
+                let _fwd = tracer.span("gpu", "fwd_bwd");
+                // Caller-side compute while the update is in flight; big
+                // enough to take real time even on a fast machine.
+                let mut acc = 0.0f64;
+                for i in 0..2_000_000u64 {
+                    acc += (i as f64).sqrt();
+                }
+                assert!(acc > 0.0);
+            }
+            let _ = dpu.wait_params();
+        }
+        dpu.shutdown();
+
+        let updates = tracer.spans_named("cpu_adam_step");
+        let forwards = tracer.spans_named("fwd_bwd");
+        assert_eq!(updates.len(), steps);
+        assert_eq!(forwards.len(), steps);
+        assert_eq!(
+            tracer.counter_on("optimizer", "optimizer_steps"),
+            steps as u64
+        );
+        // Each step's update should overlap that step's caller-side work;
+        // demand a majority so one unlucky scheduling stall cannot flake
+        // the test, while genuinely serial execution still fails it.
+        let overlapped = updates
+            .iter()
+            .zip(&forwards)
+            .filter(|(u, f)| u.overlaps(f))
+            .count();
+        assert!(
+            overlapped * 2 > steps,
+            "only {overlapped}/{steps} updates overlapped the next forward"
+        );
     }
 
     #[test]

@@ -82,8 +82,7 @@ impl ZeroOffloadPerf {
 
         // Megatron-style MP: two activation all-reduces per layer in each
         // of forward and backward, over the NVLink group of `mp` ranks.
-        let act_bytes =
-            micro_batch as f64 * cfg.seq_len as f64 * cfg.hidden as f64 * 2.0;
+        let act_bytes = micro_batch as f64 * cfg.seq_len as f64 * cfg.hidden as f64 * 2.0;
         let mp_ring = RingCost::new(mp, node.nvlink_gbps, 5e-6);
         let mp_comm_layer = 2.0 * mp_ring.all_reduce_secs(act_bytes);
         let mp_comm_fwd_mb = mp_comm_layer * layers as f64;
@@ -131,6 +130,7 @@ impl ZeroOffloadPerf {
     }
 
     /// Builds the full schedule timeline for inspection (traces, Gantt).
+    #[allow(clippy::too_many_arguments)]
     pub fn timeline(
         &self,
         cfg: &TransformerConfig,
@@ -145,12 +145,7 @@ impl ZeroOffloadPerf {
         self.build_timeline(&p, dpu, iters)
     }
 
-    fn build_timeline(
-        &self,
-        p: &ScheduleParams,
-        dpu: bool,
-        iters: usize,
-    ) -> zo_hetsim::Timeline {
+    fn build_timeline(&self, p: &ScheduleParams, dpu: bool, iters: usize) -> zo_hetsim::Timeline {
         let mut sim = Sim::new();
         let gpu: StreamId = sim.stream("gpu.compute");
         let nvl = sim.stream("nvlink");
@@ -189,8 +184,13 @@ impl ZeroOffloadPerf {
                         &[prev],
                         &format!("i{iter}.mb{mb}.bwd{layer}"),
                     );
-                    let rs =
-                        t(&mut sim, nvl, p.rs_layer_secs, &[bwd], &format!("i{iter}.rs{layer}"));
+                    let rs = t(
+                        &mut sim,
+                        nvl,
+                        p.rs_layer_secs,
+                        &[bwd],
+                        &format!("i{iter}.rs{layer}"),
+                    );
                     let copy = t(
                         &mut sim,
                         d2h,
@@ -214,8 +214,13 @@ impl ZeroOffloadPerf {
                     &tile_dep,
                     &format!("i{iter}.adam{tile}"),
                 );
-                let copy =
-                    t(&mut sim, h2d, p.h2d_tile_secs, &[adam], &format!("i{iter}.h2d{tile}"));
+                let copy = t(
+                    &mut sim,
+                    h2d,
+                    p.h2d_tile_secs,
+                    &[adam],
+                    &format!("i{iter}.h2d{tile}"),
+                );
                 tile_dep = vec![adam];
                 last_h2d = Some(copy);
             }
@@ -249,8 +254,14 @@ impl ZeroOffloadPerf {
         mp: u32,
         dpu: bool,
     ) -> IterStats {
-        assert!(micro_batch > 0 && total_batch > 0, "batch sizes must be positive");
-        assert!(mp > 0 && world > 0 && world % mp == 0, "mp must divide world");
+        assert!(
+            micro_batch > 0 && total_batch > 0,
+            "batch sizes must be positive"
+        );
+        assert!(
+            mp > 0 && world > 0 && world.is_multiple_of(mp),
+            "mp must divide world"
+        );
         let p = self.schedule_params(cfg, micro_batch, total_batch, world, mp);
         // Steady state: difference between 4- and 2-iteration makespans.
         let m4 = self.makespan(&p, dpu, 4);
@@ -320,7 +331,11 @@ mod tests {
         let agg128 = 128.0 * s128.tflops_per_gpu;
         let efficiency = agg128 / (128.0 * agg1);
         assert!(efficiency > 0.75, "scaling efficiency {efficiency:.2}");
-        assert!(s128.tflops_per_gpu > 30.0, "per-GPU {:.1}", s128.tflops_per_gpu);
+        assert!(
+            s128.tflops_per_gpu > 30.0,
+            "per-GPU {:.1}",
+            s128.tflops_per_gpu
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl core::fmt::Display for WireError {
             }
             WireError::BadMagic { found } => write!(f, "bad magic {found:#010x}"),
             WireError::BadChecksum { expected, computed } => {
-                write!(f, "checksum mismatch: header {expected:#010x}, payload {computed:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#010x}, payload {computed:#010x}"
+                )
             }
         }
     }
@@ -96,7 +99,10 @@ pub fn encode_frame(seq: u32, offset: u64, values: &[F16]) -> Bytes {
 /// Decodes one frame, validating magic and checksum.
 pub fn decode_frame(mut buf: Bytes) -> Result<GradFrame, WireError> {
     if buf.len() < HEADER_BYTES {
-        return Err(WireError::Truncated { have: buf.len(), need: HEADER_BYTES });
+        return Err(WireError::Truncated {
+            have: buf.len(),
+            need: HEADER_BYTES,
+        });
     }
     let magic = buf.get_u32_le();
     if magic != MAGIC {
@@ -107,7 +113,10 @@ pub fn decode_frame(mut buf: Bytes) -> Result<GradFrame, WireError> {
     let count = buf.get_u32_le() as usize;
     let expected = buf.get_u32_le();
     if buf.len() < count * 2 {
-        return Err(WireError::Truncated { have: buf.len(), need: count * 2 });
+        return Err(WireError::Truncated {
+            have: buf.len(),
+            need: count * 2,
+        });
     }
     let payload = buf.copy_to_bytes(count * 2);
     let computed = checksum(&payload);
@@ -119,7 +128,27 @@ pub fn decode_frame(mut buf: Bytes) -> Result<GradFrame, WireError> {
     for _ in 0..count {
         values.push(F16::from_bits(p.get_u16_le()));
     }
-    Ok(GradFrame { seq, offset, values })
+    Ok(GradFrame {
+        seq,
+        offset,
+        values,
+    })
+}
+
+/// Decodes one frame and records receive-side counters on `track`:
+/// `rx_wire_bytes` (full frame size), `rx_payload_bytes` (fp16 payload)
+/// and `rx_frames`. Failed frames count nothing.
+pub fn decode_frame_traced(
+    tracer: &zo_trace::Tracer,
+    track: &str,
+    buf: Bytes,
+) -> Result<GradFrame, WireError> {
+    let wire = buf.len() as u64;
+    let frame = decode_frame(buf)?;
+    tracer.add(track, "rx_wire_bytes", wire);
+    tracer.add(track, "rx_payload_bytes", 2 * frame.values.len() as u64);
+    tracer.add(track, "rx_frames", 1);
+    Ok(frame)
 }
 
 /// Total wire bytes for `elements` fp16 values in one frame.
@@ -132,7 +161,9 @@ mod tests {
     use super::*;
 
     fn values(n: usize) -> Vec<F16> {
-        (0..n).map(|i| F16::from_f32(i as f32 * 0.25 - 4.0)).collect()
+        (0..n)
+            .map(|i| F16::from_f32(i as f32 * 0.25 - 4.0))
+            .collect()
     }
 
     #[test]
@@ -157,14 +188,20 @@ mod tests {
     fn truncated_header_rejected() {
         let frame = encode_frame(1, 0, &values(4));
         let short = frame.slice(0..HEADER_BYTES - 1);
-        assert!(matches!(decode_frame(short), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode_frame(short),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn truncated_payload_rejected() {
         let frame = encode_frame(1, 0, &values(4));
         let short = frame.slice(0..HEADER_BYTES + 3);
-        assert!(matches!(decode_frame(short), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode_frame(short),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -196,7 +233,10 @@ mod tests {
         assert!(e.to_string().contains("truncated"));
         let e = WireError::BadMagic { found: 0xdead };
         assert!(e.to_string().contains("magic"));
-        let e = WireError::BadChecksum { expected: 1, computed: 2 };
+        let e = WireError::BadChecksum {
+            expected: 1,
+            computed: 2,
+        };
         assert!(e.to_string().contains("checksum"));
     }
 }

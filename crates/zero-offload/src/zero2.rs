@@ -14,7 +14,7 @@ use zo_nn::Model;
 use zo_optim::{CpuAdam, CpuAdamConfig, DelayedUpdate, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
 
-use crate::config::ZeroOffloadConfig;
+use crate::config::{resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
 
 enum ShardUpdater {
@@ -37,6 +37,9 @@ pub struct Zero2OffloadEngine<M: Model> {
     micro_in_window: u32,
     stats: EngineStats,
     num_params: usize,
+    /// Step-timeline recorder; this rank's events land on `track`.
+    tracer: zo_trace::Tracer,
+    track: String,
 }
 
 impl<M: Model> Zero2OffloadEngine<M> {
@@ -63,6 +66,8 @@ impl<M: Model> Zero2OffloadEngine<M> {
             Some(w) => ShardUpdater::Dpu(DelayedUpdate::new(opt, w)),
             None => ShardUpdater::Plain(opt),
         };
+        let tracer = resolve_tracer(cfg.tracer);
+        let track = format!("rank{}", comm.rank());
         let mut engine = Zero2OffloadEngine {
             model,
             cfg,
@@ -76,6 +81,8 @@ impl<M: Model> Zero2OffloadEngine<M> {
             micro_in_window: 0,
             stats: EngineStats::default(),
             num_params: n,
+            tracer,
+            track,
         };
         // Start from the fp16 rounding of the initial parameters, agreed
         // across ranks through the same gather path used in training.
@@ -121,10 +128,13 @@ impl<M: Model> Zero2OffloadEngine<M> {
 
     /// All-gathers the fp16 shards and loads the full model.
     fn gather_and_load(&mut self) {
+        let _gather = self.tracer.span(&self.track, "all_gather");
         let shard_f32: Vec<f32> = self.p16_shard.iter().map(|h| h.to_f32()).collect();
         let full = self.comm.all_gather(&shard_f32, self.num_params);
         self.model.load_params_from(&full);
         self.stats.h2d_bytes += 2 * self.p16_shard.len() as u64;
+        self.tracer
+            .add(&self.track, "h2d_bytes", 2 * self.p16_shard.len() as u64);
     }
 
     /// One micro-batch; at window boundaries, the partitioned update.
@@ -138,7 +148,10 @@ impl<M: Model> Zero2OffloadEngine<M> {
         if self.micro_in_window == 0 {
             self.model.zero_grads();
         }
-        let loss = run_backward(&mut self.model)?;
+        let loss = {
+            let _fwd = self.tracer.span(&self.track, "fwd_bwd");
+            run_backward(&mut self.model)?
+        };
         self.micro_in_window += 1;
         if self.micro_in_window < self.cfg.grad_accumulation {
             return Ok(StepOutcome::Accumulating { loss });
@@ -147,8 +160,10 @@ impl<M: Model> Zero2OffloadEngine<M> {
 
         // Reduce-scatter the averaged gradients: this rank receives its
         // owned shard only (Fig. 5, line 29).
+        let rs = self.tracer.span(&self.track, "reduce_scatter");
         self.model.copy_grads_to(&mut self.grads);
         let mut shard = self.comm.reduce_scatter_mean(&self.grads);
+        drop(rs);
 
         // The shard crosses PCIe as fp16, with loss scaling.
         let scale = self.scaler.scale();
@@ -162,30 +177,45 @@ impl<M: Model> Zero2OffloadEngine<M> {
             *g = wire.to_f32() / scale;
         }
         self.stats.d2h_bytes += 2 * shard.len() as u64;
+        self.tracer
+            .add(&self.track, "d2h_bytes", 2 * shard.len() as u64);
 
         // Overflow anywhere must skip the step everywhere.
         let mut flag = vec![overflow];
         self.comm.all_reduce_sum(&mut flag);
         if !self.scaler.update(flag[0] > 0.0) {
             self.stats.steps_skipped += 1;
+            self.tracer.add(&self.track, "steps_skipped", 1);
             // Parameters unchanged, but ranks must stay in lock-step.
             self.gather_and_load();
+            if self.comm.rank() == 0 {
+                self.tracer.finish_step();
+            }
             return Ok(StepOutcome::SkippedOverflow { loss });
         }
 
-        match &mut self.updater {
-            ShardUpdater::Plain(opt) => {
-                opt.step_mixed(&mut self.master_shard, &shard, &mut self.p16_shard)
-                    .expect("shard buffers are sized together");
-            }
-            ShardUpdater::Dpu(dpu) => {
-                dpu.step(&mut self.master_shard, &shard)
-                    .expect("shard buffers are sized together");
-                cast_f32_to_f16(&self.master_shard, &mut self.p16_shard);
+        {
+            let _update = self.tracer.span(&self.track, "partition_update");
+            match &mut self.updater {
+                ShardUpdater::Plain(opt) => {
+                    opt.step_mixed(&mut self.master_shard, &shard, &mut self.p16_shard)
+                        .expect("shard buffers are sized together");
+                }
+                ShardUpdater::Dpu(dpu) => {
+                    dpu.step(&mut self.master_shard, &shard)
+                        .expect("shard buffers are sized together");
+                    cast_f32_to_f16(&self.master_shard, &mut self.p16_shard);
+                }
             }
         }
         self.gather_and_load();
         self.stats.steps_applied += 1;
+        self.tracer.add(&self.track, "steps_applied", 1);
+        // One rank closes the step boundary: `StepMetrics` sums counter
+        // deltas over tracks, so the per-step row aggregates all ranks.
+        if self.comm.rank() == 0 {
+            self.tracer.finish_step();
+        }
         Ok(StepOutcome::Applied { loss })
     }
 }
@@ -223,7 +253,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -237,15 +270,27 @@ mod tests {
 
     fn tiny_model(seed: u64) -> GptModel {
         GptModel::new(
-            GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 2 },
+            GptConfig {
+                vocab: 16,
+                seq_len: 8,
+                hidden: 8,
+                heads: 2,
+                layers: 2,
+            },
             seed,
         )
     }
 
     fn cfg() -> ZeroOffloadConfig {
         ZeroOffloadConfig {
-            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
-            adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+            loss_scale: LossScaleConfig {
+                init_scale: 256.0,
+                ..Default::default()
+            },
+            adam: AdamParams {
+                lr: 3e-3,
+                ..AdamParams::default()
+            },
             ..ZeroOffloadConfig::default()
         }
     }
@@ -265,20 +310,25 @@ mod tests {
 
     #[test]
     fn ranks_stay_in_exact_sync() {
-        let finals = run_ranks(3, cfg(), |_| tiny_model(7), |engine| {
-            for step in 0..5 {
-                let b = global_batch(step, 3);
-                let rank = engine.rank();
-                let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
-                let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
-                engine
-                    .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
-                    .unwrap();
-            }
-            let mut p = vec![0.0f32; engine.model_mut().num_params()];
-            engine.model_mut().copy_params_to(&mut p);
-            p
-        });
+        let finals = run_ranks(
+            3,
+            cfg(),
+            |_| tiny_model(7),
+            |engine| {
+                for step in 0..5 {
+                    let b = global_batch(step, 3);
+                    let rank = engine.rank();
+                    let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
+                    let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
+                    engine
+                        .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
+                        .unwrap();
+                }
+                let mut p = vec![0.0f32; engine.model_mut().num_params()];
+                engine.model_mut().copy_params_to(&mut p);
+                p
+            },
+        );
         assert_eq!(finals[0], finals[1]);
         assert_eq!(finals[1], finals[2]);
     }
@@ -289,20 +339,25 @@ mod tests {
         // a single process training on the full batch (ZeRO-2 is pure
         // systems restructuring — same math).
         let steps = 4;
-        let multi = run_ranks(2, cfg(), |_| tiny_model(21), |engine| {
-            for step in 0..steps {
-                let b = global_batch(step, 4);
-                let rank = engine.rank();
-                let inputs = b.inputs[rank * 16..(rank + 1) * 16].to_vec();
-                let targets = b.targets[rank * 16..(rank + 1) * 16].to_vec();
-                engine
-                    .step(|m| m.train_step(&inputs, &targets, 2, 8, |_| {}))
-                    .unwrap();
-            }
-            let mut p = vec![0.0f32; engine.model_mut().num_params()];
-            engine.model_mut().copy_params_to(&mut p);
-            p
-        });
+        let multi = run_ranks(
+            2,
+            cfg(),
+            |_| tiny_model(21),
+            |engine| {
+                for step in 0..steps {
+                    let b = global_batch(step, 4);
+                    let rank = engine.rank();
+                    let inputs = b.inputs[rank * 16..(rank + 1) * 16].to_vec();
+                    let targets = b.targets[rank * 16..(rank + 1) * 16].to_vec();
+                    engine
+                        .step(|m| m.train_step(&inputs, &targets, 2, 8, |_| {}))
+                        .unwrap();
+                }
+                let mut p = vec![0.0f32; engine.model_mut().num_params()];
+                engine.model_mut().copy_params_to(&mut p);
+                p
+            },
+        );
 
         let mut single = ZeroOffloadEngine::new(tiny_model(21), cfg());
         for step in 0..steps {
@@ -330,22 +385,27 @@ mod tests {
 
     #[test]
     fn each_rank_offloads_only_its_shard() {
-        let stats = run_ranks(4, cfg(), |_| tiny_model(5), |engine| {
-            for step in 0..3 {
-                let b = global_batch(step, 4);
-                let rank = engine.rank();
-                let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
-                let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
-                engine
-                    .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
-                    .unwrap();
-            }
-            (
-                engine.master_shard().len(),
-                engine.stats().d2h_bytes,
-                engine.model_mut().num_params(),
-            )
-        });
+        let stats = run_ranks(
+            4,
+            cfg(),
+            |_| tiny_model(5),
+            |engine| {
+                for step in 0..3 {
+                    let b = global_batch(step, 4);
+                    let rank = engine.rank();
+                    let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
+                    let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
+                    engine
+                        .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
+                        .unwrap();
+                }
+                (
+                    engine.master_shard().len(),
+                    engine.stats().d2h_bytes,
+                    engine.model_mut().num_params(),
+                )
+            },
+        );
         let n = stats[0].2;
         let total_shards: usize = stats.iter().map(|s| s.0).sum();
         assert_eq!(total_shards, n, "shards must tile the parameter space");
@@ -359,23 +419,31 @@ mod tests {
     #[test]
     fn multi_rank_training_converges() {
         let fast = ZeroOffloadConfig {
-            adam: AdamParams { lr: 0.01, ..AdamParams::default() },
+            adam: AdamParams {
+                lr: 0.01,
+                ..AdamParams::default()
+            },
             ..cfg()
         };
-        let losses = run_ranks(2, fast, |_| tiny_model(2), |engine| {
-            let mut out = Vec::new();
-            for step in 0..150 {
-                let b = global_batch(step, 4);
-                let rank = engine.rank();
-                let inputs = b.inputs[rank * 16..(rank + 1) * 16].to_vec();
-                let targets = b.targets[rank * 16..(rank + 1) * 16].to_vec();
-                let o = engine
-                    .step(|m| m.train_step(&inputs, &targets, 2, 8, |_| {}))
-                    .unwrap();
-                out.push(o.loss());
-            }
-            out
-        });
+        let losses = run_ranks(
+            2,
+            fast,
+            |_| tiny_model(2),
+            |engine| {
+                let mut out = Vec::new();
+                for step in 0..150 {
+                    let b = global_batch(step, 4);
+                    let rank = engine.rank();
+                    let inputs = b.inputs[rank * 16..(rank + 1) * 16].to_vec();
+                    let targets = b.targets[rank * 16..(rank + 1) * 16].to_vec();
+                    let o = engine
+                        .step(|m| m.train_step(&inputs, &targets, 2, 8, |_| {}))
+                        .unwrap();
+                    out.push(o.loss());
+                }
+                out
+            },
+        );
         let head: f32 = losses[0][..10].iter().sum::<f32>() / 10.0;
         let tail: f32 = losses[0][140..].iter().sum::<f32>() / 10.0;
         assert!(tail < head * 0.9, "did not converge: {head} -> {tail}");
@@ -383,21 +451,29 @@ mod tests {
 
     #[test]
     fn dpu_in_data_parallel_mode() {
-        let dpu_cfg = ZeroOffloadConfig { dpu_warmup: Some(3), ..cfg() };
-        let finals = run_ranks(2, dpu_cfg, |_| tiny_model(12), |engine| {
-            for step in 0..8 {
-                let b = global_batch(step, 2);
-                let rank = engine.rank();
-                let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
-                let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
-                engine
-                    .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
-                    .unwrap();
-            }
-            let mut p = vec![0.0f32; engine.model_mut().num_params()];
-            engine.model_mut().copy_params_to(&mut p);
-            p
-        });
+        let dpu_cfg = ZeroOffloadConfig {
+            dpu_warmup: Some(3),
+            ..cfg()
+        };
+        let finals = run_ranks(
+            2,
+            dpu_cfg,
+            |_| tiny_model(12),
+            |engine| {
+                for step in 0..8 {
+                    let b = global_batch(step, 2);
+                    let rank = engine.rank();
+                    let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
+                    let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
+                    engine
+                        .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
+                        .unwrap();
+                }
+                let mut p = vec![0.0f32; engine.model_mut().num_params()];
+                engine.model_mut().copy_params_to(&mut p);
+                p
+            },
+        );
         assert_eq!(finals[0], finals[1], "DPU ranks must stay in sync");
     }
 }

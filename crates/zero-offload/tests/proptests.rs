@@ -1,0 +1,156 @@
+//! Property-based tests for the PCIe wire format and gradient bucketer.
+//!
+//! The offload path's correctness rests on two mechanical invariants:
+//! frames survive the encode/decode round-trip bit-exactly, and the
+//! bucketer's scatter/gather is lossless for any parameter count and
+//! bucket budget (including a ragged final bucket).
+
+use proptest::prelude::*;
+use zero_offload::bucket::{scatter_frames, GradBucketer};
+use zero_offload::wire::{decode_frame, encode_frame, frame_bytes, WireError, HEADER_BYTES};
+use zo_tensor::F16;
+
+fn f16_vec(max_len: usize) -> impl Strategy<Value = Vec<F16>> {
+    prop::collection::vec(0u16..=u16::MAX, 0..max_len)
+        .prop_map(|bits| bits.into_iter().map(F16::from_bits).collect())
+}
+
+proptest! {
+    /// Any (seq, offset, payload) round-trips bit-exactly through the
+    /// wire format, and the frame is exactly `frame_bytes` long.
+    #[test]
+    fn frame_roundtrip_is_bit_exact(
+        seq in 0u32..=u32::MAX,
+        offset in 0u64..1_000_000_000_000,
+        values in f16_vec(64),
+    ) {
+        let frame = encode_frame(seq, offset, &values);
+        prop_assert_eq!(frame.len(), frame_bytes(values.len()));
+        let decoded = decode_frame(frame).unwrap();
+        prop_assert_eq!(decoded.seq, seq);
+        prop_assert_eq!(decoded.offset, offset);
+        prop_assert_eq!(decoded.values.len(), values.len());
+        for (a, b) in decoded.values.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Corrupting any payload byte is caught by the checksum.
+    #[test]
+    fn corrupted_payload_fails_checksum(
+        values in f16_vec(32),
+        victim in 0usize..1024,
+        flip in 1u8..=255,
+    ) {
+        prop_assume!(!values.is_empty());
+        let frame = encode_frame(0, 0, &values);
+        let mut raw = frame.to_vec();
+        let victim = HEADER_BYTES + victim % (raw.len() - HEADER_BYTES);
+        raw[victim] ^= flip;
+        let err = decode_frame(bytes::Bytes::from(raw)).unwrap_err();
+        prop_assert!(matches!(err, WireError::BadChecksum { .. }), "{err:?}");
+    }
+
+    /// A truncated buffer never decodes.
+    #[test]
+    fn truncated_frame_is_rejected(values in f16_vec(32), keep in 0usize..1024) {
+        let frame = encode_frame(0, 0, &values);
+        prop_assume!(!frame.is_empty());
+        let keep = keep % frame.len();
+        let raw = frame.to_vec()[..keep].to_vec();
+        let err = decode_frame(bytes::Bytes::from(raw)).unwrap_err();
+        prop_assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
+    }
+
+    /// Bucketing a contiguous gradient buffer into arbitrary bucket
+    /// budgets and pushing it in arbitrary chunk sizes loses nothing:
+    /// scatter reassembles the exact fp16 values, frames respect the
+    /// bucket capacity (only the final one may be ragged), sequence
+    /// numbers are monotone and byte accounting matches.
+    #[test]
+    fn bucketer_scatter_gather_roundtrip(
+        n in 1usize..400,
+        cap_elems in 1usize..48,
+        chunk in 1usize..64,
+    ) {
+        let src: Vec<F16> = (0..n).map(|i| F16::from_f32((i % 97) as f32 * 0.25)).collect();
+        let mut b = GradBucketer::new(2 * cap_elems);
+        let mut off = 0usize;
+        while off < n {
+            let take = chunk.min(n - off);
+            b.push(off as u64, &src[off..off + take]);
+            off += take;
+        }
+        b.flush();
+        let frames: Vec<_> = b
+            .take_frames()
+            .into_iter()
+            .map(|f| decode_frame(f).unwrap())
+            .collect();
+
+        // Capacity: every frame but the last is exactly full.
+        prop_assert_eq!(frames.len(), n.div_ceil(cap_elems));
+        for f in &frames[..frames.len() - 1] {
+            prop_assert_eq!(f.values.len(), cap_elems);
+        }
+        let last = &frames[frames.len() - 1];
+        prop_assert_eq!(last.values.len(), n - (frames.len() - 1) * cap_elems);
+
+        // Monotone seq, contiguous offsets.
+        for (i, f) in frames.iter().enumerate() {
+            prop_assert_eq!(f.seq, i as u32);
+            prop_assert_eq!(f.offset, (i * cap_elems) as u64);
+        }
+
+        // Lossless reassembly.
+        let mut dst = vec![f32::NAN; n];
+        let written = scatter_frames(&frames, &mut dst);
+        prop_assert_eq!(written, n);
+        for (d, s) in dst.iter().zip(&src) {
+            prop_assert_eq!(*d, s.to_f32());
+        }
+
+        // Byte accounting: payload is 2·n, wire adds one header per frame.
+        prop_assert_eq!(b.payload_bytes(), 2 * n as u64);
+        prop_assert_eq!(
+            b.wire_bytes(),
+            (2 * n + frames.len() * HEADER_BYTES) as u64
+        );
+        prop_assert_eq!(b.frames_emitted() as usize, frames.len());
+    }
+
+    /// A discontinuous push closes the open bucket: the emitted frames
+    /// still reassemble both spans exactly.
+    #[test]
+    fn discontinuous_spans_reassemble(
+        a_len in 1usize..40,
+        gap in 1u64..100,
+        b_len in 1usize..40,
+        cap_elems in 1usize..32,
+    ) {
+        let mk = |len: usize, base: f32| -> Vec<F16> {
+            (0..len).map(|i| F16::from_f32(base + i as f32)).collect()
+        };
+        let (a, c) = (mk(a_len, 1.0), mk(b_len, 500.0));
+        let b_off = a_len as u64 + gap;
+        let mut bk = GradBucketer::new(2 * cap_elems);
+        bk.push(0, &a);
+        bk.push(b_off, &c);
+        bk.flush();
+        let frames: Vec<_> =
+            bk.take_frames().into_iter().map(|f| decode_frame(f).unwrap()).collect();
+        let total = b_off as usize + b_len;
+        let mut dst = vec![0.0f32; total];
+        prop_assert_eq!(scatter_frames(&frames, &mut dst), a_len + b_len);
+        for (i, v) in a.iter().enumerate() {
+            prop_assert_eq!(dst[i], v.to_f32());
+        }
+        // The gap stays untouched.
+        for v in &dst[a_len..b_off as usize] {
+            prop_assert_eq!(*v, 0.0);
+        }
+        for (i, v) in c.iter().enumerate() {
+            prop_assert_eq!(dst[b_off as usize + i], v.to_f32());
+        }
+    }
+}

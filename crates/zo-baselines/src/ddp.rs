@@ -36,7 +36,13 @@ impl<M: Model> DdpEngine<M> {
             master,
             grads: vec![0.0f32; n],
             p16,
-            opt: CpuAdam::new(CpuAdamConfig { hp: adam, ..CpuAdamConfig::default() }, n),
+            opt: CpuAdam::new(
+                CpuAdamConfig {
+                    hp: adam,
+                    ..CpuAdamConfig::default()
+                },
+                n,
+            ),
         };
         engine.load_p16();
         engine
@@ -92,7 +98,13 @@ mod tests {
 
     fn tiny_model(seed: u64) -> GptModel {
         GptModel::new(
-            GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 2 },
+            GptConfig {
+                vocab: 16,
+                seq_len: 8,
+                hidden: 8,
+                heads: 2,
+                layers: 2,
+            },
             seed,
         )
     }
@@ -121,9 +133,7 @@ mod tests {
                             let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
                             let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
                             engine
-                                .step(|m| {
-                                    m.train_step(&inputs, &targets, 1, 8, |_| {})
-                                })
+                                .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
                                 .unwrap();
                         }
                         let mut p = vec![0.0f32; engine.model_mut().num_params()];

@@ -103,7 +103,10 @@ impl L2lEngine {
             copy_block_params_out(b, &mut buf);
             optimizers.push(CpuAdam::new(
                 CpuAdamConfig {
-                    hp: zo_optim::AdamParams { lr, ..Default::default() },
+                    hp: zo_optim::AdamParams {
+                        lr,
+                        ..Default::default()
+                    },
                     ..CpuAdamConfig::default()
                 },
                 buf.len(),

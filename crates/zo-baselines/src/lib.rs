@@ -21,8 +21,6 @@ pub mod zero_stages;
 
 pub use ddp::DdpEngine;
 pub use l2l::{BlockStack, L2lEngine};
-pub use memory::{
-    cpu_bytes, fits, gpu_bytes, largest_micro_batch, max_trainable_params, System,
-};
+pub use memory::{cpu_bytes, fits, gpu_bytes, largest_micro_batch, max_trainable_params, System};
 pub use perf::{BaselinePerf, GPU_ADAM_SECS_PER_B};
 pub use zero_stages::{stage_table, StageRow, ZeroStage};

@@ -146,15 +146,13 @@ pub fn max_trainable_params(system: System, world: u32, node: &NodeSpec) -> u64 
     };
     candidates
         .into_iter()
-        .map(|sys| {
-            zo_mem::max_trainable_params(|cfg| fits(sys, cfg, world, node))
-        })
+        .map(|sys| zo_mem::max_trainable_params(|cfg| fits(sys, cfg, world, node)))
         .max()
         .unwrap_or(0)
 }
 
 fn divisors(n: u32) -> Vec<u32> {
-    (1..=n).filter(|d| n % d == 0).collect()
+    (1..=n).filter(|d| n.is_multiple_of(*d)).collect()
 }
 
 #[cfg(test)]
@@ -227,11 +225,13 @@ mod tests {
         let big = zo_models::by_label(10.0).unwrap().model;
         let mb_small =
             largest_micro_batch(System::ZeroOffload { mp: 1 }, &small, 1, &n, 64).unwrap();
-        let mb_big =
-            largest_micro_batch(System::ZeroOffload { mp: 1 }, &big, 1, &n, 64).unwrap();
+        let mb_big = largest_micro_batch(System::ZeroOffload { mp: 1 }, &big, 1, &n, 64).unwrap();
         assert!(mb_small > mb_big, "{mb_small} !> {mb_big}");
         // PyTorch cannot fit 10B at all.
-        assert_eq!(largest_micro_batch(System::PyTorchDdp, &big, 1, &n, 64), None);
+        assert_eq!(
+            largest_micro_batch(System::PyTorchDdp, &big, 1, &n, 64),
+            None
+        );
     }
 
     #[test]

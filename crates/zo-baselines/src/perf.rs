@@ -45,20 +45,19 @@ impl BaselinePerf {
         let dp_ring = |n: u32| RingCost::new(n, self.cluster.collective_gbps(world), 5e-6);
 
         match system {
-            System::ZeroOffload { mp } => {
-                Some(ZeroOffloadPerf::new(self.cluster).iter_stats(
-                    cfg,
-                    micro_batch,
-                    total_batch,
-                    world,
-                    mp,
-                    false,
-                ))
-            }
+            System::ZeroOffload { mp } => Some(ZeroOffloadPerf::new(self.cluster).iter_stats(
+                cfg,
+                micro_batch,
+                total_batch,
+                world,
+                mp,
+                false,
+            )),
             System::PyTorchDdp => {
                 let k = (total_batch / (micro_batch * world)).max(1);
-                let compute =
-                    node.gpu.compute_secs(cfg.flops_per_iter(micro_batch as u64), micro_batch as f64);
+                let compute = node
+                    .gpu
+                    .compute_secs(cfg.flops_per_iter(micro_batch as u64), micro_batch as f64);
                 // Gradient all-reduce overlaps with backward except its tail
                 // (one layer's worth); optimizer runs on-device, replicated.
                 let allreduce = dp_ring(world).all_reduce_secs(2.0 * m);
@@ -73,8 +72,9 @@ impl BaselinePerf {
             }
             System::Zero2 => {
                 let k = (total_batch / (micro_batch * world)).max(1);
-                let compute =
-                    node.gpu.compute_secs(cfg.flops_per_iter(micro_batch as u64), micro_batch as f64);
+                let compute = node
+                    .gpu
+                    .compute_secs(cfg.flops_per_iter(micro_batch as u64), micro_batch as f64);
                 let rs = dp_ring(world).reduce_scatter_secs(2.0 * m);
                 let ag = dp_ring(world).all_gather_secs(2.0 * m);
                 let exposed_rs = if world > 1 {
@@ -88,7 +88,7 @@ impl BaselinePerf {
                 Some(stats(cfg, micro_batch, k, 1, secs, 0, 0))
             }
             System::Megatron { mp } => {
-                if world % mp != 0 || mp == 0 {
+                if !world.is_multiple_of(mp) || mp == 0 {
                     return None;
                 }
                 let dp = world / mp;
@@ -101,8 +101,7 @@ impl BaselinePerf {
                 );
                 // Two activation all-reduces per layer in each direction,
                 // on the critical path (tensor slicing synchronizes).
-                let act_bytes =
-                    micro_batch as f64 * cfg.seq_len as f64 * cfg.hidden as f64 * 2.0;
+                let act_bytes = micro_batch as f64 * cfg.seq_len as f64 * cfg.hidden as f64 * 2.0;
                 let mp_ring = RingCost::new(mp, node.nvlink_gbps, 5e-6);
                 let mp_comm = 4.0 * cfg.num_layers as f64 * mp_ring.all_reduce_secs(act_bytes);
                 let grad_ar = if dp > 1 {
@@ -119,8 +118,9 @@ impl BaselinePerf {
                     return None; // "its implementation does not support multi-GPU training"
                 }
                 let k = (total_batch / micro_batch).max(1);
-                let compute =
-                    node.gpu.compute_secs(cfg.flops_per_iter(micro_batch as u64), micro_batch as f64);
+                let compute = node
+                    .gpu
+                    .compute_secs(cfg.flops_per_iter(micro_batch as u64), micro_batch as f64);
                 // Synchronous layer-by-layer weight streaming: 2M bytes in
                 // for forward and again for backward, every micro-batch,
                 // unoverlapped (L2L moves tensors synchronously).
@@ -174,7 +174,13 @@ mod tests {
         for label in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 13.0] {
             let c = zo_models::by_label(label).unwrap();
             let zo = perf()
-                .iter_stats(System::ZeroOffload { mp: 1 }, &c.model, c.batch_per_gpu, 512, 1)
+                .iter_stats(
+                    System::ZeroOffload { mp: 1 },
+                    &c.model,
+                    c.batch_per_gpu,
+                    512,
+                    1,
+                )
                 .unwrap();
             let l2l = perf()
                 .iter_stats(System::L2l, &c.model, c.batch_per_gpu, 512, 1)
@@ -193,7 +199,9 @@ mod tests {
     #[test]
     fn l2l_has_no_multi_gpu_mode() {
         let c = zo_models::by_label(1.0).unwrap();
-        assert!(perf().iter_stats(System::L2l, &c.model, 32, 512, 4).is_none());
+        assert!(perf()
+            .iter_stats(System::L2l, &c.model, 32, 512, 4)
+            .is_none());
     }
 
     #[test]
@@ -241,7 +249,13 @@ mod tests {
             .iter_stats(System::Zero2, &c.model, mb_z2, 4096, 128)
             .unwrap();
         let zo = perf()
-            .iter_stats(System::ZeroOffload { mp: 1 }, &c.model, c.batch_per_gpu, 4096, 128)
+            .iter_stats(
+                System::ZeroOffload { mp: 1 },
+                &c.model,
+                c.batch_per_gpu,
+                4096,
+                128,
+            )
             .unwrap();
         assert!(
             z2.tflops_per_gpu > 0.95 * zo.tflops_per_gpu,
@@ -254,6 +268,8 @@ mod tests {
     #[test]
     fn megatron_invalid_mp_rejected() {
         let c = zo_models::by_label(1.0).unwrap();
-        assert!(perf().iter_stats(System::Megatron { mp: 3 }, &c.model, 8, 512, 16).is_none());
+        assert!(perf()
+            .iter_stats(System::Megatron { mp: 3 }, &c.model, 8, 512, 16)
+            .is_none());
     }
 }

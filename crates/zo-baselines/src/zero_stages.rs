@@ -59,14 +59,13 @@ pub fn stage3_working_bytes(cfg: &TransformerConfig) -> u64 {
 }
 
 /// GPU bytes per device, including activations.
-pub fn gpu_bytes(
-    stage: ZeroStage,
-    cfg: &TransformerConfig,
-    world: u32,
-    micro_batch: u64,
-) -> u64 {
+pub fn gpu_bytes(stage: ZeroStage, cfg: &TransformerConfig, world: u32, micro_batch: u64) -> u64 {
     let base = state_bytes_per_gpu(stage, cfg.total_params(), world as u64);
-    let extra = if stage == ZeroStage::Stage3 { stage3_working_bytes(cfg) } else { 0 };
+    let extra = if stage == ZeroStage::Stage3 {
+        stage3_working_bytes(cfg)
+    } else {
+        0
+    };
     base + extra + cfg.activation_bytes(micro_batch)
 }
 
@@ -154,7 +153,10 @@ mod tests {
             let s3 = state_bytes_per_gpu(ZeroStage::Stage3, m, world);
             assert!(s1 > s2 && s2 > s3, "world={world}");
         }
-        assert_eq!(comm_volume_m(ZeroStage::Stage2), comm_volume_m(ZeroStage::Stage1));
+        assert_eq!(
+            comm_volume_m(ZeroStage::Stage2),
+            comm_volume_m(ZeroStage::Stage1)
+        );
         assert!(comm_volume_m(ZeroStage::Stage3) > comm_volume_m(ZeroStage::Stage2));
     }
 
@@ -166,7 +168,11 @@ mod tests {
         assert!(t[2].max_b > t[1].max_b);
         assert!(t[1].max_b > t[0].max_b);
         // ZeRO-2 on 16 GPUs lands near the paper's ~9B (Fig. 7).
-        assert!((6.0..14.0).contains(&t[1].max_b), "ZeRO-2 {:.1}B", t[1].max_b);
+        assert!(
+            (6.0..14.0).contains(&t[1].max_b),
+            "ZeRO-2 {:.1}B",
+            t[1].max_b
+        );
     }
 
     #[test]

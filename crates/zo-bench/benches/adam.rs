@@ -36,7 +36,10 @@ fn bench_tiled_mixed(c: &mut Criterion) {
     let mut group = c.benchmark_group("adam_tile_width");
     for &tile in &[1usize << 14, 1 << 17, 1 << 20] {
         group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &tile| {
-            let cfg = CpuAdamConfig { tile_width: tile, ..CpuAdamConfig::default() };
+            let cfg = CpuAdamConfig {
+                tile_width: tile,
+                ..CpuAdamConfig::default()
+            };
             let mut opt = CpuAdam::new(cfg, n);
             let mut p = vec![0.5f32; n];
             let mut p16 = vec![zo_tensor::F16::ZERO; n];

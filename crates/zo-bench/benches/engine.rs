@@ -10,18 +10,33 @@ use zo_optim::LossScaleConfig;
 
 fn cfg() -> ZeroOffloadConfig {
     ZeroOffloadConfig {
-        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
         ..ZeroOffloadConfig::default()
     }
 }
 
 fn bench_engine_step(c: &mut Criterion) {
-    let gpt = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let gpt = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
     let mut group = c.benchmark_group("engine_step");
     for (name, engine_cfg) in [
         ("offload", cfg()),
         ("reference", cfg().without_offload()),
-        ("offload_dpu", ZeroOffloadConfig { dpu_warmup: Some(0), ..cfg() }),
+        (
+            "offload_dpu",
+            ZeroOffloadConfig {
+                dpu_warmup: Some(0),
+                ..cfg()
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 1), engine_cfg);

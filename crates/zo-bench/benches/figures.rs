@@ -15,9 +15,13 @@ fn bench_tables_and_figures(c: &mut Criterion) {
         });
     });
     c.bench_function("fig7_scale_search", |b| b.iter(zo_bench::fig7_rows));
-    c.bench_function("fig8_single_gpu_throughput", |b| b.iter(zo_bench::fig8_rows));
+    c.bench_function("fig8_single_gpu_throughput", |b| {
+        b.iter(zo_bench::fig8_rows)
+    });
     c.bench_function("fig9_dpu_speedup", |b| b.iter(zo_bench::fig9_rows));
-    c.bench_function("fig10_multi_gpu_throughput", |b| b.iter(zo_bench::fig10_rows));
+    c.bench_function("fig10_multi_gpu_throughput", |b| {
+        b.iter(zo_bench::fig10_rows)
+    });
     c.bench_function("fig11_scalability", |b| b.iter(zo_bench::fig11_rows));
     c.bench_function("fig12_convergence_short", |b| {
         b.iter(|| zo_bench::fig12_curves(10, 1))

@@ -31,7 +31,11 @@ pub fn dpu_warmup_sweep(steps: usize, seed: u64, warmups: &[Option<u64>]) -> Vec
             let curve = fig12_curves_with_warmup(steps, seed, warmup);
             let s = smooth(&curve, 20);
             let probe = (warmup.unwrap_or(0) as usize + 20).min(steps - 1);
-            WarmupRow { warmup, transition_loss: s[probe], final_loss: s[steps - 1] }
+            WarmupRow {
+                warmup,
+                transition_loss: s[probe],
+                final_loss: s[steps - 1],
+            }
         })
         .collect()
 }
@@ -49,7 +53,9 @@ pub struct BucketRow {
 
 /// Sweeps bucket sizes over a gradient volume of `elements` fp16 values.
 pub fn bucket_sweep(elements: usize, sizes: &[usize]) -> Vec<BucketRow> {
-    let grads: Vec<F16> = (0..elements).map(|i| F16::from_f32(i as f32 * 1e-3)).collect();
+    let grads: Vec<F16> = (0..elements)
+        .map(|i| F16::from_f32(i as f32 * 1e-3))
+        .collect();
     sizes
         .iter()
         .map(|&bucket_bytes| {

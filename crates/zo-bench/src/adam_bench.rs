@@ -40,7 +40,9 @@ pub fn measure_adam_rates(n: usize, steps: usize) -> AdamRates {
 
     // Warm up caches and branch predictors once.
     fast.step(&mut params_fast, &grads).expect("sized buffers");
-    naive.step(&mut params_naive, &grads).expect("sized buffers");
+    naive
+        .step(&mut params_naive, &grads)
+        .expect("sized buffers");
 
     let t0 = Instant::now();
     for _ in 0..steps {
@@ -50,7 +52,9 @@ pub fn measure_adam_rates(n: usize, steps: usize) -> AdamRates {
 
     let t0 = Instant::now();
     for _ in 0..steps {
-        naive.step(&mut params_naive, &grads).expect("sized buffers");
+        naive
+            .step(&mut params_naive, &grads)
+            .expect("sized buffers");
     }
     let naive_secs = t0.elapsed().as_secs_f64() / steps as f64;
 

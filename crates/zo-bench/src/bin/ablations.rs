@@ -8,13 +8,19 @@ fn main() {
         .unwrap_or(200);
 
     println!("-- DPU warm-up sweep ({steps} steps of the Fig. 12 workload) --");
-    println!("{:<12} {:>16} {:>12}", "warmup", "post-transition", "final loss");
+    println!(
+        "{:<12} {:>16} {:>12}",
+        "warmup", "post-transition", "final loss"
+    );
     let warmups = [None, Some(0u64), Some(10), Some(40), Some(100)];
     for r in zo_bench::dpu_warmup_sweep(steps, 11, &warmups) {
         let label = r
             .warmup
             .map_or_else(|| "no DPU".to_string(), |w| w.to_string());
-        println!("{label:<12} {:>16.4} {:>12.4}", r.transition_loss, r.final_loss);
+        println!(
+            "{label:<12} {:>16.4} {:>12.4}",
+            r.transition_loss, r.final_loss
+        );
     }
     println!("(paper: enabling DPU after a few dozen steps avoids early instability;");
     println!(" its runs use 40)");

@@ -10,6 +10,11 @@ fn main() {
     println!("Figure 12 — GPT-2 (tiny analog) training loss\n");
     println!("{}", zo_bench::render_curves(&curves, steps / 20));
     let same = curves.baseline == curves.offload;
-    println!("baseline and ZeRO-Offload w/o DPU curves identical: {same} (paper: exactly overlapped)");
-    println!("DPU enabled after {} steps (paper: 40)", zo_bench::DPU_WARMUP);
+    println!(
+        "baseline and ZeRO-Offload w/o DPU curves identical: {same} (paper: exactly overlapped)"
+    );
+    println!(
+        "DPU enabled after {} steps (paper: 40)",
+        zo_bench::DPU_WARMUP
+    );
 }

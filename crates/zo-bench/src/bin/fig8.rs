@@ -4,7 +4,8 @@ fn main() {
     println!("Figure 8 — single-GPU training throughput, total batch 512\n");
     println!("{}", zo_bench::render_fig8());
     let rows = zo_bench::fig8_rows();
-    let avg: f64 =
-        rows.iter().map(|r| r.zero_offload / r.l2l).sum::<f64>() / rows.len() as f64;
-    println!("average ZeRO-Offload speedup over L2L: {avg:.2}x (paper: 1.14x average, up to 1.22x)");
+    let avg: f64 = rows.iter().map(|r| r.zero_offload / r.l2l).sum::<f64>() / rows.len() as f64;
+    println!(
+        "average ZeRO-Offload speedup over L2L: {avg:.2}x (paper: 1.14x average, up to 1.22x)"
+    );
 }

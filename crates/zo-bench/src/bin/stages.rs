@@ -24,8 +24,7 @@ fn main() {
                 row.max_b
             );
         }
-        let zo =
-            zo_baselines::max_trainable_params(System::ZeroOffload { mp: 1 }, world, &node);
+        let zo = zo_baselines::max_trainable_params(System::ZeroOffload { mp: 1 }, world, &node);
         println!(
             "{:<10} {:>17}M {:>12} {:>14.1}   <- stage 2 + host offload",
             "ZO",

@@ -1,0 +1,207 @@
+//! `trace` — records a step-timeline from a real multi-step training run
+//! and writes it as Chrome trace format JSON (load in `chrome://tracing`
+//! or <https://ui.perfetto.dev>).
+//!
+//! ```text
+//! trace [--steps N] [--batch B] [--layers L] [--hidden H] [--dpu]
+//!       [--ranks R] [--out trace.json] [--sim]
+//! ```
+//!
+//! By default a single-GPU engine runs `N` steps with a tracer installed;
+//! `--ranks R` traces a ZeRO-2 run instead (per-rank tracks), and `--sim`
+//! additionally emits the `zo-hetsim` projected timeline for the paper's
+//! 10B/V100 schedule through the same exporter, so the simulated and the
+//! measured timeline render identically.
+
+use std::process::ExitCode;
+
+use zero_offload::{run_ranks, TracerRef, ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_models::BigramLm;
+use zo_nn::{GptConfig, GptModel};
+use zo_optim::LossScaleConfig;
+use zo_trace::Tracer;
+
+struct Args {
+    steps: usize,
+    batch: usize,
+    layers: usize,
+    hidden: usize,
+    dpu: bool,
+    ranks: usize,
+    out: String,
+    sim: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        steps: 20,
+        batch: 4,
+        layers: 2,
+        hidden: 32,
+        dpu: false,
+        ranks: 1,
+        out: "trace.json".to_string(),
+        sim: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--layers" => {
+                args.layers = value("--layers")?
+                    .parse()
+                    .map_err(|e| format!("--layers: {e}"))?
+            }
+            "--hidden" => {
+                args.hidden = value("--hidden")?
+                    .parse()
+                    .map_err(|e| format!("--hidden: {e}"))?
+            }
+            "--dpu" => args.dpu = true,
+            "--ranks" => {
+                args.ranks = value("--ranks")?
+                    .parse()
+                    .map_err(|e| format!("--ranks: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--sim" => args.sim = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.ranks == 0 {
+        return Err("--ranks must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let tracer = Tracer::new();
+    let cfg = ZeroOffloadConfig {
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
+        adam: zo_optim::AdamParams {
+            lr: 3e-3,
+            ..Default::default()
+        },
+        dpu_warmup: if args.dpu { Some(5) } else { None },
+        tracer: Some(TracerRef::install(tracer.clone())),
+        ..ZeroOffloadConfig::default()
+    };
+    let gpt = GptConfig {
+        vocab: 64,
+        seq_len: 32,
+        hidden: args.hidden,
+        heads: (args.hidden / 16).max(1),
+        layers: args.layers,
+    };
+
+    if args.ranks == 1 {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), cfg);
+        let mut data = BigramLm::new(gpt.vocab, 0.05, 7);
+        for _ in 0..args.steps {
+            let b = data.batch(args.batch, gpt.seq_len);
+            engine
+                .step(|m| m.train_step(&b.inputs, &b.targets, args.batch, gpt.seq_len, |_| {}))
+                .map_err(|e| e.to_string())?;
+        }
+    } else {
+        let (steps, batch, seq, ranks) = (args.steps, args.batch, gpt.seq_len, args.ranks);
+        run_ranks(
+            ranks,
+            cfg,
+            |_| GptModel::new(gpt, 42),
+            |engine| {
+                let mut data = BigramLm::new(gpt.vocab, 0.05, 7);
+                for _ in 0..steps {
+                    let b = data.batch(batch * ranks, seq);
+                    let r = engine.rank();
+                    let inputs = b.inputs[r * batch * seq..(r + 1) * batch * seq].to_vec();
+                    let targets = b.targets[r * batch * seq..(r + 1) * batch * seq].to_vec();
+                    engine
+                        .step(|m| m.train_step(&inputs, &targets, batch, seq, |_| {}))
+                        .expect("training step");
+                }
+            },
+        );
+    }
+
+    // Per-step aggregate table.
+    if args.ranks > 1 {
+        println!(
+            "({} ranks: counters sum over rank tracks, phase columns sum concurrent ranks)",
+            args.ranks
+        );
+    }
+    println!("step  wall_us  fwd_bwd  grad_off  cpu_adam  copy_back  d2h_B  h2d_B  frames");
+    for m in tracer.step_metrics() {
+        println!(
+            "{:>4}  {:>7}  {:>7}  {:>8}  {:>8}  {:>9}  {:>5}  {:>5}  {:>6}",
+            m.step,
+            m.wall_us,
+            m.phase("fwd_bwd"),
+            m.phase("grad_offload"),
+            m.phase("cpu_adam"),
+            m.phase("param_copy_back"),
+            m.counter("d2h_bytes"),
+            m.counter("h2d_bytes"),
+            m.counter("tx_frames"),
+        );
+    }
+    if let Some(g) = tracer.high_water("gpu_hwm_bytes") {
+        println!("gpu high-water: {g} B");
+    }
+    if let Some(c) = tracer.high_water("cpu_hwm_bytes") {
+        println!("cpu high-water: {c} B");
+    }
+
+    let json = tracer.chrome_trace_json();
+    std::fs::write(&args.out, &json).map_err(|e| format!("writing {}: {e}", args.out))?;
+    println!(
+        "wrote {} ({} bytes, {} spans) — open in chrome://tracing",
+        args.out,
+        json.len(),
+        tracer.spans().len()
+    );
+
+    if args.sim {
+        let sim_out = format!("{}.sim.json", args.out.trim_end_matches(".json"));
+        let model = zo_models::by_label(10.0).ok_or("no 10B row in the model table")?;
+        let perf = zero_offload::ZeroOffloadPerf::new(zo_hetsim::presets::dgx2_cluster(1));
+        let timeline = perf.timeline(
+            &model.model,
+            model.batch_per_gpu,
+            model.batch_per_gpu,
+            1,
+            1,
+            args.dpu,
+            2,
+        );
+        std::fs::write(&sim_out, timeline.chrome_trace_json())
+            .map_err(|e| format!("writing {sim_out}: {e}"))?;
+        println!("wrote {sim_out} (simulated 10B/V100 schedule)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -40,22 +40,28 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--config" => args.config = Some(value("--config")?),
             "--steps" => {
-                args.steps = value("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
             }
             "--batch" => {
-                args.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
             }
             "--layers" => {
-                args.layers = value("--layers")?.parse().map_err(|e| format!("--layers: {e}"))?
+                args.layers = value("--layers")?
+                    .parse()
+                    .map_err(|e| format!("--layers: {e}"))?
             }
             "--hidden" => {
-                args.hidden = value("--hidden")?.parse().map_err(|e| format!("--hidden: {e}"))?
+                args.hidden = value("--hidden")?
+                    .parse()
+                    .map_err(|e| format!("--hidden: {e}"))?
             }
             "--save" => args.save = Some(value("--save")?),
             "--resume" => args.resume = Some(value("--resume")?),
@@ -72,12 +78,14 @@ fn run() -> Result<(), String> {
     // Engine config from JSON (every field optional), like ds_config.json.
     let mut cfg = match &args.config {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             ZeroOffloadConfig::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?
         }
         None => ZeroOffloadConfig {
-            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+            loss_scale: LossScaleConfig {
+                init_scale: 256.0,
+                ..Default::default()
+            },
             ..ZeroOffloadConfig::default()
         },
     };
@@ -97,10 +105,14 @@ fn run() -> Result<(), String> {
     let mut engine = ZeroOffloadEngine::new(model, cfg);
 
     if let Some(path) = &args.resume {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        engine.restore_json(&json).map_err(|e| format!("restoring {path}: {e}"))?;
-        eprintln!("resumed from {path} at step {}", engine.stats().steps_applied);
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        engine
+            .restore_json(&json)
+            .map_err(|e| format!("restoring {path}: {e}"))?;
+        eprintln!(
+            "resumed from {path} at step {}",
+            engine.stats().steps_applied
+        );
     }
 
     let start_step = engine.stats().steps_applied as usize;

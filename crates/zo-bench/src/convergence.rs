@@ -26,8 +26,14 @@ pub const DPU_WARMUP: u64 = 40;
 
 fn train_cfg(dpu: bool, offload: bool) -> ZeroOffloadConfig {
     let mut cfg = ZeroOffloadConfig {
-        adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
-        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        adam: AdamParams {
+            lr: 3e-3,
+            ..AdamParams::default()
+        },
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
         ..ZeroOffloadConfig::default()
     };
     if dpu {
@@ -41,7 +47,13 @@ fn train_cfg(dpu: bool, offload: bool) -> ZeroOffloadConfig {
 
 /// Runs the GPT-2 pretraining analog (Fig. 12) for `steps` steps.
 pub fn fig12_curves(steps: usize, seed: u64) -> ConvergenceCurves {
-    let gpt = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let gpt = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
     let run = |cfg: ZeroOffloadConfig| -> Vec<f32> {
         let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, seed), cfg);
         let mut data = BigramLm::new(gpt.vocab, 0.05, seed ^ 0xDA7A);
@@ -66,8 +78,7 @@ pub fn fig12_curves(steps: usize, seed: u64) -> ConvergenceCurves {
 pub fn fig13_curves(steps: usize, seed: u64) -> ConvergenceCurves {
     let (dim, hidden, classes) = (16, 32, 4);
     let run = |cfg: ZeroOffloadConfig| -> Vec<f32> {
-        let mut engine =
-            ZeroOffloadEngine::new(Classifier::new(dim, hidden, classes, seed), cfg);
+        let mut engine = ZeroOffloadEngine::new(Classifier::new(dim, hidden, classes, seed), cfg);
         let mut data = GaussianClassification::new(classes, dim, 0.5, seed ^ 0xF13E);
         (0..steps)
             .map(|_| {
@@ -90,7 +101,13 @@ pub fn fig13_curves(steps: usize, seed: u64) -> ConvergenceCurves {
 /// (`None` disables DPU), returning the loss curve. Used by the warm-up
 /// ablation.
 pub fn fig12_curves_with_warmup(steps: usize, seed: u64, warmup: Option<u64>) -> Vec<f32> {
-    let gpt = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let gpt = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
     let mut cfg = train_cfg(false, true);
     cfg.dpu_warmup = warmup;
     let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, seed), cfg);

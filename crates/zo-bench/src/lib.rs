@@ -15,11 +15,11 @@ pub mod scale;
 mod table;
 pub mod throughput;
 
-pub use adam_bench::{measure_adam_rates, render_table4, table4_rows, AdamRates, Table4Row};
 pub use ablations::{bucket_sweep, dpu_warmup_sweep, BucketRow, WarmupRow};
+pub use adam_bench::{measure_adam_rates, render_table4, table4_rows, AdamRates, Table4Row};
 pub use convergence::{
-    fig12_curves, fig12_curves_with_warmup, fig13_curves, render_curves, smooth,
-    ConvergenceCurves, DPU_WARMUP,
+    fig12_curves, fig12_curves_with_warmup, fig13_curves, render_curves, smooth, ConvergenceCurves,
+    DPU_WARMUP,
 };
 pub use scale::{fig7_rows, render_fig7, ScaleRow};
 pub use table::render_table;

@@ -28,12 +28,22 @@ pub fn fig8_rows() -> Vec<Fig8Row> {
         .map(|&label| {
             let c: EvalConfig = by_label(label).expect("table 3 row");
             let zo = perf
-                .iter_stats(System::ZeroOffload { mp: 1 }, &c.model, c.batch_per_gpu, TOTAL_BATCH, 1)
+                .iter_stats(
+                    System::ZeroOffload { mp: 1 },
+                    &c.model,
+                    c.batch_per_gpu,
+                    TOTAL_BATCH,
+                    1,
+                )
                 .expect("zero-offload supports single GPU");
             let l2l = perf
                 .iter_stats(System::L2l, &c.model, c.batch_per_gpu, TOTAL_BATCH, 1)
                 .expect("l2l supports single GPU");
-            Fig8Row { params_b: label, zero_offload: zo.tflops_per_gpu, l2l: l2l.tflops_per_gpu }
+            Fig8Row {
+                params_b: label,
+                zero_offload: zo.tflops_per_gpu,
+                l2l: l2l.tflops_per_gpu,
+            }
         })
         .collect()
 }
@@ -87,15 +97,13 @@ pub struct Fig10Row {
     pub zero_offload_mp: Option<f64>,
 }
 
-fn tuned_stats(
-    perf: &BaselinePerf,
-    sys: System,
-    c: &EvalConfig,
-    world: u32,
-) -> Option<f64> {
+fn tuned_stats(perf: &BaselinePerf, sys: System, c: &EvalConfig, world: u32) -> Option<f64> {
     let node = presets::dgx2();
     let mb = zo_baselines::largest_micro_batch(sys, &c.model, world, &node, 32)? as u32;
-    Some(perf.iter_stats(sys, &c.model, mb, TOTAL_BATCH, world)?.tflops_per_gpu)
+    Some(
+        perf.iter_stats(sys, &c.model, mb, TOTAL_BATCH, world)?
+            .tflops_per_gpu,
+    )
 }
 
 /// Computes Fig. 10 across the Table 3 model zoo.
@@ -108,7 +116,9 @@ pub fn fig10_rows() -> Vec<Fig10Row> {
             let megatron = (1..=4)
                 .map(|p| 1u32 << p) // MP in {2,4,8,16}
                 .filter_map(|mp| tuned_stats(&perf, System::Megatron { mp }, &c, world))
-                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                });
             // Table 3 lists an MP degree per row, but the fp16 replica must
             // also fit (2M/mp bytes): search upward from the listed degree.
             let zo_mp = if c.mp_degree > 1 {
@@ -116,7 +126,9 @@ pub fn fig10_rows() -> Vec<Fig10Row> {
                     .into_iter()
                     .filter(|&mp| mp >= c.mp_degree)
                     .filter_map(|mp| tuned_stats(&perf, System::ZeroOffload { mp }, &c, world))
-                    .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+                    .fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.max(v)))
+                    })
             } else {
                 None
             };
@@ -157,7 +169,13 @@ pub fn fig11_rows() -> Vec<Fig11Row> {
             // paper's near-linear aggregate-throughput plot).
             let total_batch = (c.batch_per_gpu * gpus).max(TOTAL_BATCH);
             let zo = perf
-                .iter_stats(System::ZeroOffload { mp: 1 }, &c.model, c.batch_per_gpu, total_batch, gpus)
+                .iter_stats(
+                    System::ZeroOffload { mp: 1 },
+                    &c.model,
+                    c.batch_per_gpu,
+                    total_batch,
+                    gpus,
+                )
                 .expect("zero-offload runs everywhere");
             let z2 = zo_baselines::largest_micro_batch(System::Zero2, &c.model, gpus, &node, 32)
                 .and_then(|mb| {
@@ -236,7 +254,14 @@ pub fn render_fig10() -> String {
         })
         .collect();
     crate::table::render_table(
-        &["model", "PyTorch", "ZeRO-2", "Megatron", "ZO (w/o MP)", "ZO (w/ MP)"],
+        &[
+            "model",
+            "PyTorch",
+            "ZeRO-2",
+            "Megatron",
+            "ZO (w/o MP)",
+            "ZO (w/ MP)",
+        ],
         &rows,
     )
 }
@@ -318,9 +343,11 @@ mod tests {
         let rows = fig10_rows();
         for r in rows.iter().filter(|r| r.params_b <= 8.0) {
             let zo = r.zero_offload.expect("runs");
-            for (name, v) in
-                [("pytorch", r.pytorch), ("zero2", r.zero2), ("megatron", r.megatron)]
-            {
+            for (name, v) in [
+                ("pytorch", r.pytorch),
+                ("zero2", r.zero2),
+                ("megatron", r.megatron),
+            ] {
                 if let Some(v) = v {
                     assert!(
                         zo > 0.95 * v,
@@ -340,8 +367,7 @@ mod tests {
         // Near-linear aggregate scaling for ZeRO-Offload.
         let first = &rows[0];
         let last = rows.last().unwrap();
-        let efficiency =
-            last.zero_offload_total / (first.zero_offload_total * last.gpus as f64);
+        let efficiency = last.zero_offload_total / (first.zero_offload_total * last.gpus as f64);
         assert!(efficiency > 0.7, "scaling efficiency {efficiency:.2}");
         // ZeRO-2 infeasible at small scale, feasible by 32 GPUs.
         assert!(rows.iter().find(|r| r.gpus == 4).unwrap().zero2.is_none());
@@ -349,7 +375,11 @@ mod tests {
         // At 128 GPUs ZeRO-2 catches up to (or passes) ZeRO-Offload.
         let r128 = rows.iter().find(|r| r.gpus == 128).unwrap();
         let z2 = r128.zero2.expect("feasible at 128");
-        assert!(z2 > 0.9 * r128.zero_offload, "{z2:.1} vs {:.1}", r128.zero_offload);
+        assert!(
+            z2 > 0.9 * r128.zero_offload,
+            "{z2:.1} vs {:.1}",
+            r128.zero_offload
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl Clone for Communicator {
     /// collectives on the same group. Do NOT drive a clone from a second
     /// thread — one thread per rank is the contract.
     fn clone(&self) -> Communicator {
-        Communicator { rank: self.rank, world: self.world, shared: Arc::clone(&self.shared) }
+        Communicator {
+            rank: self.rank,
+            world: self.world,
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -73,7 +77,11 @@ impl Communicator {
             stage: Mutex::new(vec![None; world]),
         });
         (0..world)
-            .map(|rank| Communicator { rank, world, shared: Arc::clone(&shared) })
+            .map(|rank| Communicator {
+                rank,
+                world,
+                shared: Arc::clone(&shared),
+            })
             .collect()
     }
 
@@ -145,7 +153,10 @@ impl Communicator {
         }
         self.stage_and_reduce(data);
         let inv = 1.0 / self.world as f32;
-        self.shared.buf.lock()[range].iter().map(|v| v * inv).collect()
+        self.shared.buf.lock()[range]
+            .iter()
+            .map(|v| v * inv)
+            .collect()
     }
 
     /// All-gather: assembles per-rank shards (partitioned by
@@ -240,7 +251,10 @@ mod tests {
                 std::thread::spawn(move || f(c))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     }
 
     #[test]
@@ -291,7 +305,11 @@ mod tests {
     fn broadcast_from_each_root() {
         for root in 0..3 {
             let out = run_group(3, move |c| {
-                let data = if c.rank() == root { vec![42.0, 7.0] } else { vec![0.0, 0.0] };
+                let data = if c.rank() == root {
+                    vec![42.0, 7.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
                 c.broadcast(&data, root)
             });
             for v in out {
@@ -305,14 +323,17 @@ mod tests {
         // Floating-point sums depend on order; rank-order staging must make
         // repeated runs bit-identical even with racing threads.
         let golden = run_group(4, |c| {
-            let mut v: Vec<f32> = (0..64).map(|i| (i as f32 + 0.1) * (c.rank() as f32 + 0.7)).collect();
+            let mut v: Vec<f32> = (0..64)
+                .map(|i| (i as f32 + 0.1) * (c.rank() as f32 + 0.7))
+                .collect();
             c.all_reduce_sum(&mut v);
             v
         });
         for _ in 0..5 {
             let again = run_group(4, |c| {
-                let mut v: Vec<f32> =
-                    (0..64).map(|i| (i as f32 + 0.1) * (c.rank() as f32 + 0.7)).collect();
+                let mut v: Vec<f32> = (0..64)
+                    .map(|i| (i as f32 + 0.1) * (c.rank() as f32 + 0.7))
+                    .collect();
                 c.all_reduce_sum(&mut v);
                 v
             });

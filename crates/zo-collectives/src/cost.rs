@@ -20,7 +20,11 @@ pub struct RingCost {
 impl RingCost {
     /// Creates a cost model; `n` is clamped to at least 1.
     pub fn new(n: u32, gbps: f64, latency_s: f64) -> RingCost {
-        RingCost { n: n.max(1), gbps, latency_s }
+        RingCost {
+            n: n.max(1),
+            gbps,
+            latency_s,
+        }
     }
 
     fn steps(&self) -> f64 {
@@ -86,9 +90,7 @@ mod tests {
     #[test]
     fn reduce_scatter_is_half_allreduce() {
         let c = RingCost::new(16, 50.0, 0.0);
-        assert!(
-            (c.all_reduce_secs(4e9) - 2.0 * c.reduce_scatter_secs(4e9)).abs() < 1e-12
-        );
+        assert!((c.all_reduce_secs(4e9) - 2.0 * c.reduce_scatter_secs(4e9)).abs() < 1e-12);
     }
 
     #[test]

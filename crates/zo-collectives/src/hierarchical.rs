@@ -41,7 +41,7 @@ impl HierarchicalCost {
             (world, 1)
         } else {
             assert!(
-                world % gpus_per_node == 0,
+                world.is_multiple_of(gpus_per_node),
                 "partial nodes are not modeled: {world} GPUs over nodes of {gpus_per_node}"
             );
             (gpus_per_node, world / gpus_per_node)

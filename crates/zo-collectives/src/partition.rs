@@ -65,8 +65,7 @@ mod tests {
     fn shards_balanced_within_one() {
         for total in [17usize, 100, 129] {
             for world in [2usize, 3, 8] {
-                let lens: Vec<usize> =
-                    (0..world).map(|r| partition_len(total, world, r)).collect();
+                let lens: Vec<usize> = (0..world).map(|r| partition_len(total, world, r)).collect();
                 let min = *lens.iter().min().unwrap();
                 let max = *lens.iter().max().unwrap();
                 assert!(max - min <= 1, "lens {lens:?}");

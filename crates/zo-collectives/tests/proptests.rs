@@ -3,10 +3,7 @@
 use proptest::prelude::*;
 use zo_collectives::{partition_range, Communicator, RingCost};
 
-fn run_group<T: Send>(
-    world: usize,
-    f: impl Fn(Communicator) -> T + Send + Sync + Clone,
-) -> Vec<T> {
+fn run_group<T: Send>(world: usize, f: impl Fn(Communicator) -> T + Send + Sync + Clone) -> Vec<T> {
     let comms = Communicator::group(world);
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
@@ -16,7 +13,10 @@ fn run_group<T: Send>(
                 scope.spawn(move || f(c))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     })
 }
 

@@ -137,10 +137,11 @@ pub fn check_unique_optimality(
         // Uniqueness over *data placement*: another assignment with the
         // same data placement differs only in compute placement; a truly
         // distinct strategy must place some model state differently.
-        let same_metrics = m.gpu_memory_m == zo.gpu_memory_m
-            && m.comm_volume_m == zo.comm_volume_m;
+        let same_metrics = m.gpu_memory_m == zo.gpu_memory_m && m.comm_volume_m == zo.comm_volume_m;
         if same_metrics && data_placement(m.assignment) != data_placement(zo.assignment) {
-            violations.push(OptimalityViolation::NotUnique { other: m.assignment });
+            violations.push(OptimalityViolation::NotUnique {
+                other: m.assignment,
+            });
         }
     }
     if violations.is_empty() {

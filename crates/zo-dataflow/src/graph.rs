@@ -57,7 +57,10 @@ impl Node {
 
     /// Whether this is a model-state data node.
     pub fn is_data(self) -> bool {
-        matches!(self, Node::P16 | Node::G16 | Node::P32 | Node::M32 | Node::V32)
+        matches!(
+            self,
+            Node::P16 | Node::G16 | Node::P32 | Node::M32 | Node::V32
+        )
     }
 
     /// Whether this is a computation node.
@@ -173,7 +176,14 @@ impl DataFlowGraph {
     /// check that conclusions are robust to weight perturbations).
     pub fn map_weights(&self, f: impl Fn(&Edge) -> u32) -> DataFlowGraph {
         DataFlowGraph {
-            edges: self.edges.iter().map(|e| Edge { weight_m: f(e), ..*e }).collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|e| Edge {
+                    weight_m: f(e),
+                    ..*e
+                })
+                .collect(),
         }
     }
 }

@@ -2,9 +2,7 @@
 //! byte weights, as long as the precision ordering (fp16 < fp32) holds.
 
 use proptest::prelude::*;
-use zo_dataflow::{
-    check_unique_optimality, min_offload_comm_m, Assignment, DataFlowGraph, Node,
-};
+use zo_dataflow::{check_unique_optimality, min_offload_comm_m, Assignment, DataFlowGraph, Node};
 
 /// Rebuilds the training graph with fp16 edges weighing `w16` units and
 /// fp32 edges `w32` (the fused p16→FWD-BWD edge weighs `2*w16`).

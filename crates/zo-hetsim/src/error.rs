@@ -76,6 +76,8 @@ mod tests {
         assert!(e.to_string().contains("gpu0.hbm"));
         assert!(e.to_string().contains("10"));
         assert!(SimError::UnknownTask { id: 3 }.to_string().contains('3'));
-        assert!(SimError::InvalidDuration { duration: -1.0 }.to_string().contains("-1"));
+        assert!(SimError::InvalidDuration { duration: -1.0 }
+            .to_string()
+            .contains("-1"));
     }
 }

@@ -24,5 +24,5 @@ pub mod trace;
 pub use error::SimError;
 pub use memory::{Allocation, MemoryPool};
 pub use sim::{ScheduledTask, Sim, StreamId, TaskId, Timeline};
-pub use trace::{render_gantt, render_report, utilization_report, StreamReport};
 pub use specs::{ClusterSpec, CpuSpec, GpuSpec, LinkSpec, NodeSpec, GIB};
+pub use trace::{render_gantt, render_report, utilization_report, StreamReport};

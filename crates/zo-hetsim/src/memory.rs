@@ -114,14 +114,16 @@ impl MemoryPool {
                 self.used -= bytes;
                 Ok(())
             }
-            None => Err(SimError::UnknownAllocation { pool: self.name.clone(), id: alloc.id }),
+            None => Err(SimError::UnknownAllocation {
+                pool: self.name.clone(),
+                id: alloc.id,
+            }),
         }
     }
 
     /// Returns `(label, bytes)` for every live allocation, largest first.
     pub fn live_allocations(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> =
-            self.live.values().map(|(b, l)| (l.clone(), *b)).collect();
+        let mut v: Vec<(String, u64)> = self.live.values().map(|(b, l)| (l.clone(), *b)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -157,7 +159,12 @@ mod tests {
         let mut pool = MemoryPool::new("gpu", 10);
         pool.alloc(8, "x").unwrap();
         match pool.alloc(5, "y") {
-            Err(SimError::OutOfMemory { pool, requested, used, capacity }) => {
+            Err(SimError::OutOfMemory {
+                pool,
+                requested,
+                used,
+                capacity,
+            }) => {
                 assert_eq!(pool, "gpu");
                 assert_eq!(requested, 5);
                 assert_eq!(used, 8);
@@ -174,7 +181,10 @@ mod tests {
         let mut pool = MemoryPool::new("p", 10);
         let a = pool.alloc(4, "a").unwrap();
         pool.free(a).unwrap();
-        assert!(matches!(pool.free(a), Err(SimError::UnknownAllocation { .. })));
+        assert!(matches!(
+            pool.free(a),
+            Err(SimError::UnknownAllocation { .. })
+        ));
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub fn dgx2_cpu() -> CpuSpec {
 
 /// PCIe 3.0 x16: the paper's "bidirectional 32 GBps" = 16 GB/s per way.
 pub fn pcie3_x16() -> LinkSpec {
-    LinkSpec { gbps_each_way: 16.0, latency_s: 20e-6 }
+    LinkSpec {
+        gbps_each_way: 16.0,
+        latency_s: 20e-6,
+    }
 }
 
 /// A full DGX-2 node: 16× V100-32GB over NVSwitch.
@@ -65,14 +68,21 @@ pub fn dgx2() -> NodeSpec {
 
 /// A single-GPU slice of a DGX-2 (for the single-GPU experiments).
 pub fn single_v100_node() -> NodeSpec {
-    NodeSpec { gpus_per_node: 1, ..dgx2() }
+    NodeSpec {
+        gpus_per_node: 1,
+        ..dgx2()
+    }
 }
 
 /// `nodes`× DGX-2 connected by InfiniBand (Mellanox CS7500 fabric).
 ///
 /// 8 × 100 Gb/s HCAs per DGX-2 ≈ 100 GB/s aggregate per node.
 pub fn dgx2_cluster(nodes: u32) -> ClusterSpec {
-    ClusterSpec { nodes, node: dgx2(), ib_gbps_per_node: 100.0 }
+    ClusterSpec {
+        nodes,
+        node: dgx2(),
+        ib_gbps_per_node: 100.0,
+    }
 }
 
 #[cfg(test)]

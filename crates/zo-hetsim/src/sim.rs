@@ -159,7 +159,10 @@ impl Sim {
                 finish,
             });
         }
-        Ok(Timeline { streams: self.streams.clone(), tasks: scheduled })
+        Ok(Timeline {
+            streams: self.streams.clone(),
+            tasks: scheduled,
+        })
     }
 }
 
@@ -227,6 +230,32 @@ impl Timeline {
     pub fn to_json(&self) -> String {
         // Serialization of this plain data structure cannot fail.
         serde_json::to_string_pretty(self).expect("timeline serialization")
+    }
+
+    /// Converts the schedule into plain [`zo_trace::TraceEvent`]s — the
+    /// same event type real engine runs record — with each stream as a
+    /// track and simulated seconds mapped to microseconds.
+    pub fn to_trace_events(&self) -> Vec<zo_trace::TraceEvent> {
+        self.tasks
+            .iter()
+            .map(|t| {
+                let start_us = (t.start * 1e6).round() as u64;
+                let end_us = (t.finish * 1e6).round() as u64;
+                zo_trace::TraceEvent {
+                    track: self.streams[t.stream.0].clone(),
+                    name: t.label.clone(),
+                    start_us,
+                    dur_us: end_us.saturating_sub(start_us),
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the simulated schedule as Chrome trace format JSON,
+    /// identical in shape to a real run's
+    /// `zo_trace::Tracer::chrome_trace_json` export.
+    pub fn chrome_trace_json(&self) -> String {
+        zo_trace::chrome_trace_json_from(&self.to_trace_events())
     }
 }
 

@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn link_transfer_includes_latency() {
-        let link = LinkSpec { gbps_each_way: 16.0, latency_s: 10e-6 };
+        let link = LinkSpec {
+            gbps_each_way: 16.0,
+            latency_s: 10e-6,
+        };
         // 16 GB at 16 GB/s = 1 s plus latency.
         let t = link.transfer_secs(16e9);
         assert!((t - 1.00001).abs() < 1e-9);

@@ -149,4 +149,24 @@ mod tests {
         assert_eq!(parsed["tasks"].as_array().unwrap().len(), 2);
         assert_eq!(parsed["streams"][0], "gpu");
     }
+
+    #[test]
+    fn chrome_trace_export_is_valid_and_scaled() {
+        let tl = two_stream_timeline();
+        let events = tl.to_trace_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].track, "gpu");
+        assert_eq!(events[0].dur_us, 2_000_000); // 2 simulated seconds
+        let json = tl.chrome_trace_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let evs = parsed["traceEvents"].as_array().unwrap();
+        // 2 thread_name metadata records + 2 complete events.
+        assert_eq!(evs.len(), 4);
+        let complete: Vec<_> = evs
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        assert!(complete.iter().all(|e| e["dur"].as_u64().is_some()));
+    }
 }

@@ -50,7 +50,9 @@ pub fn table3() -> Vec<EvalConfig> {
 
 /// Looks up a Table 3 row by its nominal size in billions.
 pub fn by_label(label_b: f64) -> Option<EvalConfig> {
-    table3().into_iter().find(|c| (c.label_b - label_b).abs() < 1e-9)
+    table3()
+        .into_iter()
+        .find(|c| (c.label_b - label_b).abs() < 1e-9)
 }
 
 /// BERT-large (24 layers, 1024 hidden, 16 heads, ~336M parameters), used

@@ -61,7 +61,12 @@ impl BigramLm {
                 ]
             })
             .collect();
-        BigramLm { vocab, successors, rng: Init::new(seed), noise }
+        BigramLm {
+            vocab,
+            successors,
+            rng: Init::new(seed),
+            noise,
+        }
     }
 
     /// Vocabulary size.
@@ -86,7 +91,12 @@ impl BigramLm {
                 tok = next;
             }
         }
-        LmBatch { inputs, targets, batch, seq_len }
+        LmBatch {
+            inputs,
+            targets,
+            batch,
+            seq_len,
+        }
     }
 }
 
@@ -123,7 +133,13 @@ impl GaussianClassification {
         let means = (0..classes)
             .map(|_| (0..dim).map(|_| task_rng.standard_normal() * 2.0).collect())
             .collect();
-        GaussianClassification { classes, dim, means, rng: Init::new(seed), spread }
+        GaussianClassification {
+            classes,
+            dim,
+            means,
+            rng: Init::new(seed),
+            spread,
+        }
     }
 
     /// Number of classes.
@@ -191,7 +207,10 @@ mod tests {
         for i in 0..b.inputs.len() {
             let tok = b.inputs[i];
             let next = b.targets[i];
-            assert!(chain[tok].contains(&next), "{next} not a successor of {tok}");
+            assert!(
+                chain[tok].contains(&next),
+                "{next} not a successor of {tok}"
+            );
         }
     }
 
@@ -212,10 +231,16 @@ mod tests {
             let row = ba.features.row(r);
             let best = (0..4)
                 .min_by(|&i, &j| {
-                    let di: f32 =
-                        row.iter().zip(&task.means[i]).map(|(x, m)| (x - m).powi(2)).sum();
-                    let dj: f32 =
-                        row.iter().zip(&task.means[j]).map(|(x, m)| (x - m).powi(2)).sum();
+                    let di: f32 = row
+                        .iter()
+                        .zip(&task.means[i])
+                        .map(|(x, m)| (x - m).powi(2))
+                        .sum();
+                    let dj: f32 = row
+                        .iter()
+                        .zip(&task.means[j])
+                        .map(|(x, m)| (x - m).powi(2))
+                        .sum();
                     di.partial_cmp(&dj).unwrap()
                 })
                 .unwrap();

@@ -114,7 +114,12 @@ pub struct ModelStateBytes {
 impl ModelStateBytes {
     /// Byte budget for `params` parameters.
     pub fn for_params(params: u64) -> ModelStateBytes {
-        ModelStateBytes { p16: 2 * params, g16: 2 * params, p32: 4 * params, optim: 8 * params }
+        ModelStateBytes {
+            p16: 2 * params,
+            g16: 2 * params,
+            p32: 4 * params,
+            optim: 8 * params,
+        }
     }
 
     /// Total: the paper's 16M bytes.

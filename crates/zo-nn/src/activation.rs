@@ -88,8 +88,8 @@ mod tests {
                 xm.set(r, j, x.get(r, j).unwrap() - h).unwrap();
                 let (yp, _) = Activation::Gelu.forward(&xp);
                 let (ym, _) = Activation::Gelu.forward(&xm);
-                let fd = (yp.data().iter().sum::<f32>() - ym.data().iter().sum::<f32>())
-                    / (2.0 * h);
+                let fd =
+                    (yp.data().iter().sum::<f32>() - ym.data().iter().sum::<f32>()) / (2.0 * h);
                 assert!((dx.get(r, j).unwrap() - fd).abs() < 1e-2);
             }
         }

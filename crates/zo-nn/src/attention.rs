@@ -50,7 +50,14 @@ fn head_block(x: &Tensor, b: usize, h: usize, seq: usize, head_dim: usize) -> Te
 }
 
 /// Adds a `(seq, head_dim)` block back into its position in `dst`.
-fn add_head_block(dst: &mut Tensor, block: &Tensor, b: usize, h: usize, seq: usize, head_dim: usize) {
+fn add_head_block(
+    dst: &mut Tensor,
+    block: &Tensor,
+    b: usize,
+    h: usize,
+    seq: usize,
+    head_dim: usize,
+) {
     for t in 0..seq {
         let d = &mut dst.row_mut(b * seq + t)[h * head_dim..(h + 1) * head_dim];
         for (dv, sv) in d.iter_mut().zip(block.row(t)) {
@@ -66,7 +73,10 @@ impl CausalSelfAttention {
     ///
     /// Panics if `hidden` is not divisible by `heads`.
     pub fn new(hidden: usize, heads: usize, init: &mut Init) -> CausalSelfAttention {
-        assert!(heads > 0 && hidden % heads == 0, "hidden must divide into heads");
+        assert!(
+            heads > 0 && hidden.is_multiple_of(heads),
+            "hidden must divide into heads"
+        );
         CausalSelfAttention {
             wq: Linear::new(hidden, hidden, init),
             wk: Linear::new(hidden, hidden, init),
@@ -136,16 +146,23 @@ impl CausalSelfAttention {
         let (out, o_cache) = self.wo.forward(&ctx)?;
         Ok((
             out,
-            AttentionCache { q_cache, k_cache, v_cache, o_cache, q, k, v, probs, batch, seq },
+            AttentionCache {
+                q_cache,
+                k_cache,
+                v_cache,
+                o_cache,
+                q,
+                k,
+                v,
+                probs,
+                batch,
+                seq,
+            },
         ))
     }
 
     /// Backward pass; accumulates projection grads, returns `dx`.
-    pub fn backward(
-        &mut self,
-        cache: &AttentionCache,
-        dy: &Tensor,
-    ) -> Result<Tensor, TensorError> {
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Tensor) -> Result<Tensor, TensorError> {
         let hidden = self.wq.fan_in();
         let head_dim = hidden / self.heads;
         let scale = 1.0 / (head_dim as f32).sqrt();
@@ -261,7 +278,11 @@ mod tests {
         let loss = |attn: &CausalSelfAttention, x: &Tensor| -> f32 {
             let (y, _) = attn.forward(x, 1, 3).unwrap();
             // Weighted sum for non-uniform dy.
-            y.data().iter().enumerate().map(|(i, v)| v * (0.1 * i as f32 + 0.5)).sum()
+            y.data()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (0.1 * i as f32 + 0.5))
+                .sum()
         };
         let (y, cache) = attn.forward(&x, 1, 3).unwrap();
         let mut dy = Tensor::zeros(3, 4);

@@ -118,7 +118,15 @@ impl TransformerBlock {
         let (m, cmlp) = self.mlp.forward(&n2)?;
         let mut out = mid;
         ops::add_assign(out.data_mut(), m.data())?;
-        Ok((out, BlockCache { cl1, cattn, cl2, cmlp }))
+        Ok((
+            out,
+            BlockCache {
+                cl1,
+                cattn,
+                cl2,
+                cmlp,
+            },
+        ))
     }
 
     /// Backward pass; accumulates all sub-layer grads, returns `dx`.
@@ -150,7 +158,12 @@ impl TransformerBlock {
     pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(&mut self.ln1.gamma, &mut self.ln1.dgamma);
         f(&mut self.ln1.beta, &mut self.ln1.dbeta);
-        for lin in [&mut self.attn.wq, &mut self.attn.wk, &mut self.attn.wv, &mut self.attn.wo] {
+        for lin in [
+            &mut self.attn.wq,
+            &mut self.attn.wk,
+            &mut self.attn.wv,
+            &mut self.attn.wo,
+        ] {
             f(lin.w.data_mut(), lin.dw.data_mut());
             f(&mut lin.b, &mut lin.db);
         }
@@ -193,7 +206,11 @@ mod tests {
         let x = rng.normal_tensor(4, 4, 0.7); // batch=2, seq=2
         let loss = |b: &TransformerBlock, x: &Tensor| -> f32 {
             let (y, _) = b.forward(x, 2, 2).unwrap();
-            y.data().iter().enumerate().map(|(i, v)| v * (0.2 + 0.03 * i as f32)).sum()
+            y.data()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (0.2 + 0.03 * i as f32))
+                .sum()
         };
         let (_, cache) = block.forward(&x, 2, 2).unwrap();
         let mut dy = Tensor::zeros(4, 4);

@@ -59,7 +59,14 @@ impl CheckpointedBlock {
         // The full cache (attention probabilities, linear inputs, …) is
         // dropped here; only the input checkpoint survives.
         drop(full_cache);
-        Ok((y, CheckpointCache { input: x.clone(), batch, seq }))
+        Ok((
+            y,
+            CheckpointCache {
+                input: x.clone(),
+                batch,
+                seq,
+            },
+        ))
     }
 
     /// Backward pass: recompute forward from the checkpoint, then backward.

@@ -29,7 +29,11 @@ impl Dropout {
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Dropout {
         assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
-        Dropout { p, rng: Init::new(seed), training: true }
+        Dropout {
+            p,
+            rng: Init::new(seed),
+            training: true,
+        }
     }
 
     /// Drop probability.
@@ -57,7 +61,11 @@ impl Dropout {
         let mut y = x.clone();
         let mut mask = Vec::with_capacity(x.len());
         for v in y.data_mut() {
-            let m = if self.rng.uniform(0.0, 1.0) < self.p { 0.0 } else { scale };
+            let m = if self.rng.uniform(0.0, 1.0) < self.p {
+                0.0
+            } else {
+                scale
+            };
             mask.push(m);
             *v *= m;
         }

@@ -118,7 +118,10 @@ mod tests {
         let down = probe(&mut layer, &x);
         layer.w.set(0, 1, orig).unwrap();
         let fd = (up - down) / (2.0 * h);
-        assert!((layer.dw.get(0, 1).unwrap() - fd).abs() < 1e-2, "dW mismatch");
+        assert!(
+            (layer.dw.get(0, 1).unwrap() - fd).abs() < 1e-2,
+            "dW mismatch"
+        );
 
         let origb = layer.b[1];
         layer.b[1] = origb + h;

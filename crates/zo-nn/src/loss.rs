@@ -23,7 +23,10 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor)
     let inv_n = 1.0 / n as f32;
     for (r, &t) in targets.iter().enumerate() {
         if t >= classes {
-            return Err(TensorError::IndexOutOfBounds { index: (r, t), shape: (n, classes) });
+            return Err(TensorError::IndexOutOfBounds {
+                index: (r, t),
+                shape: (n, classes),
+            });
         }
         let row = dlogits.row_mut(r);
         ops::softmax_row(row);
@@ -116,8 +119,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.2, 0.1]]).unwrap();
+        let logits = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.2, 0.1]]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&Tensor::zeros(0, 2), &[]), 0.0);
     }

@@ -15,6 +15,10 @@ use crate::layernorm::LayerNorm;
 use crate::linear::Linear;
 use crate::loss::cross_entropy;
 
+/// The visitor callback [`Model::visit_mut`] feeds: one call per
+/// `(layer_bucket, param, grad)` slice triple.
+pub type ParamVisitor<'a> = dyn FnMut(usize, &mut [f32], &mut [f32]) + 'a;
+
 /// Parameter visitation: every model exposes its `(param, grad)` slices in
 /// a stable canonical order, tagged with a layer index used as the
 /// offload/streaming bucket.
@@ -26,7 +30,7 @@ pub trait Model {
     fn num_params(&self) -> usize;
 
     /// Visits every `(layer_bucket, param, grad)` triple in canonical order.
-    fn visit_mut(&mut self, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32]));
+    fn visit_mut(&mut self, f: &mut ParamVisitor);
 
     /// Zeroes all gradients.
     fn zero_grads(&mut self);
@@ -193,7 +197,13 @@ impl GptModel {
         let (logits, head_cache) = self.lm_head.forward(&nx)?;
         Ok((
             logits,
-            GptCache { tok_cache, pos_cache, block_caches, ln_cache, head_cache },
+            GptCache {
+                tok_cache,
+                pos_cache,
+                block_caches,
+                ln_cache,
+                head_cache,
+            },
         ))
     }
 
@@ -293,17 +303,13 @@ impl GptModel {
 }
 
 /// Visits one [`Linear`] as two `(param, grad)` pairs.
-fn visit_linear(
-    layer: usize,
-    lin: &mut Linear,
-    f: &mut dyn FnMut(usize, &mut [f32], &mut [f32]),
-) {
+fn visit_linear(layer: usize, lin: &mut Linear, f: &mut ParamVisitor) {
     f(layer, lin.w.data_mut(), lin.dw.data_mut());
     f(layer, &mut lin.b, &mut lin.db);
 }
 
 /// Visits one [`LayerNorm`].
-fn visit_ln(layer: usize, ln: &mut LayerNorm, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32])) {
+fn visit_ln(layer: usize, ln: &mut LayerNorm, f: &mut ParamVisitor) {
     f(layer, &mut ln.gamma, &mut ln.dgamma);
     f(layer, &mut ln.beta, &mut ln.dbeta);
 }
@@ -322,9 +328,17 @@ impl Model for GptModel {
             + self.lm_head.num_params()
     }
 
-    fn visit_mut(&mut self, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32])) {
-        f(0, self.tok_emb.table.data_mut(), self.tok_emb.dtable.data_mut());
-        f(0, self.pos_emb.table.data_mut(), self.pos_emb.dtable.data_mut());
+    fn visit_mut(&mut self, f: &mut ParamVisitor) {
+        f(
+            0,
+            self.tok_emb.table.data_mut(),
+            self.tok_emb.dtable.data_mut(),
+        );
+        f(
+            0,
+            self.pos_emb.table.data_mut(),
+            self.pos_emb.dtable.data_mut(),
+        );
         for (i, b) in self.blocks.iter_mut().enumerate() {
             let l = i + 1;
             visit_ln(l, &mut b.ln1, f);
@@ -424,7 +438,7 @@ impl Model for Classifier {
         self.fc_in.num_params() + self.fc_mid.num_params() + self.fc_out.num_params()
     }
 
-    fn visit_mut(&mut self, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32])) {
+    fn visit_mut(&mut self, f: &mut ParamVisitor) {
         visit_linear(0, &mut self.fc_in, f);
         visit_linear(1, &mut self.fc_mid, f);
         visit_linear(2, &mut self.fc_out, f);
@@ -443,7 +457,13 @@ mod tests {
 
     fn tiny() -> GptModel {
         GptModel::new(
-            GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 2 },
+            GptConfig {
+                vocab: 16,
+                seq_len: 8,
+                hidden: 8,
+                heads: 2,
+                layers: 2,
+            },
             42,
         )
     }
@@ -496,7 +516,11 @@ mod tests {
         let targets: Vec<usize> = (0..16).map(|i| (i + 1) % 16).collect();
         let first = m.eval_loss(&inputs, &targets, 2, 8).unwrap();
         let mut opt = zo_optim::Sgd::new(
-            zo_optim::SgdParams { lr: 0.2, momentum: 0.9, weight_decay: 0.0 },
+            zo_optim::SgdParams {
+                lr: 0.2,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
             m.num_params(),
         );
         for _ in 0..30 {
@@ -511,10 +535,7 @@ mod tests {
             m.load_params_from(&p);
         }
         let last = m.eval_loss(&inputs, &targets, 2, 8).unwrap();
-        assert!(
-            last < first * 0.7,
-            "loss did not drop: {first} -> {last}"
-        );
+        assert!(last < first * 0.7, "loss did not drop: {first} -> {last}");
     }
 
     #[test]
@@ -523,7 +544,8 @@ mod tests {
         let inputs = vec![0usize; 8];
         let targets = vec![1usize; 8];
         let mut order = Vec::new();
-        m.train_step(&inputs, &targets, 1, 8, |b| order.push(b)).unwrap();
+        m.train_step(&inputs, &targets, 1, 8, |b| order.push(b))
+            .unwrap();
         // Head (3), blocks reversed (2, 1), embeddings (0).
         assert_eq!(order, vec![3, 2, 1, 0]);
     }
@@ -547,7 +569,11 @@ mod tests {
         let (xe, ye) = make_batch(64);
         let before = m.eval_loss(&xe, &ye).unwrap();
         let mut opt = zo_optim::Sgd::new(
-            zo_optim::SgdParams { lr: 0.1, momentum: 0.9, weight_decay: 0.0 },
+            zo_optim::SgdParams {
+                lr: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
             m.num_params(),
         );
         for _ in 0..60 {
@@ -563,7 +589,10 @@ mod tests {
             m.load_params_from(&p);
         }
         let after = m.eval_loss(&xe, &ye).unwrap();
-        assert!(after < before * 0.5, "classifier did not learn: {before} -> {after}");
+        assert!(
+            after < before * 0.5,
+            "classifier did not learn: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -579,7 +608,13 @@ mod checkpoint_tests {
 
     #[test]
     fn checkpointed_training_is_bit_identical() {
-        let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 3 };
+        let cfg = GptConfig {
+            vocab: 16,
+            seq_len: 8,
+            hidden: 8,
+            heads: 2,
+            layers: 3,
+        };
         let mut plain = GptModel::new(cfg, 77);
         let mut ckpt = GptModel::new(cfg, 77);
         ckpt.set_activation_checkpointing(true);
@@ -601,13 +636,20 @@ mod checkpoint_tests {
 
     #[test]
     fn checkpointed_bucket_order_unchanged() {
-        let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 2 };
+        let cfg = GptConfig {
+            vocab: 16,
+            seq_len: 8,
+            hidden: 8,
+            heads: 2,
+            layers: 2,
+        };
         let mut m = GptModel::new(cfg, 1);
         m.set_activation_checkpointing(true);
         let inputs = vec![0usize; 8];
         let targets = vec![1usize; 8];
         let mut order = Vec::new();
-        m.train_step(&inputs, &targets, 1, 8, |b| order.push(b)).unwrap();
+        m.train_step(&inputs, &targets, 1, 8, |b| order.push(b))
+            .unwrap();
         assert_eq!(order, vec![3, 2, 1, 0]);
     }
 }

@@ -72,7 +72,11 @@ impl ColumnParallelLinear {
         local.w = full.w.slice_cols(range.clone());
         local.b = full.b[range].to_vec();
         local.zero_grads();
-        ColumnParallelLinear { local, comm, fan_out }
+        ColumnParallelLinear {
+            local,
+            comm,
+            fan_out,
+        }
     }
 
     /// Full output width.
@@ -94,7 +98,13 @@ impl ColumnParallelLinear {
     pub fn forward(&self, x: &Tensor) -> Result<(Tensor, ColumnParallelCache), TensorError> {
         let (y_local, inner) = self.local.forward(x)?;
         let y = all_gather_cols(&self.comm, &y_local, self.fan_out)?;
-        Ok((y, ColumnParallelCache { inner, rows: x.rows() }))
+        Ok((
+            y,
+            ColumnParallelCache {
+                inner,
+                rows: x.rows(),
+            },
+        ))
     }
 
     /// Backward from the full-width `dy`: local grads accumulate; the
@@ -149,7 +159,11 @@ impl RowParallelLinear {
         }
         local.b = vec![0.0; fan_out];
         local.zero_grads();
-        RowParallelLinear { local, comm, fan_in }
+        RowParallelLinear {
+            local,
+            comm,
+            fan_in,
+        }
     }
 
     /// Full input width.
@@ -213,7 +227,10 @@ mod tests {
                     scope.spawn(move || f(c))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank"))
+                .collect()
         })
     }
 

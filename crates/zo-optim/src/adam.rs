@@ -97,7 +97,11 @@ pub struct AdamState {
 impl AdamState {
     /// Creates zeroed state for `n` parameters.
     pub fn new(n: usize) -> AdamState {
-        AdamState { m: vec![0.0; n], v: vec![0.0; n], step: 0 }
+        AdamState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            step: 0,
+        }
     }
 
     /// Number of parameters this state covers.
@@ -120,10 +124,16 @@ impl AdamState {
     /// Validates buffer lengths against this state.
     pub fn check(&self, params: &[f32], grads: &[f32]) -> Result<(), OptimError> {
         if params.len() != grads.len() {
-            return Err(OptimError::LengthMismatch { params: params.len(), grads: grads.len() });
+            return Err(OptimError::LengthMismatch {
+                params: params.len(),
+                grads: grads.len(),
+            });
         }
         if params.len() != self.m.len() {
-            return Err(OptimError::StateMismatch { state: self.m.len(), given: params.len() });
+            return Err(OptimError::StateMismatch {
+                state: self.m.len(),
+                given: params.len(),
+            });
         }
         Ok(())
     }
@@ -170,7 +180,15 @@ pub fn adam_reference_step(
     state.step += 1;
     let (bc1, bc2) = hp.bias_corrections(state.step);
     for i in 0..params.len() {
-        adam_element(hp, bc1, bc2, &mut params[i], grads[i], &mut state.m[i], &mut state.v[i]);
+        adam_element(
+            hp,
+            bc1,
+            bc2,
+            &mut params[i],
+            grads[i],
+            &mut state.m[i],
+            &mut state.v[i],
+        );
     }
     Ok(())
 }
@@ -181,7 +199,10 @@ mod tests {
 
     #[test]
     fn bias_corrections_match_closed_form() {
-        let hp = AdamParams { lr: 0.1, ..AdamParams::default() };
+        let hp = AdamParams {
+            lr: 0.1,
+            ..AdamParams::default()
+        };
         let (bc1, bc2) = hp.bias_corrections(1);
         // t=1: 1-beta1^1 = 0.1, so bc1 = -0.1/0.1 = -1.
         assert!((bc1 + 1.0).abs() < 1e-6);
@@ -210,7 +231,10 @@ mod tests {
     fn first_step_is_close_to_lr_sized() {
         // With bias correction, the very first Adam step has magnitude
         // ~lr (for eps << sqrt(v-hat)).
-        let hp = AdamParams { lr: 0.01, ..AdamParams::default() };
+        let hp = AdamParams {
+            lr: 0.01,
+            ..AdamParams::default()
+        };
         let mut st = AdamState::new(1);
         let mut p = vec![0.0f32];
         adam_reference_step(&hp, &mut st, &mut p, &[3.0]).unwrap();
@@ -229,7 +253,10 @@ mod tests {
 
     #[test]
     fn weight_decay_pulls_toward_zero() {
-        let hp = AdamParams { weight_decay: 0.1, ..AdamParams::default() };
+        let hp = AdamParams {
+            weight_decay: 0.1,
+            ..AdamParams::default()
+        };
         let mut st = AdamState::new(1);
         let mut p = vec![5.0f32];
         adam_reference_step(&hp, &mut st, &mut p, &[0.0]).unwrap();
@@ -247,7 +274,10 @@ mod tests {
         adam_reference_step(&hp, &mut st, &mut p, &[0.0]).unwrap();
         assert!((p[0] - 10.0 * (1.0 - 0.1 * 0.01)).abs() < 1e-5, "{}", p[0]);
         // Coupled decay with the same strength takes a different path.
-        let hp2 = AdamParams { decoupled_weight_decay: false, ..hp };
+        let hp2 = AdamParams {
+            decoupled_weight_decay: false,
+            ..hp
+        };
         let mut st2 = AdamState::new(1);
         let mut p2 = vec![10.0f32];
         adam_reference_step(&hp2, &mut st2, &mut p2, &[0.0]).unwrap();

@@ -99,11 +99,22 @@ fn adam_range(
         .zip(v_main.chunks_exact_mut(UNROLL));
     for (((pb, gb), mb), vb) in block_iter {
         for lane in 0..UNROLL {
-            adam_element(hp, bc1, bc2, &mut pb[lane], gb[lane], &mut mb[lane], &mut vb[lane]);
+            adam_element(
+                hp,
+                bc1,
+                bc2,
+                &mut pb[lane],
+                gb[lane],
+                &mut mb[lane],
+                &mut vb[lane],
+            );
         }
     }
-    for (((pi, gi), mi), vi) in
-        p_tail.iter_mut().zip(g_tail).zip(m_tail.iter_mut()).zip(v_tail.iter_mut())
+    for (((pi, gi), mi), vi) in p_tail
+        .iter_mut()
+        .zip(g_tail)
+        .zip(m_tail.iter_mut())
+        .zip(v_tail.iter_mut())
     {
         adam_element(hp, bc1, bc2, pi, *gi, mi, vi);
     }
@@ -111,6 +122,7 @@ fn adam_range(
 
 /// Splits four parallel slices into `threads` contiguous chunks and runs
 /// [`adam_range`] on each chunk concurrently.
+#[allow(clippy::too_many_arguments)]
 fn adam_range_parallel(
     hp: &AdamParams,
     bc1: f32,
@@ -156,7 +168,10 @@ impl CpuAdam {
     pub fn new(cfg: CpuAdamConfig, n: usize) -> CpuAdam {
         assert!(cfg.tile_width > 0, "tile_width must be non-zero");
         assert!(cfg.num_threads > 0, "num_threads must be non-zero");
-        CpuAdam { cfg, state: AdamState::new(n) }
+        CpuAdam {
+            cfg,
+            state: AdamState::new(n),
+        }
     }
 
     /// Returns the configuration.
@@ -210,7 +225,10 @@ impl CpuAdam {
         p16: &mut [F16],
     ) -> Result<(), OptimError> {
         if p16.len() != params.len() {
-            return Err(OptimError::OutputMismatch { expected: params.len(), actual: p16.len() });
+            return Err(OptimError::OutputMismatch {
+                expected: params.len(),
+                actual: p16.len(),
+            });
         }
         // `p16` is disjoint from `params`, so the cast can be expressed as
         // an on-tile callback over the freshly updated fp32 values.
@@ -230,7 +248,10 @@ impl CpuAdam {
         p16: &mut [F16],
     ) -> Result<(), OptimError> {
         if grads.len() != params.len() {
-            return Err(OptimError::LengthMismatch { params: params.len(), grads: grads.len() });
+            return Err(OptimError::LengthMismatch {
+                params: params.len(),
+                grads: grads.len(),
+            });
         }
         let mut g32 = vec![0.0f32; grads.len()];
         zo_tensor::cast_f16_to_f32(grads, &mut g32);
@@ -293,7 +314,11 @@ mod tests {
         // Unrolling, tiling, and threading must not change a single bit.
         for &(threads, tile) in &[(1usize, 7usize), (1, 1000), (4, 33), (3, 64)] {
             let cfg = CpuAdamConfig {
-                hp: AdamParams { lr: 0.01, weight_decay: 0.02, ..AdamParams::default() },
+                hp: AdamParams {
+                    lr: 0.01,
+                    weight_decay: 0.02,
+                    ..AdamParams::default()
+                },
                 num_threads: threads,
                 tile_width: tile,
             };
@@ -315,7 +340,10 @@ mod tests {
 
     #[test]
     fn tiles_cover_whole_range_exactly_once() {
-        let cfg = CpuAdamConfig { tile_width: 10, ..CpuAdamConfig::default() };
+        let cfg = CpuAdamConfig {
+            tile_width: 10,
+            ..CpuAdamConfig::default()
+        };
         let n = 35;
         let mut opt = CpuAdam::new(cfg, n);
         let mut p = vec![0.0f32; n];
@@ -323,8 +351,8 @@ mod tests {
         let mut offsets = Vec::new();
         opt.step_with_tiles(&mut p, &vec![1.0; n], |off, tile| {
             offsets.push((off, tile.len()));
-            for i in off..off + tile.len() {
-                seen[i] += 1;
+            for s in &mut seen[off..off + tile.len()] {
+                *s += 1;
             }
         })
         .unwrap();
@@ -348,7 +376,9 @@ mod tests {
     fn fp16_gradient_path() {
         let mut opt = CpuAdam::new(CpuAdamConfig::default(), 16);
         let mut p = vec![1.0f32; 16];
-        let g16: Vec<F16> = (0..16).map(|i| F16::from_f32(0.1 * (i as f32 + 1.0))).collect();
+        let g16: Vec<F16> = (0..16)
+            .map(|i| F16::from_f32(0.1 * (i as f32 + 1.0)))
+            .collect();
         let mut p16 = vec![F16::ZERO; 16];
         opt.step_fp16_grads(&mut p, &g16, &mut p16).unwrap();
         assert!(p.iter().all(|&x| x < 1.0));
@@ -370,14 +400,19 @@ mod tests {
             opt.step_mixed(&mut p, &[0.0; 4], &mut p16),
             Err(OptimError::OutputMismatch { .. })
         ));
-        assert!(opt.step_fp16_grads(&mut p, &[F16::ZERO; 5], &mut vec![F16::ZERO; 4]).is_err());
+        assert!(opt
+            .step_fp16_grads(&mut p, &[F16::ZERO; 5], &mut [F16::ZERO; 4])
+            .is_err());
     }
 
     #[test]
     #[should_panic(expected = "tile_width")]
     fn zero_tile_width_panics() {
         CpuAdam::new(
-            CpuAdamConfig { tile_width: 0, ..CpuAdamConfig::default() },
+            CpuAdamConfig {
+                tile_width: 0,
+                ..CpuAdamConfig::default()
+            },
             1,
         );
     }
@@ -385,7 +420,10 @@ mod tests {
     #[test]
     fn converges_on_rosenbrock_like_quadratic() {
         let cfg = CpuAdamConfig {
-            hp: AdamParams { lr: 0.05, ..AdamParams::default() },
+            hp: AdamParams {
+                lr: 0.05,
+                ..AdamParams::default()
+            },
             ..CpuAdamConfig::default()
         };
         let mut opt = CpuAdam::new(cfg, 2);

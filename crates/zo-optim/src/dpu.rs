@@ -60,7 +60,12 @@ impl DelayedUpdate {
     /// The paper enables DPU "after a few dozen iterations"; its
     /// convergence experiments use 40.
     pub fn new(inner: CpuAdam, warmup_steps: u64) -> DelayedUpdate {
-        DelayedUpdate { inner, warmup_steps, steps_seen: 0, pending: None }
+        DelayedUpdate {
+            inner,
+            warmup_steps,
+            steps_seen: 0,
+            pending: None,
+        }
     }
 
     /// Steps observed so far (including the skipped transition step).
@@ -140,7 +145,10 @@ mod tests {
     fn opt(n: usize) -> CpuAdam {
         CpuAdam::new(
             CpuAdamConfig {
-                hp: AdamParams { lr: 0.1, ..AdamParams::default() },
+                hp: AdamParams {
+                    lr: 0.1,
+                    ..AdamParams::default()
+                },
                 ..CpuAdamConfig::default()
             },
             n,

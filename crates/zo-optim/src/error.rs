@@ -38,7 +38,10 @@ impl fmt::Display for OptimError {
                 write!(f, "optimizer state sized for {state} params, got {given}")
             }
             OptimError::OutputMismatch { expected, actual } => {
-                write!(f, "output buffer length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "output buffer length mismatch: expected {expected}, got {actual}"
+                )
             }
         }
     }
@@ -52,11 +55,17 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = OptimError::LengthMismatch { params: 4, grads: 5 };
+        let e = OptimError::LengthMismatch {
+            params: 4,
+            grads: 5,
+        };
         assert_eq!(e.to_string(), "parameter/gradient length mismatch: 4 vs 5");
         let e = OptimError::StateMismatch { state: 8, given: 9 };
         assert!(e.to_string().contains("sized for 8"));
-        let e = OptimError::OutputMismatch { expected: 2, actual: 3 };
+        let e = OptimError::OutputMismatch {
+            expected: 2,
+            actual: 3,
+        };
         assert!(e.to_string().contains("expected 2"));
     }
 }

@@ -154,7 +154,11 @@ mod tests {
 
     #[test]
     fn growth_after_interval() {
-        let cfg = LossScaleConfig { growth_interval: 3, init_scale: 4.0, ..Default::default() };
+        let cfg = LossScaleConfig {
+            growth_interval: 3,
+            init_scale: 4.0,
+            ..Default::default()
+        };
         let mut s = DynamicLossScaler::new(cfg);
         assert!(s.update(false));
         assert!(s.update(false));
@@ -165,7 +169,11 @@ mod tests {
 
     #[test]
     fn overflow_resets_growth_counter() {
-        let cfg = LossScaleConfig { growth_interval: 2, init_scale: 4.0, ..Default::default() };
+        let cfg = LossScaleConfig {
+            growth_interval: 2,
+            init_scale: 4.0,
+            ..Default::default()
+        };
         let mut s = DynamicLossScaler::new(cfg);
         s.update(false);
         s.update(true); // Back to 2.0, counter reset.
@@ -178,7 +186,11 @@ mod tests {
 
     #[test]
     fn scale_floor() {
-        let cfg = LossScaleConfig { init_scale: 2.0, min_scale: 1.0, ..Default::default() };
+        let cfg = LossScaleConfig {
+            init_scale: 2.0,
+            min_scale: 1.0,
+            ..Default::default()
+        };
         let mut s = DynamicLossScaler::new(cfg);
         for _ in 0..10 {
             s.update(true);
@@ -188,7 +200,10 @@ mod tests {
 
     #[test]
     fn unscale_and_overflow_check() {
-        let s = DynamicLossScaler::new(LossScaleConfig { init_scale: 4.0, ..Default::default() });
+        let s = DynamicLossScaler::new(LossScaleConfig {
+            init_scale: 4.0,
+            ..Default::default()
+        });
         let mut g = vec![4.0f32, 8.0];
         s.unscale(&mut g);
         assert_eq!(g, vec![1.0, 2.0]);

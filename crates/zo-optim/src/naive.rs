@@ -20,7 +20,10 @@ pub struct NaiveAdam {
 impl NaiveAdam {
     /// Creates a naive Adam optimizer for `n` parameters.
     pub fn new(hp: AdamParams, n: usize) -> NaiveAdam {
-        NaiveAdam { hp, state: AdamState::new(n) }
+        NaiveAdam {
+            hp,
+            state: AdamState::new(n),
+        }
     }
 
     /// Returns the hyper-parameters.
@@ -112,7 +115,11 @@ mod tests {
     fn matches_reference_within_rounding() {
         // The op-by-op ordering differs from the fused FMA form, so demand
         // agreement only to a few ulps, over several steps.
-        let hp = AdamParams { lr: 0.01, weight_decay: 0.01, ..AdamParams::default() };
+        let hp = AdamParams {
+            lr: 0.01,
+            weight_decay: 0.01,
+            ..AdamParams::default()
+        };
         let n = 257;
         let mut p_naive = seeded(n, 2.0, 1);
         let mut p_ref = p_naive.clone();
@@ -141,7 +148,10 @@ mod tests {
     #[test]
     fn converges_on_quadratic() {
         // Minimize f(p) = 0.5 * p^2 (gradient = p): Adam should drive p to 0.
-        let hp = AdamParams { lr: 0.05, ..AdamParams::default() };
+        let hp = AdamParams {
+            lr: 0.05,
+            ..AdamParams::default()
+        };
         let mut opt = NaiveAdam::new(hp, 1);
         let mut p = vec![3.0f32];
         for _ in 0..500 {

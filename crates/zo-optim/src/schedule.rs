@@ -40,7 +40,10 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => 1.0,
             LrSchedule::WarmupConstant { warmup_steps } => warmup(step, warmup_steps),
-            LrSchedule::WarmupLinearDecay { warmup_steps, total_steps } => {
+            LrSchedule::WarmupLinearDecay {
+                warmup_steps,
+                total_steps,
+            } => {
                 if step <= warmup_steps {
                     warmup(step, warmup_steps)
                 } else if step >= total_steps {
@@ -50,7 +53,11 @@ impl LrSchedule {
                     (total_steps - step) as f32 / span
                 }
             }
-            LrSchedule::WarmupCosine { warmup_steps, total_steps, min_factor } => {
+            LrSchedule::WarmupCosine {
+                warmup_steps,
+                total_steps,
+                min_factor,
+            } => {
                 if step <= warmup_steps {
                     warmup(step, warmup_steps)
                 } else if step >= total_steps {
@@ -99,12 +106,18 @@ mod tests {
         assert_eq!(s.factor(10), 1.0);
         assert_eq!(s.factor(100), 1.0);
         // Degenerate warm-up of zero steps starts at full rate.
-        assert_eq!(LrSchedule::WarmupConstant { warmup_steps: 0 }.factor(1), 1.0);
+        assert_eq!(
+            LrSchedule::WarmupConstant { warmup_steps: 0 }.factor(1),
+            1.0
+        );
     }
 
     #[test]
     fn linear_decay_hits_zero() {
-        let s = LrSchedule::WarmupLinearDecay { warmup_steps: 10, total_steps: 110 };
+        let s = LrSchedule::WarmupLinearDecay {
+            warmup_steps: 10,
+            total_steps: 110,
+        };
         assert_eq!(s.factor(10), 1.0);
         assert!((s.factor(60) - 0.5).abs() < 1e-6);
         assert_eq!(s.factor(110), 0.0);
@@ -113,7 +126,11 @@ mod tests {
 
     #[test]
     fn cosine_decay_shape() {
-        let s = LrSchedule::WarmupCosine { warmup_steps: 0, total_steps: 100, min_factor: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            warmup_steps: 0,
+            total_steps: 100,
+            min_factor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-5);
         // Midpoint of cosine = (1 + min)/2.
         assert!((s.factor(50) - 0.55).abs() < 1e-3);

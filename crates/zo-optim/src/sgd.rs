@@ -15,7 +15,11 @@ pub struct SgdParams {
 
 impl Default for SgdParams {
     fn default() -> SgdParams {
-        SgdParams { lr: 0.01, momentum: 0.9, weight_decay: 0.0 }
+        SgdParams {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -41,7 +45,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer for `n` parameters.
     pub fn new(hp: SgdParams, n: usize) -> Sgd {
-        Sgd { hp, velocity: vec![0.0; n], step: 0 }
+        Sgd {
+            hp,
+            velocity: vec![0.0; n],
+            step: 0,
+        }
     }
 
     /// Completed step count.
@@ -52,7 +60,10 @@ impl Sgd {
     /// Performs one update: `v = mu*v + g; p -= lr*v`.
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) -> Result<(), OptimError> {
         if params.len() != grads.len() {
-            return Err(OptimError::LengthMismatch { params: params.len(), grads: grads.len() });
+            return Err(OptimError::LengthMismatch {
+                params: params.len(),
+                grads: grads.len(),
+            });
         }
         if params.len() != self.velocity.len() {
             return Err(OptimError::StateMismatch {
@@ -76,7 +87,14 @@ mod tests {
 
     #[test]
     fn plain_sgd_step() {
-        let mut opt = Sgd::new(SgdParams { lr: 0.5, momentum: 0.0, weight_decay: 0.0 }, 2);
+        let mut opt = Sgd::new(
+            SgdParams {
+                lr: 0.5,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+            2,
+        );
         let mut p = vec![1.0f32, -2.0];
         opt.step(&mut p, &[1.0, -1.0]).unwrap();
         assert_eq!(p, vec![0.5, -1.5]);
@@ -85,7 +103,14 @@ mod tests {
 
     #[test]
     fn momentum_accumulates() {
-        let mut opt = Sgd::new(SgdParams { lr: 1.0, momentum: 0.5, weight_decay: 0.0 }, 1);
+        let mut opt = Sgd::new(
+            SgdParams {
+                lr: 1.0,
+                momentum: 0.5,
+                weight_decay: 0.0,
+            },
+            1,
+        );
         let mut p = vec![0.0f32];
         opt.step(&mut p, &[1.0]).unwrap(); // v = 1, p = -1
         assert_eq!(p[0], -1.0);
@@ -95,7 +120,14 @@ mod tests {
 
     #[test]
     fn weight_decay_applies() {
-        let mut opt = Sgd::new(SgdParams { lr: 0.1, momentum: 0.0, weight_decay: 1.0 }, 1);
+        let mut opt = Sgd::new(
+            SgdParams {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 1.0,
+            },
+            1,
+        );
         let mut p = vec![2.0f32];
         opt.step(&mut p, &[0.0]).unwrap();
         assert!((p[0] - 1.8).abs() < 1e-6);
@@ -112,7 +144,14 @@ mod tests {
 
     #[test]
     fn converges_on_quadratic() {
-        let mut opt = Sgd::new(SgdParams { lr: 0.1, momentum: 0.9, weight_decay: 0.0 }, 1);
+        let mut opt = Sgd::new(
+            SgdParams {
+                lr: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            1,
+        );
         let mut p = vec![5.0f32];
         for _ in 0..200 {
             let g = vec![p[0]];

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use zo_optim::{
-    adam_reference_step, AdamParams, AdamState, CpuAdam, CpuAdamConfig, DelayedUpdate,
-    DpuAction, NaiveAdam,
+    adam_reference_step, AdamParams, AdamState, CpuAdam, CpuAdamConfig, DelayedUpdate, DpuAction,
+    NaiveAdam,
 };
 
 fn grads_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {

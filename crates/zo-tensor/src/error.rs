@@ -40,8 +40,15 @@ impl fmt::Display for TensorError {
                 "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
-            TensorError::LengthMismatch { op, expected, actual } => {
-                write!(f, "length mismatch in {op}: expected {expected}, got {actual}")
+            TensorError::LengthMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "length mismatch in {op}: expected {expected}, got {actual}"
+                )
             }
             TensorError::IndexOutOfBounds { index, shape } => write!(
                 f,
@@ -60,11 +67,22 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = TensorError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
         assert_eq!(e.to_string(), "shape mismatch in matmul: lhs 2x3, rhs 4x5");
-        let e = TensorError::LengthMismatch { op: "axpy", expected: 8, actual: 7 };
+        let e = TensorError::LengthMismatch {
+            op: "axpy",
+            expected: 8,
+            actual: 7,
+        };
         assert_eq!(e.to_string(), "length mismatch in axpy: expected 8, got 7");
-        let e = TensorError::IndexOutOfBounds { index: (9, 0), shape: (3, 3) };
+        let e = TensorError::IndexOutOfBounds {
+            index: (9, 0),
+            shape: (3, 3),
+        };
         assert_eq!(e.to_string(), "index (9, 0) out of bounds for shape 3x3");
     }
 }

@@ -32,7 +32,6 @@ use core::fmt;
 #[repr(transparent)]
 pub struct F16(pub u16);
 
-
 const MAN_BITS: u32 = 10;
 const EXP_BIAS: i32 = 15;
 const SIGN_MASK: u16 = 0x8000;
@@ -353,7 +352,10 @@ mod tests {
         assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
         // 1 + 3*2^-11 is halfway between ulp 1 and ulp 2; even is ulp 2.
         let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
-        assert_eq!(F16::from_f32(halfway2).to_f32(), 1.0 + 2.0 * 2.0f32.powi(-10));
+        assert_eq!(
+            F16::from_f32(halfway2).to_f32(),
+            1.0 + 2.0 * 2.0f32.powi(-10)
+        );
     }
 
     #[test]

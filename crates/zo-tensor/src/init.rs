@@ -27,7 +27,9 @@ pub struct Init {
 impl Init {
     /// Creates an initializer from a seed.
     pub fn new(seed: u64) -> Init {
-        Init { rng: StdRng::seed_from_u64(seed) }
+        Init {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws one standard-normal sample via Box–Muller.

@@ -23,10 +23,18 @@ pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorEr
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();
     if ka != kb {
-        return Err(TensorError::ShapeMismatch { op: "matmul", lhs: a.shape(), rhs: b.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     if c.shape() != (m, n) {
-        return Err(TensorError::ShapeMismatch { op: "matmul(out)", lhs: (m, n), rhs: c.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul(out)",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
     }
     let ad = a.data();
     let bd = b.data();
@@ -70,7 +78,11 @@ pub fn matmul_at_b_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), Ten
     let (ka, m) = a.shape();
     let (kb, n) = b.shape();
     if ka != kb {
-        return Err(TensorError::ShapeMismatch { op: "matmul_at_b", lhs: a.shape(), rhs: b.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     if c.shape() != (m, n) {
         return Err(TensorError::ShapeMismatch {
@@ -112,7 +124,11 @@ pub fn matmul_a_bt_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), Ten
     let (m, ka) = a.shape();
     let (n, kb) = b.shape();
     if ka != kb {
-        return Err(TensorError::ShapeMismatch { op: "matmul_a_bt", lhs: a.shape(), rhs: b.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     if c.shape() != (m, n) {
         return Err(TensorError::ShapeMismatch {
@@ -189,13 +205,22 @@ mod tests {
         let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = matmul(&a, &b).unwrap();
-        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
     fn matches_naive_on_odd_shapes() {
         // Shapes straddling the block boundary exercise the tail handling.
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 63, 130), (100, 1, 9)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 63, 130),
+            (100, 1, 9),
+        ] {
             let a = randomish(m, k, (m * 31 + k) as u32);
             let b = randomish(k, n, (k * 17 + n) as u32);
             assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);

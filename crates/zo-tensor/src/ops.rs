@@ -12,7 +12,11 @@ fn check_len(op: &'static str, a: usize, b: usize) -> Result<(), TensorError> {
     if a == b {
         Ok(())
     } else {
-        Err(TensorError::LengthMismatch { op, expected: a, actual: b })
+        Err(TensorError::LengthMismatch {
+            op,
+            expected: a,
+            actual: b,
+        })
     }
 }
 
@@ -62,7 +66,10 @@ pub fn axpy(alpha: f32, src: &[f32], dst: &mut [f32]) -> Result<(), TensorError>
 /// Dot product of two slices, accumulated in `f64` for stability.
 pub fn dot(a: &[f32], b: &[f32]) -> Result<f64, TensorError> {
     check_len("dot", a.len(), b.len())?;
-    Ok(a.iter().zip(b).map(|(x, y)| (*x as f64) * (*y as f64)).sum())
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x as f64) * (*y as f64))
+        .sum())
 }
 
 /// Sum of all elements, accumulated in `f64`.
@@ -72,7 +79,10 @@ pub fn sum(a: &[f32]) -> f64 {
 
 /// L2 norm, accumulated in `f64`.
 pub fn l2_norm(a: &[f32]) -> f64 {
-    a.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>().sqrt()
+    a.iter()
+        .map(|x| (*x as f64) * (*x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Maximum absolute value, or 0.0 for an empty slice.

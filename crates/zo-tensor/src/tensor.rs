@@ -30,12 +30,20 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a tensor of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Tensor {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Tensor {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -69,7 +77,11 @@ impl Tensor {
             }
             data.extend_from_slice(row);
         }
-        Ok(Tensor { rows: r, cols: c, data })
+        Ok(Tensor {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Returns the shape as `(rows, cols)`.
@@ -215,9 +227,17 @@ impl Tensor {
     ///
     /// Panics if the range exceeds the row count.
     pub fn slice_rows(&self, range: core::ops::Range<usize>) -> Tensor {
-        assert!(range.end <= self.rows, "row range {range:?} exceeds {}", self.rows);
+        assert!(
+            range.end <= self.rows,
+            "row range {range:?} exceeds {}",
+            self.rows
+        );
         let data = self.data[range.start * self.cols..range.end * self.cols].to_vec();
-        Tensor { rows: range.len(), cols: self.cols, data }
+        Tensor {
+            rows: range.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns a copy of the given column range as a new tensor.
@@ -226,7 +246,11 @@ impl Tensor {
     ///
     /// Panics if the range exceeds the column count.
     pub fn slice_cols(&self, range: core::ops::Range<usize>) -> Tensor {
-        assert!(range.end <= self.cols, "column range {range:?} exceeds {}", self.cols);
+        assert!(
+            range.end <= self.cols,
+            "column range {range:?} exceeds {}",
+            self.cols
+        );
         let mut out = Tensor::zeros(self.rows, range.len());
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[range.clone()]);
@@ -261,7 +285,11 @@ impl Tensor {
 
     /// Returns the Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
-use zo_tensor::{matmul, matmul_a_bt, matmul_at_b, ops, F16, Tensor};
+use zo_tensor::{matmul, matmul_a_bt, matmul_at_b, ops, F16};
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     // Values well inside the f16 range so casts stay finite.

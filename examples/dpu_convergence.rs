@@ -26,7 +26,10 @@ fn main() {
     for i in (0..steps).step_by(25) {
         println!("  {:>4} |  {:.4}  | {:.4}  | {:.4}", i, b[i], o[i], d[i]);
     }
-    assert_eq!(curves.baseline, curves.offload, "offload must not change training");
+    assert_eq!(
+        curves.baseline, curves.offload,
+        "offload must not change training"
+    );
     println!("\nbaseline and ZeRO-Offload curves are bit-identical (paper: 'exactly overlapped')");
     let gap = (d[steps - 1] - o[steps - 1]).abs() / o[steps - 1];
     println!(

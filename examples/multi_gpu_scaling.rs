@@ -13,40 +13,63 @@ fn main() {
     // four threads standing in for four GPUs. Each rank owns 1/4 of the
     // optimizer state; parameters are re-assembled by all-gather.
     let world = 4;
-    let gpt = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let gpt = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
     let cfg = ZeroOffloadConfig {
-        adam: AdamParams { lr: 5e-3, ..AdamParams::default() },
-        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        adam: AdamParams {
+            lr: 5e-3,
+            ..AdamParams::default()
+        },
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
         ..ZeroOffloadConfig::default()
     };
     println!("-- real ZeRO-2 + offload on {world} thread ranks --");
-    let results = run_ranks(world, cfg, |_| GptModel::new(gpt, 11), |engine| {
-        let mut data = BigramLm::new(gpt.vocab, 0.05, 99);
-        let mut last = 0.0;
-        for step in 0..150 {
-            // Every rank samples the same global batch and takes its slice.
-            let b = data.batch(world, gpt.seq_len);
-            let r = engine.rank();
-            let s = gpt.seq_len;
-            let inputs = b.inputs[r * s..(r + 1) * s].to_vec();
-            let targets = b.targets[r * s..(r + 1) * s].to_vec();
-            let out = engine
-                .step(|m| m.train_step(&inputs, &targets, 1, s, |_| {}))
-                .expect("training step");
-            last = out.loss();
-            if engine.rank() == 0 && step % 30 == 0 {
-                println!("  step {step:>4}  rank0 loss {:.4}", last);
+    let results = run_ranks(
+        world,
+        cfg,
+        |_| GptModel::new(gpt, 11),
+        |engine| {
+            let mut data = BigramLm::new(gpt.vocab, 0.05, 99);
+            let mut last = 0.0;
+            for step in 0..150 {
+                // Every rank samples the same global batch and takes its slice.
+                let b = data.batch(world, gpt.seq_len);
+                let r = engine.rank();
+                let s = gpt.seq_len;
+                let inputs = b.inputs[r * s..(r + 1) * s].to_vec();
+                let targets = b.targets[r * s..(r + 1) * s].to_vec();
+                let out = engine
+                    .step(|m| m.train_step(&inputs, &targets, 1, s, |_| {}))
+                    .expect("training step");
+                last = out.loss();
+                if engine.rank() == 0 && step % 30 == 0 {
+                    println!("  step {step:>4}  rank0 loss {:.4}", last);
+                }
             }
-        }
-        let mut params = vec![0.0f32; engine.model_mut().num_params()];
-        engine.model_mut().copy_params_to(&mut params);
-        (engine.rank(), engine.shard_range(), params, last)
-    });
+            let mut params = vec![0.0f32; engine.model_mut().num_params()];
+            engine.model_mut().copy_params_to(&mut params);
+            (engine.rank(), engine.shard_range(), params, last)
+        },
+    );
     let (r0, range0, p0, _) = &results[0];
-    println!("  rank {r0} owned optimizer shard {range0:?} of {} params", p0.len());
+    println!(
+        "  rank {r0} owned optimizer shard {range0:?} of {} params",
+        p0.len()
+    );
     for (r, range, p, _) in &results {
         assert_eq!(p, p0, "rank {r} out of sync");
-        println!("  rank {r}: shard {:>6} params, final model identical to rank 0", range.len());
+        println!(
+            "  rank {r}: shard {:>6} params, final model identical to rank 0",
+            range.len()
+        );
     }
 
     // Part 2: the projected Fig. 11 scaling curve on the simulated cluster.

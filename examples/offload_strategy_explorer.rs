@@ -22,7 +22,12 @@ fn main() {
     let g = DataFlowGraph::training_iteration();
     println!("data-flow graph of one mixed-precision Adam iteration:");
     for e in g.edges() {
-        println!("  {:>10} -> {:<10}  {}M bytes", e.from.name(), e.to.name(), e.weight_m);
+        println!(
+            "  {:>10} -> {:<10}  {}M bytes",
+            e.from.name(),
+            e.to.name(),
+            e.weight_m
+        );
     }
 
     // Step 1: CPU-compute feasibility (Sec. 3.2).
@@ -33,7 +38,10 @@ fn main() {
 
     // Step 2: minimum-communication strategies (Sec. 3.3).
     let min_comm = min_comm_strategies(&g);
-    println!("{} of those are offload strategies at the 4M communication minimum:", min_comm.len());
+    println!(
+        "{} of those are offload strategies at the 4M communication minimum:",
+        min_comm.len()
+    );
     for m in &min_comm {
         println!(
             "  CPU side = [{}]  -> GPU memory {:>2}M ({}x saving)",
@@ -45,13 +53,20 @@ fn main() {
 
     // Step 3: the unique optimum (Secs. 3.4-3.5).
     let opt = optimal_strategy(&g);
-    println!("\noptimal strategy offloads: [{}]", describe(opt.assignment));
+    println!(
+        "\noptimal strategy offloads: [{}]",
+        describe(opt.assignment)
+    );
     println!(
         "  GPU memory {}M (8x saving), comm {}M/iter, CPU compute O(M)",
         opt.gpu_memory_m, opt.comm_volume_m
     );
     let zo = Assignment::zero_offload();
-    assert_eq!(opt.gpu_memory_m, zo.gpu_memory_m(), "derived optimum is ZeRO-Offload");
+    assert_eq!(
+        opt.gpu_memory_m,
+        zo.gpu_memory_m(),
+        "derived optimum is ZeRO-Offload"
+    );
 
     match check_unique_optimality(&g) {
         Ok(_) => println!("uniqueness theorem verified over all 256 partitions."),

@@ -9,15 +9,27 @@ use zo_optim::{AdamParams, LossScaleConfig};
 
 fn main() {
     // 1. Build a model, exactly as you would without offloading.
-    let cfg = GptConfig { vocab: 64, seq_len: 32, hidden: 32, heads: 2, layers: 2 };
+    let cfg = GptConfig {
+        vocab: 64,
+        seq_len: 32,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
     let model = GptModel::new(cfg, 42);
 
     // 2. The "few lines of change": wrap it in the engine. fp16 parameters
     //    stay on the (emulated) GPU; gradients, fp32 master weights and the
     //    Adam step are offloaded to the CPU side.
     let engine_cfg = ZeroOffloadConfig {
-        adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
-        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        adam: AdamParams {
+            lr: 3e-3,
+            ..AdamParams::default()
+        },
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
         ..ZeroOffloadConfig::default()
     };
     let mut engine = ZeroOffloadEngine::new(model, engine_cfg);
@@ -41,11 +53,17 @@ fn main() {
 
     let n = engine.model_mut().num_params() as u64;
     let stats = engine.stats();
-    println!("\napplied {} optimizer steps ({} skipped for fp16 overflow)", stats.steps_applied, stats.steps_skipped);
+    println!(
+        "\napplied {} optimizer steps ({} skipped for fp16 overflow)",
+        stats.steps_applied, stats.steps_skipped
+    );
     println!(
         "PCIe traffic per step: {} B down + {} B up = 4 bytes/param (the paper's 4M minimum)",
         stats.d2h_bytes / (stats.steps_applied + stats.steps_skipped),
         stats.h2d_bytes / stats.steps_applied
     );
-    assert_eq!(stats.d2h_bytes / (stats.steps_applied + stats.steps_skipped), 2 * n);
+    assert_eq!(
+        stats.d2h_bytes / (stats.steps_applied + stats.steps_skipped),
+        2 * n
+    );
 }

@@ -18,7 +18,12 @@ fn main() {
     let node = presets::single_v100_node();
     let cfg = by_label(10.0).expect("10B Table 3 row");
     let m = cfg.model.total_params();
-    println!("model: 10B-class GPT-2 ({} layers, hidden {}, {:.2}B params)", cfg.model.num_layers, cfg.model.hidden, m as f64 / 1e9);
+    println!(
+        "model: 10B-class GPT-2 ({} layers, hidden {}, {:.2}B params)",
+        cfg.model.num_layers,
+        cfg.model.hidden,
+        m as f64 / 1e9
+    );
     println!("device: V100 with {:.0} GiB HBM\n", gib(node.gpu.mem_bytes));
 
     // Without offload, the 16M bytes of model states alone overflow HBM.
@@ -32,14 +37,21 @@ fn main() {
 
     // With ZeRO-Offload: only fp16 params + activations + a staging bucket.
     println!("\n-- ZeRO-Offload residency --");
-    hbm.alloc(states.p16, "fp16 parameters (2M)").expect("2M fits");
+    hbm.alloc(states.p16, "fp16 parameters (2M)")
+        .expect("2M fits");
     let act = memory::activation_bytes_mp(&cfg.model, cfg.batch_per_gpu as u64, 1);
-    hbm.alloc(act, "activations (checkpointed)").expect("activations fit");
-    hbm.alloc(memory::GRAD_BUCKET_BYTES, "gradient staging bucket").expect("bucket fits");
+    hbm.alloc(act, "activations (checkpointed)")
+        .expect("activations fit");
+    hbm.alloc(memory::GRAD_BUCKET_BYTES, "gradient staging bucket")
+        .expect("bucket fits");
     for (label, bytes) in hbm.live_allocations() {
         println!("  {label:<32} {:>6.2} GiB", gib(bytes));
     }
-    println!("  GPU total: {:.2} / {:.0} GiB", gib(hbm.used()), gib(hbm.capacity()));
+    println!(
+        "  GPU total: {:.2} / {:.0} GiB",
+        gib(hbm.used()),
+        gib(hbm.capacity())
+    );
     println!(
         "  host side: {:.0} GiB of gradients + optimizer states (of {:.0} GiB DRAM)",
         gib(memory::cpu_bytes(&cfg.model, 1)),
@@ -50,16 +62,32 @@ fn main() {
     println!("\n-- projected iteration (simulated V100 + PCIe + Xeon) --");
     let perf = ZeroOffloadPerf::new(presets::dgx2_cluster(1));
     let stats = perf.iter_stats(&cfg.model, cfg.batch_per_gpu, 512, 1, 1, false);
-    println!("  micro-batch {} x {} accumulation steps", cfg.batch_per_gpu, stats.grad_accum);
-    println!("  {:.1} s/step, {:.1} TFLOPS (paper: ~40 TFLOPS; PyTorch at 1.4B: ~30)", stats.secs, stats.tflops_per_gpu);
-    println!("  PCIe per step: {:.1} GiB down, {:.1} GiB up", gib(stats.d2h_bytes), gib(stats.h2d_bytes));
+    println!(
+        "  micro-batch {} x {} accumulation steps",
+        cfg.batch_per_gpu, stats.grad_accum
+    );
+    println!(
+        "  {:.1} s/step, {:.1} TFLOPS (paper: ~40 TFLOPS; PyTorch at 1.4B: ~30)",
+        stats.secs, stats.tflops_per_gpu
+    );
+    println!(
+        "  PCIe per step: {:.1} GiB down, {:.1} GiB up",
+        gib(stats.d2h_bytes),
+        gib(stats.h2d_bytes)
+    );
 
     // And the largest model this single GPU can take.
     let max = memory::max_trainable_params(|cfg| {
         memory::fits(cfg, 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes)
     });
-    println!("\nlargest trainable with ZeRO-Offload on this GPU: {:.1}B (paper: 13B)", max as f64 / 1e9);
+    println!(
+        "\nlargest trainable with ZeRO-Offload on this GPU: {:.1}B (paper: 13B)",
+        max as f64 / 1e9
+    );
     let pt_max = zo_baselines::max_trainable_params(System::PyTorchDdp, 1, &node);
-    println!("largest trainable with PyTorch DDP:             {:.1}B (paper: 1.4B)", pt_max as f64 / 1e9);
+    println!(
+        "largest trainable with PyTorch DDP:             {:.1}B (paper: 1.4B)",
+        pt_max as f64 / 1e9
+    );
     println!("increase: {:.1}x (paper: >9x)", max as f64 / pt_max as f64);
 }

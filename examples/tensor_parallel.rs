@@ -58,7 +58,8 @@ fn main() {
         );
         assert!(max_diff < 1e-4);
     }
-    println!("\nper-rank weight bytes: {} of {} (1/{world} of the MLP)",
+    println!(
+        "\nper-rank weight bytes: {} of {} (1/{world} of the MLP)",
         outputs[0].1 * hidden * 4,
         4 * hidden * hidden * 4,
     );

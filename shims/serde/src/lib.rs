@@ -1,0 +1,213 @@
+//! Minimal vendored serde facade.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a small serialization framework under the `serde`/`serde_json` names:
+//! types convert to and from a JSON [`value::Value`] tree. The derive
+//! macros (feature `derive`) generate the same field-by-field impls the
+//! real serde derives would, including container-level
+//! `#[serde(default)]` semantics for partial configs.
+
+pub mod de;
+pub mod value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::Value;
+
+/// Types convertible into a JSON value tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, de::Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(de::Error::msg(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, de::Error> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => {
+                        let lo = <$t>::MIN as f64;
+                        let hi = <$t>::MAX as f64;
+                        if *n < lo || *n > hi {
+                            Err(de::Error::msg(format!("integer {} out of range", n)))
+                        } else {
+                            Ok(*n as $t)
+                        }
+                    }
+                    other => Err(de::Error::msg(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::msg(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, de::Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), de::Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = 0usize $(+ { let _ = $n; 1 })+;
+                        if items.len() != expected {
+                            return Err(de::Error::msg(format!(
+                                "expected {}-tuple, found {} items", expected, items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(de::Error::msg(format!(
+                        "expected array, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, de::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,319 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde facade.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no syn/quote in
+//! this environment). Supported shapes — exactly what the workspace
+//! derives on:
+//!
+//! * structs with named fields (any field type that itself implements the
+//!   traits);
+//! * single-field tuple ("newtype") structs;
+//! * enums with unit variants (serialized as the variant-name string);
+//! * the container attribute `#[serde(default)]`: on deserialization,
+//!   absent fields are taken from `Default::default()`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with one field.
+    Newtype,
+    /// Enum of unit variants.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+    serde_default: bool,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__o.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __o: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(__o)"
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let name = &parsed.name;
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::value::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}",
+        parsed.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let default_binding = if parsed.serde_default {
+                format!("let __d: {name} = ::core::default::Default::default();\n")
+            } else {
+                String::new()
+            };
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if parsed.serde_default {
+                        format!("__d.{f}")
+                    } else {
+                        format!(
+                            "return Err(::serde::de::Error::msg(concat!(\"missing field `\", {f:?}, \"`\")))"
+                        )
+                    };
+                    format!(
+                        "{f}: match ::serde::value::find(__obj, {f:?}) {{\n\
+                         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                         None => {missing},\n}},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::de::Error::msg(\
+                 concat!(\"expected object for \", {name:?})))?;\n\
+                 {default_binding}\
+                 Ok({name} {{\n{field_inits}}})"
+            )
+        }
+        Shape::Newtype => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let __s = __v.as_str().ok_or_else(|| ::serde::de::Error::msg(\
+                 concat!(\"expected string variant for \", {name:?})))?;\n\
+                 match __s {{\n{arms}\
+                 other => Err(::serde::de::Error::msg(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) -> Result<{name}, ::serde::de::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---- input parsing ----
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let mut serde_default = false;
+
+    // Leading attributes: `#[...]`, noting `#[serde(default)]`.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(attr)) = tokens.next() else {
+                    panic!("expected attribute body after '#'");
+                };
+                if attr_is_serde_default(&attr.stream()) {
+                    serde_default = true;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde derive");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_tuple_fields(g.stream());
+                assert!(
+                    fields == 1,
+                    "only single-field tuple structs are supported, found {fields} fields"
+                );
+                Shape::Newtype
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(parse_unit_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}`"),
+    };
+
+    Input {
+        name,
+        shape,
+        serde_default,
+    }
+}
+
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    // Matches the bracket contents `serde(default)` (possibly with other
+    // idents alongside `default`, e.g. `serde(default, rename = ...)` is
+    // rejected elsewhere by never generating for it).
+    let mut it = stream.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g)))
+            if i.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and doc comments.
+        while matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next(); // the `[...]` group
+        }
+        skip_visibility(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("expected field name, found {tree:?}");
+        };
+        fields.push(field.to_string());
+        // Expect ':' then consume the type up to a top-level ','. Commas
+        // inside parenthesized groups are nested automatically; commas in
+        // generic argument lists are guarded by angle-depth tracking.
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields in a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+/// Extracts variant names from a unit-variant enum body.
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("expected variant name, found {tree:?}");
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "only unit enum variants are supported by the vendored serde derive, found {other:?}"
+            ),
+        }
+    }
+    variants
+}

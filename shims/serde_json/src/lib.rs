@@ -1,0 +1,52 @@
+//! JSON front-end over the vendored serde facade.
+//!
+//! Mirrors the subset of the real `serde_json` API this workspace uses:
+//! [`Value`], [`to_string`], [`to_string_pretty`], and [`from_str`].
+
+pub use serde::de::Error;
+pub use serde::value::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes `value` to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses a JSON string into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = Value::parse(s)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, true], "b": null}"#).unwrap();
+        assert_eq!(v["a"][1], 2.5_f64);
+        assert!(v["b"].is_null());
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![1.5_f32, -2.0, 0.1];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn malformed_is_error() {
+        assert!(from_str::<Value>("{nope").is_err());
+    }
+}

@@ -27,11 +27,20 @@ fn communication_volume_agrees_across_all_three_layers() {
     assert_eq!(stats.d2h_bytes + stats.h2d_bytes, u64::from(analytic_m) * m);
 
     // Layer 3: the real engine, counting actual buffer traffic.
-    let gpt = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 2 };
+    let gpt = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 2,
+    };
     let mut engine = ZeroOffloadEngine::new(
         GptModel::new(gpt, 1),
         ZeroOffloadConfig {
-            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+            loss_scale: LossScaleConfig {
+                init_scale: 256.0,
+                ..Default::default()
+            },
             ..ZeroOffloadConfig::default()
         },
     );
@@ -39,7 +48,9 @@ fn communication_volume_agrees_across_all_three_layers() {
     let steps = 5;
     for _ in 0..steps {
         let b = data.batch(2, 8);
-        engine.step(|m| m.train_step(&b.inputs, &b.targets, 2, 8, |_| {})).unwrap();
+        engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 2, 8, |_| {}))
+            .unwrap();
     }
     let n = engine.model_mut().num_params() as u64;
     let s = engine.stats();
@@ -57,7 +68,8 @@ fn memory_model_matches_dataflow_reduction() {
     let cfg = zo_models::by_label(4.0).unwrap().model;
     let m = cfg.total_params();
     let gpu = zero_offload::memory::gpu_bytes(&cfg, 1, 1);
-    let states_on_gpu = gpu - zero_offload::memory::GRAD_BUCKET_BYTES
+    let states_on_gpu = gpu
+        - zero_offload::memory::GRAD_BUCKET_BYTES
         - zero_offload::memory::activation_bytes_mp(&cfg, 1, 1);
     // `gpu_memory_m` is in multiples of M bytes: 2M = 2 bytes/param.
     assert_eq!(states_on_gpu, u64::from(zo.gpu_memory_m()) * m);
@@ -75,8 +87,7 @@ fn perf_model_covers_entire_table3_zoo() {
     let perf = ZeroOffloadPerf::new(presets::dgx2_cluster(8));
     for c in zo_models::table3() {
         let world = 16u32.max(c.mp_degree);
-        let stats =
-            perf.iter_stats(&c.model, c.batch_per_gpu, 512, world, c.mp_degree, false);
+        let stats = perf.iter_stats(&c.model, c.batch_per_gpu, 512, world, c.mp_degree, false);
         assert!(stats.secs > 0.0 && stats.secs.is_finite(), "{}B", c.label_b);
         assert!(
             stats.tflops_per_gpu > 5.0 && stats.tflops_per_gpu < 60.0,
@@ -91,18 +102,29 @@ fn perf_model_covers_entire_table3_zoo() {
 /// i.e. the "GPU" really holds fp16-representable values only.
 #[test]
 fn engine_parameters_are_fp16_clean() {
-    let gpt = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 1 };
+    let gpt = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 1,
+    };
     let mut engine = ZeroOffloadEngine::new(
         GptModel::new(gpt, 3),
         ZeroOffloadConfig {
-            loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+            loss_scale: LossScaleConfig {
+                init_scale: 256.0,
+                ..Default::default()
+            },
             ..ZeroOffloadConfig::default()
         },
     );
     let mut data = BigramLm::new(16, 0.05, 4);
     for _ in 0..3 {
         let b = data.batch(2, 8);
-        engine.step(|m| m.train_step(&b.inputs, &b.targets, 2, 8, |_| {})).unwrap();
+        engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 2, 8, |_| {}))
+            .unwrap();
     }
     let n = engine.model_mut().num_params();
     let mut params = vec![0.0f32; n];
@@ -130,9 +152,13 @@ fn allocation_plan_13b_on_v100() {
         "acts",
     )
     .unwrap();
-    hbm.alloc(zero_offload::memory::GRAD_BUCKET_BYTES, "bucket").unwrap();
+    hbm.alloc(zero_offload::memory::GRAD_BUCKET_BYTES, "bucket")
+        .unwrap();
     // Host side holds the rest.
     let mut dram = zo_hetsim::MemoryPool::new("dram", node.cpu.mem_bytes);
-    dram.alloc(zero_offload::memory::cpu_bytes(&cfg.model, 1), "offloaded states")
-        .unwrap();
+    dram.alloc(
+        zero_offload::memory::cpu_bytes(&cfg.model, 1),
+        "offloaded states",
+    )
+    .unwrap();
 }

@@ -7,15 +7,27 @@ use zo_optim::{AdamParams, LossScaleConfig};
 
 fn engine_cfg() -> ZeroOffloadConfig {
     ZeroOffloadConfig {
-        adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
-        loss_scale: LossScaleConfig { init_scale: 256.0, ..Default::default() },
+        adam: AdamParams {
+            lr: 3e-3,
+            ..AdamParams::default()
+        },
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
         ..ZeroOffloadConfig::default()
     }
 }
 
 #[test]
 fn gpt_pretraining_learns_the_bigram_chain() {
-    let cfg = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let cfg = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
     let mut engine = ZeroOffloadEngine::new(GptModel::new(cfg, 42), engine_cfg());
     let mut data = BigramLm::new(cfg.vocab, 0.02, 7);
 
@@ -42,12 +54,13 @@ fn gpt_pretraining_learns_the_bigram_chain() {
 #[test]
 fn classifier_fine_tuning_reaches_high_accuracy() {
     let (classes, dim) = (4, 16);
-    let mut engine =
-        ZeroOffloadEngine::new(Classifier::new(dim, 32, classes, 3), engine_cfg());
+    let mut engine = ZeroOffloadEngine::new(Classifier::new(dim, 32, classes, 3), engine_cfg());
     let mut data = GaussianClassification::new(classes, dim, 0.4, 11);
     for _ in 0..250 {
         let b = data.batch(16);
-        engine.step(|m| m.train_step(&b.features, &b.labels, |_| {})).unwrap();
+        engine
+            .step(|m| m.train_step(&b.features, &b.labels, |_| {}))
+            .unwrap();
     }
     let eval = data.batch(128);
     let logits = engine.model().forward(&eval.features).unwrap();
@@ -60,7 +73,13 @@ fn gradient_accumulation_equivalent_to_large_batch() {
     // Two engines, same seed: one sees a 8-sequence batch at once, the
     // other as 4 accumulated micro-batches of 2. One optimizer step each;
     // resulting parameters must agree to fp16 wire precision.
-    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 1 };
+    let cfg = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 1,
+    };
     let mut data = BigramLm::new(cfg.vocab, 0.05, 5);
     let big = data.batch(8, cfg.seq_len);
 
@@ -72,7 +91,10 @@ fn gradient_accumulation_equivalent_to_large_batch() {
 
     let mut accum = ZeroOffloadEngine::new(
         GptModel::new(cfg, 9),
-        ZeroOffloadConfig { grad_accumulation: 4, ..engine_cfg() },
+        ZeroOffloadConfig {
+            grad_accumulation: 4,
+            ..engine_cfg()
+        },
     );
     for k in 0..4 {
         let lo = k * 2 * cfg.seq_len;
@@ -94,15 +116,27 @@ fn gradient_accumulation_equivalent_to_large_batch() {
     // Each micro-batch's mean loss over 2 sequences sums to 4x the
     // 8-sequence mean; the engine divides by the accumulation count, so
     // only fp16 rounding and summation order differ.
-    assert!(max_diff < 5e-3, "accumulated vs whole-batch diverged: {max_diff}");
+    assert!(
+        max_diff < 5e-3,
+        "accumulated vs whole-batch diverged: {max_diff}"
+    );
 }
 
 #[test]
 fn long_run_with_dpu_stays_finite_and_converges() {
-    let cfg = GptConfig { vocab: 32, seq_len: 16, hidden: 32, heads: 2, layers: 2 };
+    let cfg = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
     let mut engine = ZeroOffloadEngine::new(
         GptModel::new(cfg, 12),
-        ZeroOffloadConfig { dpu_warmup: Some(40), ..engine_cfg() },
+        ZeroOffloadConfig {
+            dpu_warmup: Some(40),
+            ..engine_cfg()
+        },
     );
     let mut data = BigramLm::new(cfg.vocab, 0.05, 31);
     let mut losses = Vec::new();
@@ -125,13 +159,25 @@ fn long_run_with_dpu_stays_finite_and_converges() {
 
 #[test]
 fn loss_scaler_recovers_after_forced_overflow() {
-    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 1 };
+    let cfg = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 1,
+    };
     // Start with an absurd scale: the engine must back off and then train.
     let mut engine = ZeroOffloadEngine::new(
         GptModel::new(cfg, 4),
         ZeroOffloadConfig {
-            loss_scale: LossScaleConfig { init_scale: 1.0e9, ..Default::default() },
-            adam: AdamParams { lr: 3e-3, ..AdamParams::default() },
+            loss_scale: LossScaleConfig {
+                init_scale: 1.0e9,
+                ..Default::default()
+            },
+            adam: AdamParams {
+                lr: 3e-3,
+                ..AdamParams::default()
+            },
             ..ZeroOffloadConfig::default()
         },
     );
@@ -156,7 +202,13 @@ fn loss_scaler_recovers_after_forced_overflow() {
 fn backward_errors_propagate_and_engine_recovers() {
     // A failing micro-batch must surface the error without corrupting the
     // engine; subsequent good steps proceed normally.
-    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 1 };
+    let cfg = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 1,
+    };
     let mut engine = ZeroOffloadEngine::new(GptModel::new(cfg, 2), engine_cfg());
     let mut data = BigramLm::new(cfg.vocab, 0.05, 17);
 
@@ -182,7 +234,13 @@ fn backward_errors_propagate_and_engine_recovers() {
 fn checkpointed_activations_train_identically_under_the_engine() {
     // Activation checkpointing must be invisible to the training
     // trajectory even through the full engine (fp16 params, loss scaling).
-    let cfg = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 2 };
+    let cfg = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 2,
+    };
     let mut plain = ZeroOffloadEngine::new(GptModel::new(cfg, 4), engine_cfg());
     let mut ckpt_model = GptModel::new(cfg, 4);
     ckpt_model.set_activation_checkpointing(true);

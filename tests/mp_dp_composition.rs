@@ -10,7 +10,7 @@
 
 use zero_offload::{StepOutcome, Zero2OffloadEngine, ZeroOffloadConfig, ZeroOffloadEngine};
 use zo_collectives::Communicator;
-use zo_nn::{Activation, ColumnParallelLinear, Linear, Model, RowParallelLinear};
+use zo_nn::{Activation, ColumnParallelLinear, Linear, Model, ParamVisitor, RowParallelLinear};
 use zo_optim::{AdamParams, LossScaleConfig};
 use zo_tensor::{Init, Tensor};
 
@@ -60,7 +60,7 @@ impl Model for MpMlp {
         self.col.local.num_params() + self.row.local.num_params()
     }
 
-    fn visit_mut(&mut self, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32])) {
+    fn visit_mut(&mut self, f: &mut ParamVisitor) {
         f(0, self.col.local.w.data_mut(), self.col.local.dw.data_mut());
         f(0, &mut self.col.local.b, &mut self.col.local.db);
         f(1, self.row.local.w.data_mut(), self.row.local.dw.data_mut());
@@ -111,7 +111,7 @@ impl Model for SerialMlp {
         self.fc1.num_params() + self.fc2.num_params()
     }
 
-    fn visit_mut(&mut self, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32])) {
+    fn visit_mut(&mut self, f: &mut ParamVisitor) {
         f(0, self.fc1.w.data_mut(), self.fc1.dw.data_mut());
         f(0, &mut self.fc1.b, &mut self.fc1.db);
         f(1, self.fc2.w.data_mut(), self.fc2.dw.data_mut());
@@ -125,8 +125,14 @@ impl Model for SerialMlp {
 
 fn engine_cfg() -> ZeroOffloadConfig {
     ZeroOffloadConfig {
-        adam: AdamParams { lr: 1e-2, ..AdamParams::default() },
-        loss_scale: LossScaleConfig { init_scale: 64.0, ..Default::default() },
+        adam: AdamParams {
+            lr: 1e-2,
+            ..AdamParams::default()
+        },
+        loss_scale: LossScaleConfig {
+            init_scale: 64.0,
+            ..Default::default()
+        },
         ..ZeroOffloadConfig::default()
     }
 }
@@ -148,10 +154,8 @@ fn take_rows(t: &Tensor, d: usize) -> Tensor {
 fn mp_times_dp_grid_matches_single_process() {
     // Build the communicator grid: MP groups connect ranks of one DP
     // position; DP groups connect the same MP shard across positions.
-    let mut mp_groups: Vec<Vec<Communicator>> =
-        (0..DP).map(|_| Communicator::group(MP)).collect();
-    let mut dp_groups: Vec<Vec<Communicator>> =
-        (0..MP).map(|_| Communicator::group(DP)).collect();
+    let mut mp_groups: Vec<Vec<Communicator>> = (0..DP).map(|_| Communicator::group(MP)).collect();
+    let mut dp_groups: Vec<Vec<Communicator>> = (0..MP).map(|_| Communicator::group(DP)).collect();
 
     let results: Vec<(usize, usize, Vec<f32>, usize)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -176,7 +180,10 @@ fn mp_times_dp_grid_matches_single_process() {
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("grid rank")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid rank"))
+            .collect()
     });
 
     // Reference: the unsliced model on the full batch, single process.
@@ -200,7 +207,11 @@ fn mp_times_dp_grid_matches_single_process() {
             .expect("other DP replica");
         assert_eq!(&twin.2, p, "DP replicas of MP shard {m} diverged");
         // Each rank holds 1/(MP*DP) of the optimizer state for its shard.
-        assert_eq!(*shard_len, p.len().div_ceil(DP).max(p.len() / DP), "shard sizing");
+        assert_eq!(
+            *shard_len,
+            p.len().div_ceil(DP).max(p.len() / DP),
+            "shard sizing"
+        );
 
         // The MP shard matches the reference's corresponding columns/rows.
         let cols = 4 * HIDDEN / MP;

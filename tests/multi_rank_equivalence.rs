@@ -1,13 +1,19 @@
 //! ZeRO-2 + offload vs fully replicated DDP: same math, 1/N the state.
 
 use zero_offload::{run_ranks, ZeroOffloadConfig};
-use zo_collectives::Communicator;
 use zo_baselines::DdpEngine;
+use zo_collectives::Communicator;
 use zo_models::BigramLm;
 use zo_nn::{GptConfig, GptModel, Model};
 use zo_optim::{AdamParams, LossScaleConfig};
 
-const GPT: GptConfig = GptConfig { vocab: 16, seq_len: 8, hidden: 16, heads: 2, layers: 2 };
+const GPT: GptConfig = GptConfig {
+    vocab: 16,
+    seq_len: 8,
+    hidden: 16,
+    heads: 2,
+    layers: 2,
+};
 const SEED: u64 = 99;
 const STEPS: usize = 5;
 const WORLD: usize = 4;
@@ -32,22 +38,30 @@ fn rank_slice(b: &zo_models::LmBatch, rank: usize) -> (Vec<usize>, Vec<usize>) {
 fn run_zero2() -> (Vec<f32>, usize) {
     let cfg = ZeroOffloadConfig {
         adam: AdamParams::default(),
-        loss_scale: LossScaleConfig { init_scale: 1.0, ..Default::default() },
+        loss_scale: LossScaleConfig {
+            init_scale: 1.0,
+            ..Default::default()
+        },
         ..ZeroOffloadConfig::default()
     };
-    let mut out = run_ranks(WORLD, cfg, |_| GptModel::new(GPT, SEED), |engine| {
-        for step in 0..STEPS {
-            let b = global_batch(step);
-            let (inputs, targets) = rank_slice(&b, engine.rank());
-            engine
-                .step(|m| m.train_step(&inputs, &targets, 1, GPT.seq_len, |_| {}))
-                .unwrap();
-        }
-        let mut p = vec![0.0f32; engine.model_mut().num_params()];
-        engine.model_mut().copy_params_to(&mut p);
-        // Rank-held optimizer state: 12 bytes/param over the shard only.
-        (p, engine.master_shard().len())
-    });
+    let mut out = run_ranks(
+        WORLD,
+        cfg,
+        |_| GptModel::new(GPT, SEED),
+        |engine| {
+            for step in 0..STEPS {
+                let b = global_batch(step);
+                let (inputs, targets) = rank_slice(&b, engine.rank());
+                engine
+                    .step(|m| m.train_step(&inputs, &targets, 1, GPT.seq_len, |_| {}))
+                    .unwrap();
+            }
+            let mut p = vec![0.0f32; engine.model_mut().num_params()];
+            engine.model_mut().copy_params_to(&mut p);
+            // Rank-held optimizer state: 12 bytes/param over the shard only.
+            (p, engine.master_shard().len())
+        },
+    );
     let (params, shard_len) = out.remove(0);
     (params, shard_len)
 }

@@ -14,7 +14,11 @@ fn claim_13b_on_a_single_gpu_10x_over_pytorch() {
     let zo = zo_baselines::max_trainable_params(System::ZeroOffload { mp: 1 }, 1, &node);
     let pt = zo_baselines::max_trainable_params(System::PyTorchDdp, 1, &node);
     assert!(zo >= 13_000_000_000, "only {:.1}B", zo as f64 / 1e9);
-    assert!(zo as f64 / pt as f64 >= 8.0, "only {:.1}x", zo as f64 / pt as f64);
+    assert!(
+        zo as f64 / pt as f64 >= 8.0,
+        "only {:.1}x",
+        zo as f64 / pt as f64
+    );
 }
 
 /// "40 TFlops/GPU on a single NVIDIA V100 GPU for 10B parameter model
@@ -26,9 +30,19 @@ fn claim_comparable_efficiency_at_9x_the_model_size() {
     let perf = zo_baselines::BaselinePerf::new(presets::dgx2_cluster(1));
     let ten_b = zo_models::by_label(10.0).unwrap();
     let zo = perf
-        .iter_stats(System::ZeroOffload { mp: 1 }, &ten_b.model, ten_b.batch_per_gpu, 512, 1)
+        .iter_stats(
+            System::ZeroOffload { mp: 1 },
+            &ten_b.model,
+            ten_b.batch_per_gpu,
+            512,
+            1,
+        )
         .unwrap();
-    assert!((35.0..48.0).contains(&zo.tflops_per_gpu), "{:.1}", zo.tflops_per_gpu);
+    assert!(
+        (35.0..48.0).contains(&zo.tflops_per_gpu),
+        "{:.1}",
+        zo.tflops_per_gpu
+    );
 
     // PyTorch's largest runnable model (the 1B row) at its feasible
     // micro-batch: ZeRO-Offload at 10B stays within ~15% of it. (In the
@@ -39,7 +53,9 @@ fn claim_comparable_efficiency_at_9x_the_model_size() {
     let small = zo_models::by_label(1.0).unwrap();
     let mb = zo_baselines::largest_micro_batch(System::PyTorchDdp, &small.model, 1, &node, 32)
         .unwrap() as u32;
-    let pt = perf.iter_stats(System::PyTorchDdp, &small.model, mb, 512, 1).unwrap();
+    let pt = perf
+        .iter_stats(System::PyTorchDdp, &small.model, mb, 512, 1)
+        .unwrap();
     let ratio = zo.tflops_per_gpu / pt.tflops_per_gpu;
     assert!(
         ratio > 0.8,
@@ -70,7 +86,11 @@ fn claim_70b_on_dgx2_4x_over_megatron() {
     let zo = zo_baselines::max_trainable_params(System::ZeroOffload { mp: 1 }, 16, &node);
     let mega = zo_baselines::max_trainable_params(System::Megatron { mp: 16 }, 16, &node);
     assert!(zo >= 70_000_000_000, "only {:.1}B", zo as f64 / 1e9);
-    assert!(zo as f64 / mega as f64 >= 2.5, "only {:.1}x", zo as f64 / mega as f64);
+    assert!(
+        zo as f64 / mega as f64 >= 2.5,
+        "only {:.1}x",
+        zo as f64 / mega as f64
+    );
 }
 
 /// "An efficient CPU Adam optimizer... up to 6x faster than the
