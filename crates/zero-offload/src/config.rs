@@ -84,6 +84,9 @@ pub struct ZeroOffloadConfig {
     pub optimizer_threads: usize,
     /// Elements per copy-back tile (Algorithm 1 line 15).
     pub tile_width: usize,
+    /// Byte budget per gradient wire bucket (bounds the transient device
+    /// staging memory; Sec. 4.1's "small groups").
+    pub bucket_bytes: usize,
     /// Step-timeline tracer handle (`None` disables tracing).
     pub tracer: Option<TracerRef>,
 }
@@ -99,6 +102,7 @@ impl Default for ZeroOffloadConfig {
             grad_accumulation: 1,
             optimizer_threads: 1,
             tile_width: 2 * 1024 * 1024,
+            bucket_bytes: crate::bucket::default_bucket_bytes(),
             tracer: None,
         }
     }

@@ -5,20 +5,24 @@
 //! parameters** (what the GPU would hold), gradients leave the "device" by
 //! being **rounded through fp16** (the PCIe transfer), and the fp32 master
 //! parameters, momentum and variance live in a separate host-side buffer
-//! updated by [`CpuAdam`] — optionally one step delayed (DPU).
+//! updated by [`CpuAdam`] — optionally one step delayed (DPU), in which
+//! case the update runs on the [`AsyncDpu`](crate::AsyncDpu) optimizer
+//! thread overlapped with the next step's forward/backward.
 //!
-//! The engine is generic over [`Model`], so the same code trains the GPT
-//! LM of Fig. 12 and the classifier of Fig. 13.
+//! The step state machine itself lives in [`crate::pipeline`]; this module
+//! supplies the full-replica [`Placement`] (everything moves as one piece)
+//! and the public engine type. The engine is generic over [`Model`], so
+//! the same code trains the GPT LM of Fig. 12 and the classifier of
+//! Fig. 13.
 
 use zo_nn::Model;
-use zo_optim::{
-    adam_reference_step, clip, AdamParams, AdamState, CpuAdam, CpuAdamConfig, DelayedUpdate,
-    DynamicLossScaler,
-};
+use zo_optim::{clip, AdamState, CpuAdam, CpuAdamConfig, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
+use zo_trace::Tracer;
 
 use crate::bucket::{scatter_frames, GradBucketer};
 use crate::config::{resolve_tracer, OffloadDevice, ZeroOffloadConfig};
+use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepPipeline, Updater};
 use crate::wire::decode_frame_traced;
 
 /// What a call to [`ZeroOffloadEngine::step`] did.
@@ -69,32 +73,143 @@ pub struct EngineStats {
     pub frames: u64,
 }
 
-enum Updater {
-    /// Non-offload reference path (scalar Adam, same recurrence).
-    Reference(AdamState, AdamParams),
-    /// The offloaded CPU-Adam.
-    Cpu(CpuAdam),
-    /// CPU-Adam wrapped in one-step delayed parameter update.
-    Dpu(DelayedUpdate),
+/// Ships the staged frames, reassembles them host-side, unscales, and
+/// updates traffic counters and memory high-water marks — the tail of the
+/// gradient offload shared by the streamed and post-hoc transfer paths.
+fn finish_offload(
+    bucketer: &mut GradBucketer,
+    grads: &mut [f32],
+    scale: f32,
+    stats: &mut EngineStats,
+    tracer: &Tracer,
+) {
+    bucketer.flush();
+    let frames: Vec<crate::wire::GradFrame> = bucketer
+        .take_frames()
+        .into_iter()
+        .map(|f| decode_frame_traced(tracer, "pcie", f).expect("loopback frames are well-formed"))
+        .collect();
+    scatter_frames(&frames, grads);
+    zo_tensor::ops::scale(grads, 1.0 / scale);
+    stats.d2h_bytes += bucketer.payload_bytes();
+    stats.wire_bytes += bucketer.wire_bytes();
+    stats.frames += u64::from(bucketer.frames_emitted());
+    tracer.add("pcie", "d2h_bytes", bucketer.payload_bytes());
+    // Memory high-water marks: fp16 parameters + the transient staging
+    // bucket on the device; master + Adam moments + fp32 gradient buffer
+    // on the host.
+    let n = grads.len() as f64;
+    tracer.gauge_max("gpu_hwm_bytes", 2.0 * n + bucketer.wire_bytes() as f64);
+    tracer.gauge_max("cpu_hwm_bytes", 16.0 * n);
+}
+
+/// The single-accelerator placement: one full fp16 replica on the device,
+/// the whole fp32 state on the host, gradients crossing "PCIe" in layer
+/// buckets (streamed from backward when armed, post hoc otherwise).
+pub(crate) struct ReplicaPlacement {
+    /// Flat offset ranges of each layer bucket, in canonical order.
+    layer_ranges: Vec<core::ops::Range<usize>>,
+    bucket_bytes: usize,
+    /// fp16 cast scratch for the post-hoc transfer, reused across steps.
+    wire: Vec<F16>,
+    /// fp32 widening scratch for the h2d parameter copy, reused.
+    widened: Vec<f32>,
+}
+
+impl ReplicaPlacement {
+    /// Loads the fp16 view into the model through the reusable widening
+    /// scratch (no per-step allocation).
+    fn load_model<M: Model>(&mut self, model: &mut M, p16: &[F16]) {
+        self.widened.clear();
+        self.widened.extend(p16.iter().map(|h| h.to_f32()));
+        model.load_params_from(&self.widened);
+    }
+}
+
+impl<M: Model> Placement<M> for ReplicaPlacement {
+    fn fwd_track(&self) -> &str {
+        "gpu"
+    }
+
+    fn counter_track(&self) -> &str {
+        "engine"
+    }
+
+    fn transfer(
+        &mut self,
+        model: &mut M,
+        grads: &mut [f32],
+        scale: f32,
+        denom: f32,
+        stream: &mut GradStream,
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+    ) -> bool {
+        if let Some(start) = stream.take_streamed() {
+            // The gradients already crossed the wire from inside backward;
+            // only the tail (final flush, reassembly, unscale) remains.
+            let mut bucketer = core::mem::replace(&mut stream.bucketer, GradBucketer::new(2));
+            finish_offload(&mut bucketer, grads, scale, stats, tracer);
+            let end = tracer.now_us();
+            tracer.record_span("pcie", "grad_offload", start, end.saturating_sub(start));
+            return stream.overflow;
+        }
+        // Post-hoc transfer: scale, cast to fp16, pack the layer spans into
+        // wire frames in backward order (head bucket first, blocks
+        // reversed, embeddings last — the order they become ready in
+        // Sec. 4.1), ship, validate, scatter into host memory.
+        let _transfer = tracer.span("pcie", "grad_offload");
+        model.copy_grads_to(grads);
+        let mut overflow = false;
+        let mut bucketer = GradBucketer::traced(self.bucket_bytes, tracer.clone(), "pcie");
+        for range in self.layer_ranges.iter().rev() {
+            self.wire.clear();
+            self.wire.reserve(range.len());
+            for &g in &grads[range.clone()] {
+                let wire = F16::from_f32(g / denom * scale);
+                if !wire.is_finite() {
+                    overflow = true;
+                }
+                self.wire.push(wire);
+            }
+            bucketer.push(range.start as u64, &self.wire);
+        }
+        finish_offload(&mut bucketer, grads, scale, stats, tracer);
+        overflow
+    }
+
+    fn clip_grads(&mut self, grads: &mut [f32], max_norm: f64) {
+        clip::clip_global_norm(&mut [grads], max_norm);
+    }
+
+    fn update_span(&self) -> (&str, &str) {
+        ("cpu", "cpu_adam")
+    }
+
+    fn publish(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer) {
+        let _copy = tracer.span("pcie", "param_copy_back");
+        stats.h2d_bytes += 2 * p16.len() as u64;
+        tracer.add("pcie", "h2d_bytes", 2 * p16.len() as u64);
+        self.load_model(model, p16);
+    }
+
+    fn on_skip(
+        &mut self,
+        _model: &mut M,
+        _p16: &[F16],
+        _stats: &mut EngineStats,
+        _tracer: &Tracer,
+    ) {
+        // Parameters unchanged; nothing to publish.
+    }
 }
 
 /// A training engine applying the ZeRO-Offload single-GPU schedule.
 pub struct ZeroOffloadEngine<M: Model> {
     model: M,
-    cfg: ZeroOffloadConfig,
-    /// fp32 master parameters ("CPU memory").
-    master: Vec<f32>,
-    /// fp16 parameter mirror ("GPU memory").
-    p16: Vec<F16>,
-    grads: Vec<f32>,
-    updater: Updater,
-    scaler: DynamicLossScaler,
-    micro_in_window: u32,
-    stats: EngineStats,
-    /// Flat offset ranges of each layer bucket, in canonical order.
-    layer_ranges: Vec<core::ops::Range<usize>>,
-    /// Step-timeline recorder (inert unless configured).
-    tracer: zo_trace::Tracer,
+    pipe: StepPipeline,
+    placement: ReplicaPlacement,
+    stream: GradStream,
 }
 
 impl<M: Model> ZeroOffloadEngine<M> {
@@ -105,32 +220,41 @@ impl<M: Model> ZeroOffloadEngine<M> {
     /// GPU would hold them.
     pub fn new(mut model: M, cfg: ZeroOffloadConfig) -> ZeroOffloadEngine<M> {
         let n = model.num_params();
-        let layer_ranges_init = model.layer_ranges();
+        let layer_ranges = model.layer_ranges();
         let mut master = vec![0.0f32; n];
         model.copy_params_to(&mut master);
         let mut p16 = vec![F16::ZERO; n];
         cast_f32_to_f16(&master, &mut p16);
+        let tracer = resolve_tracer(cfg.tracer);
 
         let updater = match cfg.offload {
             OffloadDevice::None => Updater::Reference(AdamState::new(n), cfg.adam),
             OffloadDevice::Cpu => {
-                let opt = CpuAdam::new(
-                    CpuAdamConfig {
-                        hp: cfg.adam,
-                        num_threads: cfg.optimizer_threads,
-                        tile_width: cfg.tile_width,
-                    },
-                    n,
-                );
+                let opt_cfg = CpuAdamConfig {
+                    hp: cfg.adam,
+                    num_threads: cfg.optimizer_threads,
+                    tile_width: cfg.tile_width,
+                };
                 match cfg.dpu_warmup {
-                    Some(warmup) => Updater::Dpu(DelayedUpdate::new(opt, warmup)),
-                    None => Updater::Cpu(opt),
+                    Some(warmup) => Updater::Async(PipelinedDpu::spawn(
+                        master.clone(),
+                        opt_cfg,
+                        warmup,
+                        tracer.clone(),
+                        "optimizer",
+                    )),
+                    None => Updater::Cpu(CpuAdam::new(opt_cfg, n)),
                 }
             }
         };
-        let mut engine = ZeroOffloadEngine {
-            model,
-            cfg,
+        let placement = ReplicaPlacement {
+            layer_ranges: layer_ranges.clone(),
+            bucket_bytes: cfg.bucket_bytes,
+            wire: Vec::new(),
+            widened: Vec::new(),
+        };
+        let stream = GradStream::new(tracer.clone(), layer_ranges, cfg.bucket_bytes);
+        let pipe = StepPipeline {
             master,
             p16,
             grads: vec![0.0f32; n],
@@ -138,8 +262,15 @@ impl<M: Model> ZeroOffloadEngine<M> {
             scaler: DynamicLossScaler::new(cfg.loss_scale),
             micro_in_window: 0,
             stats: EngineStats::default(),
-            layer_ranges: layer_ranges_init,
-            tracer: resolve_tracer(cfg.tracer),
+            tracer,
+            grad_accumulation: cfg.grad_accumulation,
+            max_grad_norm: cfg.max_grad_norm,
+        };
+        let mut engine = ZeroOffloadEngine {
+            model,
+            pipe,
+            placement,
+            stream,
         };
         engine.sync_model_params();
         engine
@@ -147,7 +278,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
 
     /// The engine's tracer (disabled unless the config installed one).
     pub fn tracer(&self) -> &zo_trace::Tracer {
-        &self.tracer
+        &self.pipe.tracer
     }
 
     /// The wrapped model (parameters are the fp16 view).
@@ -162,26 +293,30 @@ impl<M: Model> ZeroOffloadEngine<M> {
 
     /// Cumulative counters.
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        &self.pipe.stats
     }
 
     /// Current loss scale.
     pub fn loss_scale(&self) -> f32 {
-        self.scaler.scale()
+        self.pipe.scaler.scale()
     }
 
     /// The fp32 master parameters (host side).
     pub fn master_params(&self) -> &[f32] {
-        &self.master
+        &self.pipe.master
     }
 
     /// Snapshot of optimizer state + DPU bookkeeping (checkpointing).
+    ///
+    /// For the async DPU this reads the caller-side mirrors, which exclude
+    /// any in-flight update — the snapshot is identical to one taken by a
+    /// synchronous delayed update, without draining the worker.
     pub(crate) fn updater_state(&self) -> (AdamState, Option<crate::checkpoint::DpuCheckpoint>) {
-        match &self.updater {
+        match &self.pipe.updater {
             Updater::Reference(state, _) => (state.clone(), None),
             Updater::Cpu(opt) => (opt.state().clone(), None),
-            Updater::Dpu(dpu) => (
-                dpu.inner().state().clone(),
+            Updater::Async(dpu) => (
+                dpu.state().clone(),
                 Some(crate::checkpoint::DpuCheckpoint {
                     steps_seen: dpu.steps_seen(),
                     pending: dpu.pending().map(|p| p.to_vec()),
@@ -196,7 +331,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
         optim: &AdamState,
         dpu: Option<&crate::checkpoint::DpuCheckpoint>,
     ) -> Result<(), crate::checkpoint::CheckpointError> {
-        match (&mut self.updater, dpu) {
+        match (&mut self.pipe.updater, dpu) {
             (Updater::Reference(state, _), None) => {
                 *state = optim.clone();
                 Ok(())
@@ -204,17 +339,19 @@ impl<M: Model> ZeroOffloadEngine<M> {
             (Updater::Cpu(opt), None) => opt.load_state(optim.clone()).map_err(|_| {
                 crate::checkpoint::CheckpointError::SizeMismatch {
                     checkpoint: optim.len(),
-                    engine: self.master.len(),
+                    engine: self.pipe.master.len(),
                 }
             }),
-            (Updater::Dpu(wrapper), Some(d)) => {
-                wrapper.inner_mut().load_state(optim.clone()).map_err(|_| {
-                    crate::checkpoint::CheckpointError::SizeMismatch {
+            (Updater::Async(pipelined), Some(d)) => {
+                if optim.len() != self.pipe.master.len() {
+                    return Err(crate::checkpoint::CheckpointError::SizeMismatch {
                         checkpoint: optim.len(),
-                        engine: self.master.len(),
-                    }
-                })?;
-                wrapper.restore(d.steps_seen, d.pending.clone());
+                        engine: self.pipe.master.len(),
+                    });
+                }
+                // `set_master` ran first in the restore sequence, so the
+                // pipeline's master is already the checkpointed one.
+                pipelined.restore(&self.pipe.master, optim, d.steps_seen, d.pending.clone());
                 Ok(())
             }
             _ => Err(crate::checkpoint::CheckpointError::ModeMismatch),
@@ -223,39 +360,39 @@ impl<M: Model> ZeroOffloadEngine<M> {
 
     /// Loss-scaler snapshot (checkpointing).
     pub(crate) fn scaler_snapshot(&self) -> (f32, u32) {
-        self.scaler.snapshot()
+        self.pipe.scaler.snapshot()
     }
 
     /// Restores a loss-scaler snapshot (checkpointing).
     pub(crate) fn set_scaler_snapshot(&mut self, snapshot: (f32, u32)) {
-        self.scaler.restore(snapshot);
+        self.pipe.scaler.restore(snapshot);
     }
 
     /// Replaces the master parameters (checkpointing).
     pub(crate) fn set_master(&mut self, master: &[f32]) {
-        self.master.copy_from_slice(master);
+        self.pipe.master.copy_from_slice(master);
     }
 
     /// Restores step counters (checkpointing).
     pub(crate) fn set_step_counters(&mut self, applied: u64, skipped: u64) {
-        self.stats.steps_applied = applied;
-        self.stats.steps_skipped = skipped;
+        self.pipe.stats.steps_applied = applied;
+        self.pipe.stats.steps_skipped = skipped;
     }
 
     /// Replaces the fp16 mirror and reloads the model (checkpointing).
     pub(crate) fn set_p16_and_sync(&mut self, p16: Vec<F16>) {
-        self.p16 = p16;
+        self.pipe.p16 = p16;
         self.sync_model_params();
     }
 
     /// Loads the fp16 view of the master parameters into the model.
     fn sync_model_params(&mut self) {
-        let widened: Vec<f32> = self.p16.iter().map(|h| h.to_f32()).collect();
-        self.model.load_params_from(&widened);
+        self.placement.load_model(&mut self.model, &self.pipe.p16);
     }
 
     /// Runs one micro-batch and, at window boundaries, the offloaded
-    /// optimizer step.
+    /// optimizer step, transferring gradients post hoc (after backward
+    /// completes).
     ///
     /// `run_backward` must perform forward + backward on the model,
     /// accumulating gradients, and return the loss. The engine zeroes
@@ -264,115 +401,46 @@ impl<M: Model> ZeroOffloadEngine<M> {
         &mut self,
         run_backward: impl FnOnce(&mut M) -> Result<f32, E>,
     ) -> Result<StepOutcome, E> {
-        if self.micro_in_window == 0 {
-            self.model.zero_grads();
-        }
-        let loss = {
-            let _fwd = self.tracer.span("gpu", "fwd_bwd");
-            run_backward(&mut self.model)?
-        };
-        self.micro_in_window += 1;
-        if self.micro_in_window < self.cfg.grad_accumulation {
-            return Ok(StepOutcome::Accumulating { loss });
-        }
-        self.micro_in_window = 0;
+        self.pipe.step(
+            &mut self.model,
+            &mut self.placement,
+            &mut self.stream,
+            |m, _| run_backward(m),
+        )
+    }
 
-        // Transfer the gradients for real: scale, cast to fp16, pack the
-        // layer spans into wire frames in backward order (head bucket
-        // first, blocks reversed, embeddings last — the order they become
-        // ready in Sec. 4.1), ship, validate, scatter into host memory.
-        let transfer = self.tracer.span("pcie", "grad_offload");
-        self.model.copy_grads_to(&mut self.grads);
-        let scale = self.scaler.scale();
-        let denom = self.cfg.grad_accumulation as f32;
-        let mut overflow = false;
-        let mut bucketer = GradBucketer::traced(
-            crate::bucket::default_bucket_bytes(),
-            self.tracer.clone(),
-            "pcie",
-        );
-        let mut span = Vec::new();
-        for range in self.layer_ranges.iter().rev() {
-            span.clear();
-            span.reserve(range.len());
-            for &g in &self.grads[range.clone()] {
-                let wire = F16::from_f32(g / denom * scale);
-                if !wire.is_finite() {
-                    overflow = true;
-                }
-                span.push(wire);
-            }
-            bucketer.push(range.start as u64, &span);
+    /// Like [`ZeroOffloadEngine::step`], but streams gradients through the
+    /// wire path from *inside* backward — paper Sec. 4.1's overlapped
+    /// gradient offload.
+    ///
+    /// `run_backward` receives the armed [`GradStream`] and must hand it to
+    /// the model's hooked backward (e.g.
+    /// [`GptModel::train_step_hooked`](zo_nn::GptModel::train_step_hooked)),
+    /// which feeds each layer's gradients to the stream as soon as that
+    /// layer's backward completes. The `grad_offload` span then overlaps
+    /// the same step's `fwd_bwd` span. Numerics are bit-identical to the
+    /// post-hoc path: the same values cross the wire in the same order
+    /// with the same frame boundaries, only earlier.
+    ///
+    /// The stream is armed only for the window-closing micro-batch (with
+    /// gradient accumulation, earlier micro-batches hold incomplete sums);
+    /// if `run_backward` never feeds the stream, the engine falls back to
+    /// the post-hoc transfer.
+    pub fn step_streamed<E>(
+        &mut self,
+        run_backward: impl FnOnce(&mut M, &mut GradStream) -> Result<f32, E>,
+    ) -> Result<StepOutcome, E> {
+        if self.pipe.micro_in_window + 1 >= self.pipe.grad_accumulation {
+            let scale = self.pipe.scaler.scale();
+            let denom = self.pipe.grad_accumulation as f32;
+            self.stream.arm(scale, denom);
         }
-        bucketer.flush();
-        let frames: Vec<crate::wire::GradFrame> = bucketer
-            .take_frames()
-            .into_iter()
-            .map(|f| {
-                decode_frame_traced(&self.tracer, "pcie", f)
-                    .expect("loopback frames are well-formed")
-            })
-            .collect();
-        scatter_frames(&frames, &mut self.grads);
-        zo_tensor::ops::scale(&mut self.grads, 1.0 / scale);
-        self.stats.d2h_bytes += bucketer.payload_bytes();
-        self.stats.wire_bytes += bucketer.wire_bytes();
-        self.stats.frames += u64::from(bucketer.frames_emitted());
-        self.tracer
-            .add("pcie", "d2h_bytes", bucketer.payload_bytes());
-        // Memory high-water marks: fp16 parameters + the transient staging
-        // bucket on the device; master + Adam moments + fp32 gradient
-        // buffer on the host.
-        let n = self.master.len() as f64;
-        self.tracer
-            .gauge_max("gpu_hwm_bytes", 2.0 * n + bucketer.wire_bytes() as f64);
-        self.tracer.gauge_max("cpu_hwm_bytes", 16.0 * n);
-        drop(transfer);
-
-        if !self.scaler.update(overflow) {
-            self.stats.steps_skipped += 1;
-            self.tracer.add("engine", "steps_skipped", 1);
-            self.tracer.finish_step();
-            return Ok(StepOutcome::SkippedOverflow { loss });
-        }
-
-        if self.cfg.max_grad_norm > 0.0 {
-            clip::clip_global_norm(&mut [&mut self.grads], self.cfg.max_grad_norm);
-        }
-
-        {
-            let _adam = self.tracer.span("cpu", "cpu_adam");
-            match &mut self.updater {
-                Updater::Reference(state, hp) => {
-                    // The recurrence is identical to CpuAdam's, bit for bit.
-                    adam_reference_step(hp, state, &mut self.master, &self.grads)
-                        .expect("engine buffers are sized together");
-                }
-                Updater::Cpu(opt) => {
-                    opt.step_mixed(&mut self.master, &self.grads, &mut self.p16)
-                        .expect("engine buffers are sized together");
-                }
-                Updater::Dpu(dpu) => {
-                    dpu.step(&mut self.master, &self.grads)
-                        .expect("engine buffers are sized together");
-                }
-            }
-        }
-        // Refresh the fp16 mirror (for the Cpu path this re-does the tiled
-        // cast; for Reference/Dpu it is the float2half copy-back) and load
-        // it into the model — the h2d parameter copy.
-        {
-            let _copy = self.tracer.span("pcie", "param_copy_back");
-            cast_f32_to_f16(&self.master, &mut self.p16);
-            self.stats.h2d_bytes += 2 * self.p16.len() as u64;
-            self.tracer
-                .add("pcie", "h2d_bytes", 2 * self.p16.len() as u64);
-            self.sync_model_params();
-        }
-        self.stats.steps_applied += 1;
-        self.tracer.add("engine", "steps_applied", 1);
-        self.tracer.finish_step();
-        Ok(StepOutcome::Applied { loss })
+        self.pipe.step(
+            &mut self.model,
+            &mut self.placement,
+            &mut self.stream,
+            |m, s| run_backward(m, s),
+        )
     }
 }
 
@@ -380,7 +448,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
 mod tests {
     use super::*;
     use zo_nn::{GptConfig, GptModel};
-    use zo_optim::LossScaleConfig;
+    use zo_optim::{AdamParams, LossScaleConfig};
 
     fn tiny_model(seed: u64) -> GptModel {
         GptModel::new(
@@ -422,6 +490,23 @@ mod tests {
         losses
     }
 
+    fn run_steps_streamed(
+        engine: &mut ZeroOffloadEngine<GptModel>,
+        steps: usize,
+        seed: u64,
+    ) -> Vec<f32> {
+        let mut data = zo_models::BigramLm::new(16, 0.05, seed);
+        let mut losses = Vec::new();
+        for _ in 0..steps {
+            let b = data.batch(4, 8);
+            let out = engine
+                .step_streamed(|m, s| m.train_step_hooked(&b.inputs, &b.targets, 4, 8, s))
+                .unwrap();
+            losses.push(out.loss());
+        }
+        losses
+    }
+
     #[test]
     fn training_reduces_loss() {
         let mut engine = ZeroOffloadEngine::new(tiny_model(1), small_scale_cfg());
@@ -444,6 +529,34 @@ mod tests {
         let l2 = run_steps(&mut reference, 40, 9);
         assert_eq!(l1, l2);
         assert_eq!(offload.master_params(), reference.master_params());
+    }
+
+    #[test]
+    fn streamed_offload_matches_post_hoc_exactly() {
+        // Streaming only reschedules the transfer; the trajectory must be
+        // bit-identical to the post-hoc path.
+        let mut streamed = ZeroOffloadEngine::new(tiny_model(5), small_scale_cfg());
+        let mut post_hoc = ZeroOffloadEngine::new(tiny_model(5), small_scale_cfg());
+        let l1 = run_steps_streamed(&mut streamed, 40, 9);
+        let l2 = run_steps(&mut post_hoc, 40, 9);
+        assert_eq!(l1, l2);
+        assert_eq!(streamed.master_params(), post_hoc.master_params());
+        assert_eq!(streamed.stats(), post_hoc.stats());
+    }
+
+    #[test]
+    fn streamed_offload_with_accumulation_matches_post_hoc() {
+        let cfg = ZeroOffloadConfig {
+            grad_accumulation: 3,
+            ..small_scale_cfg()
+        };
+        let mut streamed = ZeroOffloadEngine::new(tiny_model(6), cfg);
+        let mut post_hoc = ZeroOffloadEngine::new(tiny_model(6), cfg);
+        let l1 = run_steps_streamed(&mut streamed, 12, 17);
+        let l2 = run_steps(&mut post_hoc, 12, 17);
+        assert_eq!(l1, l2);
+        assert_eq!(streamed.master_params(), post_hoc.master_params());
+        assert_eq!(streamed.stats(), post_hoc.stats());
     }
 
     #[test]

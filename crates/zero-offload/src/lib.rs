@@ -46,12 +46,14 @@ mod engine;
 pub mod memory;
 mod overlap;
 mod perf;
+mod pipeline;
 pub mod wire;
 mod zero2;
 
 pub use checkpoint::{CheckpointError, DpuCheckpoint, TrainingCheckpoint};
 pub use config::{OffloadDevice, TracerRef, ZeroOffloadConfig};
 pub use engine::{EngineStats, StepOutcome, ZeroOffloadEngine};
-pub use overlap::AsyncDpu;
+pub use overlap::{AsyncDpu, DpuUpdate};
 pub use perf::{IterStats, ZeroOffloadPerf};
+pub use pipeline::GradStream;
 pub use zero2::{run_ranks, Zero2OffloadEngine};

@@ -20,7 +20,7 @@
 //! work and observes the caller thread making progress before collecting.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use zo_optim::{CpuAdam, CpuAdamConfig};
+use zo_optim::{AdamState, CpuAdam, CpuAdamConfig};
 use zo_tensor::F16;
 
 enum Job {
@@ -30,17 +30,28 @@ enum Job {
     Stop,
 }
 
-struct Done {
+/// The result of one asynchronous optimizer step, snapshotted on the
+/// worker thread right after the update.
+///
+/// Carrying the full `(p16, master, state)` triple — not just the fp16
+/// view — is what lets the caller keep a checkpoint-consistent mirror of
+/// the optimizer-side state without ever blocking on the worker outside
+/// the pipeline's natural wait point.
+pub struct DpuUpdate {
     /// fp16 snapshot of the master parameters after the update.
-    p16: Vec<F16>,
+    pub p16: Vec<F16>,
+    /// fp32 master parameters after the update.
+    pub master: Vec<f32>,
+    /// Adam moment state after the update.
+    pub state: AdamState,
     /// Optimizer steps completed so far.
-    steps: u64,
+    pub steps: u64,
 }
 
 /// An optimizer thread owning the fp32 master parameters.
 pub struct AsyncDpu {
     tx: Sender<Job>,
-    rx: Receiver<Done>,
+    rx: Receiver<DpuUpdate>,
     worker: Option<std::thread::JoinHandle<Vec<f32>>>,
     in_flight: bool,
 }
@@ -63,23 +74,49 @@ impl AsyncDpu {
         cfg: CpuAdamConfig,
         tracer: zo_trace::Tracer,
     ) -> AsyncDpu {
+        AsyncDpu::spawn_on_track(master, cfg, None, tracer, "optimizer")
+    }
+
+    /// The general constructor: optionally restores a previous
+    /// [`AdamState`] (checkpoint resume) and records worker spans on
+    /// `track` so several workers (e.g. one per ZeRO-2 rank) stay apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is given with a length other than `master.len()`.
+    pub fn spawn_on_track(
+        master: Vec<f32>,
+        cfg: CpuAdamConfig,
+        state: Option<AdamState>,
+        tracer: zo_trace::Tracer,
+        track: &str,
+    ) -> AsyncDpu {
+        if let Some(s) = &state {
+            assert_eq!(s.len(), master.len(), "restored state length");
+        }
+        let track = track.to_string();
         let (job_tx, job_rx) = bounded::<Job>(1);
-        let (done_tx, done_rx) = bounded::<Done>(1);
+        let (done_tx, done_rx) = bounded::<DpuUpdate>(1);
         let worker = std::thread::spawn(move || {
             let mut master = master;
             let mut opt = CpuAdam::new(cfg, master.len());
+            if let Some(s) = state {
+                opt.load_state(s).expect("state length checked above");
+            }
             let mut p16 = vec![F16::ZERO; master.len()];
             while let Ok(job) = job_rx.recv() {
                 match job {
                     Job::Step(grads) => {
                         {
-                            let _update = tracer.span("optimizer", "cpu_adam_step");
+                            let _update = tracer.span(&track, "cpu_adam_step");
                             opt.step_mixed(&mut master, &grads, &mut p16)
                                 .expect("worker buffers are sized together");
                         }
-                        tracer.add("optimizer", "optimizer_steps", 1);
-                        let done = Done {
+                        tracer.add(&track, "optimizer_steps", 1);
+                        let done = DpuUpdate {
                             p16: p16.clone(),
+                            master: master.clone(),
+                            state: opt.state().clone(),
                             steps: opt.step_count(),
                         };
                         if done_tx.send(done).is_err() {
@@ -118,6 +155,19 @@ impl AsyncDpu {
         self.in_flight
     }
 
+    /// Blocks until the in-flight update completes; returns the full
+    /// update snapshot (fp16 and fp32 parameters, Adam state, step count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no update is in flight or the worker died.
+    pub fn wait_update(&mut self) -> DpuUpdate {
+        assert!(self.in_flight, "no update in flight");
+        let done = self.rx.recv().expect("optimizer thread alive");
+        self.in_flight = false;
+        done
+    }
+
     /// Blocks until the in-flight update completes; returns the fp16
     /// parameters and the optimizer step count.
     ///
@@ -125,37 +175,34 @@ impl AsyncDpu {
     ///
     /// Panics if no update is in flight or the worker died.
     pub fn wait_params(&mut self) -> (Vec<F16>, u64) {
-        assert!(self.in_flight, "no update in flight");
-        let done = self.rx.recv().expect("optimizer thread alive");
-        self.in_flight = false;
+        let done = self.wait_update();
         (done.p16, done.steps)
+    }
+
+    /// The single shutdown path shared by [`AsyncDpu::shutdown`] and
+    /// `Drop`: drain any in-flight update, stop the worker, join it.
+    /// Returns `None` if the worker was already gone or panicked.
+    fn shutdown_inner(&mut self) -> Option<Vec<f32>> {
+        let worker = self.worker.take()?;
+        if self.in_flight {
+            let _ = self.rx.recv();
+            self.in_flight = false;
+        }
+        let _ = self.tx.send(Job::Stop);
+        worker.join().ok()
     }
 
     /// Stops the worker and returns the final master parameters.
     ///
     /// Drains any in-flight update first (its result is the final state).
     pub fn shutdown(mut self) -> Vec<f32> {
-        if self.in_flight {
-            let _ = self.wait_params();
-        }
-        let _ = self.tx.send(Job::Stop);
-        self.worker
-            .take()
-            .expect("worker present until shutdown")
-            .join()
-            .expect("optimizer thread panicked")
+        self.shutdown_inner().expect("optimizer thread panicked")
     }
 }
 
 impl Drop for AsyncDpu {
     fn drop(&mut self) {
-        if let Some(worker) = self.worker.take() {
-            if self.in_flight {
-                let _ = self.rx.recv();
-            }
-            let _ = self.tx.send(Job::Stop);
-            let _ = worker.join();
-        }
+        let _ = self.shutdown_inner();
     }
 }
 

@@ -1,0 +1,457 @@
+//! The shared pipelined step executor behind both training engines.
+//!
+//! [`ZeroOffloadEngine`](crate::ZeroOffloadEngine) (single accelerator,
+//! full replica) and [`Zero2OffloadEngine`](crate::Zero2OffloadEngine)
+//! (ZeRO-2 shards) run the *same* step state machine — accumulation
+//! window, loss scaling, gradient transfer, overflow skip, clipping,
+//! optimizer update, fp16 copy-back. This module owns that machine once,
+//! as [`StepPipeline`], parameterized by a [`Placement`] strategy that
+//! supplies only the parts that genuinely differ: how gradients leave the
+//! device, how overflow is agreed on, and how updated parameters get back
+//! into the model.
+//!
+//! The executor also realizes the paper's two overlaps (Sec. 4.1, Fig. 6):
+//!
+//! * **Streamed gradient offload** — [`GradStream`] is a
+//!   [`BackwardHook`] that pushes each layer bucket through the
+//!   [`GradBucketer`](crate::bucket::GradBucketer) wire path from *inside*
+//!   backward, so the `grad_offload` span interleaves with `fwd_bwd`
+//!   instead of following it.
+//! * **Asynchronous DPU** — [`PipelinedDpu`] drives the
+//!   [`AsyncDpu`](crate::AsyncDpu) optimizer thread: after the transfer of
+//!   step *i*'s gradients it submits them and returns immediately, so the
+//!   CPU Adam step runs while the caller computes step *i+1*'s
+//!   forward/backward; the result is collected at step *i+1*'s update
+//!   stage. The observable arithmetic is bit-identical to the synchronous
+//!   [`DelayedUpdate`](zo_optim::DelayedUpdate).
+
+use zo_nn::{BackwardHook, Model};
+use zo_optim::{adam_reference_step, AdamParams, AdamState, CpuAdamConfig, DynamicLossScaler};
+use zo_tensor::{cast_f32_to_f16, F16};
+use zo_trace::Tracer;
+
+use crate::bucket::GradBucketer;
+use crate::engine::{EngineStats, StepOutcome};
+use crate::overlap::AsyncDpu;
+
+/// The stages of the step state machine that differ between the
+/// full-replica and the ZeRO-2 sharded placements.
+///
+/// [`StepPipeline::step`] calls these in a fixed order; implementations
+/// must not change step semantics, only *where* data lives and moves.
+pub(crate) trait Placement<M: Model> {
+    /// Track carrying the `fwd_bwd` span.
+    fn fwd_track(&self) -> &str;
+
+    /// Track carrying the `steps_applied` / `steps_skipped` counters.
+    fn counter_track(&self) -> &str;
+
+    /// Moves this member's gradients off the device into `grads` (sized
+    /// for the optimizer input: full model or shard), applying loss-scale
+    /// fp16 rounding. Returns the *local* overflow flag.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer(
+        &mut self,
+        model: &mut M,
+        grads: &mut [f32],
+        scale: f32,
+        denom: f32,
+        stream: &mut GradStream,
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+    ) -> bool;
+
+    /// Folds the local overflow flag across the group (collective for
+    /// multi-rank placements; identity for a single replica).
+    fn combine_overflow(&mut self, local: bool) -> bool {
+        local
+    }
+
+    /// Gradient clipping. The replica clips the full gradient; shards
+    /// skip it (a faithful global norm would need another collective).
+    fn clip_grads(&mut self, grads: &mut [f32], max_norm: f64);
+
+    /// `(track, name)` of the optimizer-update span.
+    fn update_span(&self) -> (&str, &str);
+
+    /// Publishes the fp16 parameters back into the model — the h2d
+    /// parameter copy for a replica, all-gather for a shard.
+    fn publish(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer);
+
+    /// Runs on an overflow-skipped step, after counters. Shard placements
+    /// must still execute their collectives to keep ranks in lock-step.
+    fn on_skip(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer);
+
+    /// Whether this member closes the tracer step boundary (rank 0 or
+    /// the single replica).
+    fn closes_step(&self) -> bool {
+        true
+    }
+}
+
+/// The optimizer behind the update stage.
+pub(crate) enum Updater {
+    /// Non-offload reference path (scalar Adam, same recurrence).
+    Reference(AdamState, AdamParams),
+    /// The offloaded CPU-Adam, synchronous.
+    Cpu(zo_optim::CpuAdam),
+    /// CPU-Adam on the optimizer thread, one step delayed (async DPU).
+    Async(PipelinedDpu),
+}
+
+/// Drives the [`AsyncDpu`] optimizer thread with the delayed-parameter-
+/// update schedule, bit-identical to the synchronous
+/// [`DelayedUpdate`](zo_optim::DelayedUpdate):
+///
+/// * steps `1..=warmup`: submit and wait inline (no delay, no staleness);
+/// * first post-warmup step: stash the gradients, leave them in flight,
+///   and *do not* touch the parameters (the transition step);
+/// * every later step: collect the in-flight update (computed during this
+///   step's forward/backward — the Fig. 6 overlap), then put the current
+///   gradients in flight.
+///
+/// The struct keeps caller-side mirrors of the worker's Adam state that
+/// exclude any in-flight update, so a checkpoint taken mid-flight is
+/// identical to one taken by the synchronous path: master and moments as
+/// of the last *collected* update, plus the pending gradient.
+pub(crate) struct PipelinedDpu {
+    dpu: AsyncDpu,
+    cfg: CpuAdamConfig,
+    tracer: Tracer,
+    track: String,
+    warmup: u64,
+    steps_seen: u64,
+    pending: Option<Vec<f32>>,
+    /// Mirror of the worker's Adam state excluding in-flight work.
+    state: AdamState,
+}
+
+impl PipelinedDpu {
+    /// Spawns the optimizer thread owning a copy of `master`; the caller
+    /// keeps its own copy as the checkpoint-consistent mirror.
+    pub(crate) fn spawn(
+        master: Vec<f32>,
+        cfg: CpuAdamConfig,
+        warmup: u64,
+        tracer: Tracer,
+        track: &str,
+    ) -> PipelinedDpu {
+        let n = master.len();
+        PipelinedDpu {
+            dpu: AsyncDpu::spawn_on_track(master, cfg, None, tracer.clone(), track),
+            cfg,
+            tracer,
+            track: track.to_string(),
+            warmup,
+            steps_seen: 0,
+            pending: None,
+            state: AdamState::new(n),
+        }
+    }
+
+    /// One DPU step at the pipeline's update stage. `master` and `p16`
+    /// are the engine-side mirrors; on steps that apply an update they
+    /// are replaced with the worker's result.
+    pub(crate) fn step(&mut self, grads: &[f32], master: &mut Vec<f32>, p16: &mut Vec<F16>) {
+        self.steps_seen += 1;
+        if self.steps_seen <= self.warmup {
+            // Warm-up: synchronous semantics — submit and wait inline.
+            self.dpu.submit(grads.to_vec());
+            self.collect(master, p16);
+            return;
+        }
+        if self.pending.is_some() {
+            // Steady state: the previous step's update ran on the worker
+            // while this step's forward/backward executed; collect it now.
+            self.collect(master, p16);
+        }
+        // Put this step's gradients in flight; they apply one step later.
+        self.pending = Some(grads.to_vec());
+        self.dpu.submit(grads.to_vec());
+    }
+
+    /// Blocks on the in-flight update and installs it into the mirrors.
+    fn collect(&mut self, master: &mut Vec<f32>, p16: &mut Vec<F16>) {
+        let done = self.dpu.wait_update();
+        *master = done.master;
+        *p16 = done.p16;
+        self.state = done.state;
+        self.pending = None;
+    }
+
+    /// Adam-state mirror (excludes in-flight work) for checkpointing.
+    pub(crate) fn state(&self) -> &AdamState {
+        &self.state
+    }
+
+    /// Steps observed so far (the DPU schedule's clock).
+    pub(crate) fn steps_seen(&self) -> u64 {
+        self.steps_seen
+    }
+
+    /// The stashed in-flight gradient, if any.
+    pub(crate) fn pending(&self) -> Option<&[f32]> {
+        self.pending.as_deref()
+    }
+
+    /// Restores from a checkpoint: tears down the old worker (draining
+    /// any in-flight update) and spawns a fresh one owning the restored
+    /// master and moments; a restored pending gradient is re-submitted so
+    /// the schedule resumes exactly where it left off.
+    pub(crate) fn restore(
+        &mut self,
+        master: &[f32],
+        state: &AdamState,
+        steps_seen: u64,
+        pending: Option<Vec<f32>>,
+    ) {
+        self.dpu = AsyncDpu::spawn_on_track(
+            master.to_vec(),
+            self.cfg,
+            Some(state.clone()),
+            self.tracer.clone(),
+            &self.track,
+        );
+        self.state = state.clone();
+        self.steps_seen = steps_seen;
+        self.pending = pending;
+        if let Some(p) = &self.pending {
+            self.dpu.submit(p.clone());
+        }
+    }
+}
+
+/// A [`BackwardHook`] that ships gradients through the bucketer/wire path
+/// *during* backward — the paper's overlapped gradient offload.
+///
+/// The hook is inert until armed by the engine for a window-final
+/// micro-batch; a plain [`ZeroOffloadEngine::step`](crate::ZeroOffloadEngine::step)
+/// never arms it and transfers post hoc instead. Streaming applies the
+/// same loss-scale fp16 rounding, pushes slices at the same flat offsets
+/// in the same backward order (head first, blocks reversed, embeddings
+/// last), and therefore produces byte-identical wire frames — scheduling
+/// changes, numerics never do.
+pub struct GradStream {
+    pub(crate) tracer: Tracer,
+    pub(crate) ranges: Vec<core::ops::Range<usize>>,
+    pub(crate) bucket_bytes: usize,
+    pub(crate) armed: bool,
+    pub(crate) scale: f32,
+    pub(crate) denom: f32,
+    pub(crate) overflow: bool,
+    /// Elements streamed so far within each bucket.
+    pub(crate) written: Vec<usize>,
+    /// Total elements streamed this window.
+    pub(crate) streamed: usize,
+    pub(crate) bucketer: GradBucketer,
+    /// fp16 cast scratch, reused across slices.
+    wire: Vec<F16>,
+    /// Timestamp of the first streamed slice (span start).
+    pub(crate) start_us: Option<u64>,
+}
+
+impl GradStream {
+    /// A stream that never fires (placements that cannot stream).
+    pub(crate) fn inert() -> GradStream {
+        GradStream::new(Tracer::disabled(), Vec::new(), 2)
+    }
+
+    /// A disarmed stream for a model with the given layer ranges.
+    pub(crate) fn new(
+        tracer: Tracer,
+        ranges: Vec<core::ops::Range<usize>>,
+        bucket_bytes: usize,
+    ) -> GradStream {
+        let buckets = ranges.len();
+        GradStream {
+            tracer,
+            ranges,
+            bucket_bytes,
+            armed: false,
+            scale: 1.0,
+            denom: 1.0,
+            overflow: false,
+            written: vec![0; buckets],
+            streamed: 0,
+            bucketer: GradBucketer::new(2),
+            wire: Vec::new(),
+            start_us: None,
+        }
+    }
+
+    /// Arms the stream for the closing micro-batch of a window: slices
+    /// arriving from backward will be rounded and framed immediately.
+    pub(crate) fn arm(&mut self, scale: f32, denom: f32) {
+        self.armed = true;
+        self.scale = scale;
+        self.denom = denom;
+        self.overflow = false;
+        self.written.clear();
+        self.written.resize(self.ranges.len(), 0);
+        self.streamed = 0;
+        self.bucketer = GradBucketer::traced(self.bucket_bytes, self.tracer.clone(), "pcie");
+        self.start_us = None;
+    }
+
+    /// Disarms; returns the `grad_offload` span start if the window was
+    /// actually streamed (`None` means: fall back to the post-hoc path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only part of the model was streamed — the transfer would
+    /// silently use stale gradients for the rest.
+    pub(crate) fn take_streamed(&mut self) -> Option<u64> {
+        if !self.armed {
+            return None;
+        }
+        self.armed = false;
+        if self.streamed == 0 {
+            return None;
+        }
+        let expected = self.ranges.last().map_or(0, |r| r.end);
+        assert_eq!(
+            self.streamed, expected,
+            "streamed gradient slices must cover the whole model"
+        );
+        Some(self.start_us.unwrap_or_else(|| self.tracer.now_us()))
+    }
+}
+
+impl BackwardHook for GradStream {
+    fn on_grads(&mut self, bucket: usize, grads: &[f32]) {
+        if !self.armed {
+            return;
+        }
+        if self.start_us.is_none() {
+            self.start_us = Some(self.tracer.now_us());
+        }
+        let offset = self.ranges[bucket].start + self.written[bucket];
+        self.wire.clear();
+        self.wire.reserve(grads.len());
+        for &g in grads {
+            let w = F16::from_f32(g / self.denom * self.scale);
+            if !w.is_finite() {
+                self.overflow = true;
+            }
+            self.wire.push(w);
+        }
+        self.bucketer.push(offset as u64, &self.wire);
+        self.written[bucket] += grads.len();
+        self.streamed += grads.len();
+    }
+
+    fn on_bucket(&mut self, _bucket: usize) {}
+}
+
+/// The step state machine shared by both engines.
+///
+/// Owns everything placement-independent: the fp32 master copy (full or
+/// shard), its fp16 mirror, the optimizer-input gradient buffer, the
+/// updater, the dynamic loss scaler, the accumulation window and the
+/// cumulative stats.
+pub(crate) struct StepPipeline {
+    pub(crate) master: Vec<f32>,
+    pub(crate) p16: Vec<F16>,
+    pub(crate) grads: Vec<f32>,
+    pub(crate) updater: Updater,
+    pub(crate) scaler: DynamicLossScaler,
+    pub(crate) micro_in_window: u32,
+    pub(crate) stats: EngineStats,
+    pub(crate) tracer: Tracer,
+    pub(crate) grad_accumulation: u32,
+    pub(crate) max_grad_norm: f64,
+}
+
+impl StepPipeline {
+    /// One micro-batch through the state machine; at window boundaries,
+    /// the full transfer → overflow → clip → update → publish sequence.
+    pub(crate) fn step<M, P, E, F>(
+        &mut self,
+        model: &mut M,
+        placement: &mut P,
+        stream: &mut GradStream,
+        run_backward: F,
+    ) -> Result<StepOutcome, E>
+    where
+        M: Model,
+        P: Placement<M>,
+        F: FnOnce(&mut M, &mut GradStream) -> Result<f32, E>,
+    {
+        if self.micro_in_window == 0 {
+            model.zero_grads();
+        }
+        let loss = {
+            let _fwd = self.tracer.span(placement.fwd_track(), "fwd_bwd");
+            match run_backward(model, stream) {
+                Ok(loss) => loss,
+                Err(e) => {
+                    // A failed backward leaves partial streamed state;
+                    // disarm so the next window starts clean.
+                    stream.armed = false;
+                    return Err(e);
+                }
+            }
+        };
+        self.micro_in_window += 1;
+        if self.micro_in_window < self.grad_accumulation {
+            return Ok(StepOutcome::Accumulating { loss });
+        }
+        self.micro_in_window = 0;
+
+        let scale = self.scaler.scale();
+        let denom = self.grad_accumulation as f32;
+        let local_overflow = placement.transfer(
+            model,
+            &mut self.grads,
+            scale,
+            denom,
+            stream,
+            &mut self.stats,
+            &self.tracer,
+        );
+        let overflow = placement.combine_overflow(local_overflow);
+
+        if !self.scaler.update(overflow) {
+            self.stats.steps_skipped += 1;
+            self.tracer
+                .add(placement.counter_track(), "steps_skipped", 1);
+            placement.on_skip(model, &self.p16, &mut self.stats, &self.tracer);
+            if placement.closes_step() {
+                self.tracer.finish_step();
+            }
+            return Ok(StepOutcome::SkippedOverflow { loss });
+        }
+
+        if self.max_grad_norm > 0.0 {
+            placement.clip_grads(&mut self.grads, self.max_grad_norm);
+        }
+
+        {
+            let (track, name) = placement.update_span();
+            let _update = self.tracer.span(track, name);
+            match &mut self.updater {
+                Updater::Reference(state, hp) => {
+                    // The recurrence is identical to CpuAdam's, bit for bit.
+                    adam_reference_step(hp, state, &mut self.master, &self.grads)
+                        .expect("pipeline buffers are sized together");
+                    cast_f32_to_f16(&self.master, &mut self.p16);
+                }
+                Updater::Cpu(opt) => {
+                    opt.step_mixed(&mut self.master, &self.grads, &mut self.p16)
+                        .expect("pipeline buffers are sized together");
+                }
+                Updater::Async(dpu) => {
+                    dpu.step(&self.grads, &mut self.master, &mut self.p16);
+                }
+            }
+        }
+        placement.publish(model, &self.p16, &mut self.stats, &self.tracer);
+        self.stats.steps_applied += 1;
+        self.tracer
+            .add(placement.counter_track(), "steps_applied", 1);
+        if placement.closes_step() {
+            self.tracer.finish_step();
+        }
+        Ok(StepOutcome::Applied { loss })
+    }
+}

@@ -8,38 +8,138 @@
 //! crosses the "PCIe link" (fp16 rounding), the rank's CPU-Adam updates
 //! its shard, and the updated fp16 parameters are re-assembled on every
 //! rank with all-gather (the broadcast sequence of Fig. 5).
+//!
+//! The step state machine is the shared [`StepPipeline`] from
+//! [`crate::pipeline`] — the same one behind the single-GPU engine — so
+//! this module only supplies the sharded [`Placement`]: the collectives,
+//! the per-rank tracks, and the lock-step bookkeeping.
 
 use zo_collectives::{partition_range, Communicator};
 use zo_nn::Model;
-use zo_optim::{CpuAdam, CpuAdamConfig, DelayedUpdate, DynamicLossScaler};
+use zo_optim::{CpuAdam, CpuAdamConfig, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
+use zo_trace::Tracer;
 
 use crate::config::{resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
+use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepPipeline, Updater};
 
-enum ShardUpdater {
-    Plain(CpuAdam),
-    Dpu(DelayedUpdate),
+/// The ZeRO-2 placement: reduce-scatter in, shard-wise fp16 rounding,
+/// all-gather out; overflow agreed by all-reduce so every rank skips (or
+/// applies) the same step.
+struct ShardPlacement {
+    comm: Communicator,
+    shard_start: usize,
+    num_params: usize,
+    track: String,
+    /// Full-model gradient staging for the reduce-scatter, reused.
+    full_grads: Vec<f32>,
+    /// fp32 widening scratch for the all-gather, reused across steps.
+    shard_f32: Vec<f32>,
+}
+
+impl ShardPlacement {
+    /// All-gathers the fp16 shards and loads the full model.
+    fn gather_and_load<M: Model>(
+        &mut self,
+        model: &mut M,
+        p16: &[F16],
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+    ) {
+        let _gather = tracer.span(&self.track, "all_gather");
+        self.shard_f32.clear();
+        self.shard_f32.extend(p16.iter().map(|h| h.to_f32()));
+        let full = self.comm.all_gather(&self.shard_f32, self.num_params);
+        model.load_params_from(&full);
+        stats.h2d_bytes += 2 * p16.len() as u64;
+        tracer.add(&self.track, "h2d_bytes", 2 * p16.len() as u64);
+    }
+}
+
+impl<M: Model> Placement<M> for ShardPlacement {
+    fn fwd_track(&self) -> &str {
+        &self.track
+    }
+
+    fn counter_track(&self) -> &str {
+        &self.track
+    }
+
+    fn transfer(
+        &mut self,
+        model: &mut M,
+        grads: &mut [f32],
+        scale: f32,
+        denom: f32,
+        _stream: &mut GradStream,
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+    ) -> bool {
+        // Reduce-scatter the averaged gradients: this rank receives its
+        // owned shard only (Fig. 5, line 29).
+        {
+            let _rs = tracer.span(&self.track, "reduce_scatter");
+            model.copy_grads_to(&mut self.full_grads);
+            let shard = self.comm.reduce_scatter_mean(&self.full_grads);
+            grads.copy_from_slice(&shard);
+        }
+
+        // The shard crosses PCIe as fp16, with loss scaling.
+        let mut overflow = false;
+        for g in grads.iter_mut() {
+            let wire = F16::from_f32(*g / denom * scale);
+            if !wire.is_finite() {
+                overflow = true;
+            }
+            *g = wire.to_f32() / scale;
+        }
+        stats.d2h_bytes += 2 * grads.len() as u64;
+        tracer.add(&self.track, "d2h_bytes", 2 * grads.len() as u64);
+        overflow
+    }
+
+    fn combine_overflow(&mut self, local: bool) -> bool {
+        // Overflow anywhere must skip the step everywhere.
+        let mut flag = vec![if local { 1.0f32 } else { 0.0 }];
+        self.comm.all_reduce_sum(&mut flag);
+        flag[0] > 0.0
+    }
+
+    fn clip_grads(&mut self, _grads: &mut [f32], _max_norm: f64) {
+        // A faithful global-norm clip would need another collective over
+        // the shards; the sharded engine does not clip.
+    }
+
+    fn update_span(&self) -> (&str, &str) {
+        (&self.track, "partition_update")
+    }
+
+    fn publish(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer) {
+        self.gather_and_load(model, p16, stats, tracer);
+    }
+
+    fn on_skip(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer) {
+        // Parameters unchanged, but ranks must stay in lock-step through
+        // the same collective sequence.
+        self.gather_and_load(model, p16, stats, tracer);
+    }
+
+    fn closes_step(&self) -> bool {
+        // One rank closes the step boundary: `StepMetrics` sums counter
+        // deltas over tracks, so the per-step row aggregates all ranks.
+        self.comm.rank() == 0
+    }
 }
 
 /// One data-parallel rank of a ZeRO-2 + offload training group.
 pub struct Zero2OffloadEngine<M: Model> {
     model: M,
-    cfg: ZeroOffloadConfig,
-    comm: Communicator,
-    /// This rank's fp32 master shard ("CPU memory", 1/N of the model).
-    master_shard: Vec<f32>,
-    shard_start: usize,
-    grads: Vec<f32>,
-    p16_shard: Vec<F16>,
-    updater: ShardUpdater,
-    scaler: DynamicLossScaler,
-    micro_in_window: u32,
-    stats: EngineStats,
-    num_params: usize,
-    /// Step-timeline recorder; this rank's events land on `track`.
-    tracer: zo_trace::Tracer,
-    track: String,
+    pipe: StepPipeline,
+    placement: ShardPlacement,
+    /// Inert: the sharded path transfers via reduce-scatter, not the
+    /// per-layer wire stream.
+    stream: GradStream,
 }
 
 impl<M: Model> Zero2OffloadEngine<M> {
@@ -52,58 +152,77 @@ impl<M: Model> Zero2OffloadEngine<M> {
         let range = partition_range(n, comm.world(), comm.rank());
         let mut full = vec![0.0f32; n];
         model.copy_params_to(&mut full);
-        let master_shard = full[range.clone()].to_vec();
-        let shard_len = master_shard.len();
-        let opt = CpuAdam::new(
-            CpuAdamConfig {
-                hp: cfg.adam,
-                num_threads: cfg.optimizer_threads,
-                tile_width: cfg.tile_width,
-            },
-            shard_len,
-        );
-        let updater = match cfg.dpu_warmup {
-            Some(w) => ShardUpdater::Dpu(DelayedUpdate::new(opt, w)),
-            None => ShardUpdater::Plain(opt),
-        };
+        let master = full[range.clone()].to_vec();
+        let shard_len = master.len();
         let tracer = resolve_tracer(cfg.tracer);
         let track = format!("rank{}", comm.rank());
-        let mut engine = Zero2OffloadEngine {
-            model,
-            cfg,
+        let opt_cfg = CpuAdamConfig {
+            hp: cfg.adam,
+            num_threads: cfg.optimizer_threads,
+            tile_width: cfg.tile_width,
+        };
+        let updater = match cfg.dpu_warmup {
+            Some(w) => Updater::Async(PipelinedDpu::spawn(
+                master.clone(),
+                opt_cfg,
+                w,
+                tracer.clone(),
+                &format!("{track}_optimizer"),
+            )),
+            None => Updater::Cpu(CpuAdam::new(opt_cfg, shard_len)),
+        };
+        let mut p16 = vec![F16::ZERO; shard_len];
+        cast_f32_to_f16(&master, &mut p16);
+        let placement = ShardPlacement {
             comm,
-            master_shard,
             shard_start: range.start,
-            grads: vec![0.0f32; n],
-            p16_shard: vec![F16::ZERO; shard_len],
+            num_params: n,
+            track,
+            full_grads: vec![0.0f32; n],
+            shard_f32: Vec::new(),
+        };
+        let pipe = StepPipeline {
+            master,
+            p16,
+            grads: vec![0.0f32; shard_len],
             updater,
             scaler: DynamicLossScaler::new(cfg.loss_scale),
             micro_in_window: 0,
             stats: EngineStats::default(),
-            num_params: n,
             tracer,
-            track,
+            grad_accumulation: cfg.grad_accumulation,
+            max_grad_norm: 0.0,
+        };
+        let mut engine = Zero2OffloadEngine {
+            model,
+            pipe,
+            placement,
+            stream: GradStream::inert(),
         };
         // Start from the fp16 rounding of the initial parameters, agreed
         // across ranks through the same gather path used in training.
-        cast_f32_to_f16(&engine.master_shard, &mut engine.p16_shard);
-        engine.gather_and_load();
+        engine.placement.gather_and_load(
+            &mut engine.model,
+            &engine.pipe.p16,
+            &mut engine.pipe.stats,
+            &engine.pipe.tracer,
+        );
         engine
     }
 
     /// This rank.
     pub fn rank(&self) -> usize {
-        self.comm.rank()
+        self.placement.comm.rank()
     }
 
     /// Group size.
     pub fn world(&self) -> usize {
-        self.comm.world()
+        self.placement.comm.world()
     }
 
     /// Cumulative counters for this rank.
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        &self.pipe.stats
     }
 
     /// The wrapped model.
@@ -118,23 +237,12 @@ impl<M: Model> Zero2OffloadEngine<M> {
 
     /// This rank's fp32 master shard.
     pub fn master_shard(&self) -> &[f32] {
-        &self.master_shard
+        &self.pipe.master
     }
 
     /// Flat-parameter range owned by this rank (ZeRO-2 partition).
     pub fn shard_range(&self) -> core::ops::Range<usize> {
-        self.shard_start..self.shard_start + self.master_shard.len()
-    }
-
-    /// All-gathers the fp16 shards and loads the full model.
-    fn gather_and_load(&mut self) {
-        let _gather = self.tracer.span(&self.track, "all_gather");
-        let shard_f32: Vec<f32> = self.p16_shard.iter().map(|h| h.to_f32()).collect();
-        let full = self.comm.all_gather(&shard_f32, self.num_params);
-        self.model.load_params_from(&full);
-        self.stats.h2d_bytes += 2 * self.p16_shard.len() as u64;
-        self.tracer
-            .add(&self.track, "h2d_bytes", 2 * self.p16_shard.len() as u64);
+        self.placement.shard_start..self.placement.shard_start + self.pipe.master.len()
     }
 
     /// One micro-batch; at window boundaries, the partitioned update.
@@ -145,78 +253,12 @@ impl<M: Model> Zero2OffloadEngine<M> {
         &mut self,
         run_backward: impl FnOnce(&mut M) -> Result<f32, E>,
     ) -> Result<StepOutcome, E> {
-        if self.micro_in_window == 0 {
-            self.model.zero_grads();
-        }
-        let loss = {
-            let _fwd = self.tracer.span(&self.track, "fwd_bwd");
-            run_backward(&mut self.model)?
-        };
-        self.micro_in_window += 1;
-        if self.micro_in_window < self.cfg.grad_accumulation {
-            return Ok(StepOutcome::Accumulating { loss });
-        }
-        self.micro_in_window = 0;
-
-        // Reduce-scatter the averaged gradients: this rank receives its
-        // owned shard only (Fig. 5, line 29).
-        let rs = self.tracer.span(&self.track, "reduce_scatter");
-        self.model.copy_grads_to(&mut self.grads);
-        let mut shard = self.comm.reduce_scatter_mean(&self.grads);
-        drop(rs);
-
-        // The shard crosses PCIe as fp16, with loss scaling.
-        let scale = self.scaler.scale();
-        let denom = self.cfg.grad_accumulation as f32;
-        let mut overflow = 0.0f32;
-        for g in shard.iter_mut() {
-            let wire = F16::from_f32(*g / denom * scale);
-            if !wire.is_finite() {
-                overflow = 1.0;
-            }
-            *g = wire.to_f32() / scale;
-        }
-        self.stats.d2h_bytes += 2 * shard.len() as u64;
-        self.tracer
-            .add(&self.track, "d2h_bytes", 2 * shard.len() as u64);
-
-        // Overflow anywhere must skip the step everywhere.
-        let mut flag = vec![overflow];
-        self.comm.all_reduce_sum(&mut flag);
-        if !self.scaler.update(flag[0] > 0.0) {
-            self.stats.steps_skipped += 1;
-            self.tracer.add(&self.track, "steps_skipped", 1);
-            // Parameters unchanged, but ranks must stay in lock-step.
-            self.gather_and_load();
-            if self.comm.rank() == 0 {
-                self.tracer.finish_step();
-            }
-            return Ok(StepOutcome::SkippedOverflow { loss });
-        }
-
-        {
-            let _update = self.tracer.span(&self.track, "partition_update");
-            match &mut self.updater {
-                ShardUpdater::Plain(opt) => {
-                    opt.step_mixed(&mut self.master_shard, &shard, &mut self.p16_shard)
-                        .expect("shard buffers are sized together");
-                }
-                ShardUpdater::Dpu(dpu) => {
-                    dpu.step(&mut self.master_shard, &shard)
-                        .expect("shard buffers are sized together");
-                    cast_f32_to_f16(&self.master_shard, &mut self.p16_shard);
-                }
-            }
-        }
-        self.gather_and_load();
-        self.stats.steps_applied += 1;
-        self.tracer.add(&self.track, "steps_applied", 1);
-        // One rank closes the step boundary: `StepMetrics` sums counter
-        // deltas over tracks, so the per-step row aggregates all ranks.
-        if self.comm.rank() == 0 {
-            self.tracer.finish_step();
-        }
-        Ok(StepOutcome::Applied { loss })
+        self.pipe.step(
+            &mut self.model,
+            &mut self.placement,
+            &mut self.stream,
+            |m, _| run_backward(m),
+        )
     }
 }
 

@@ -109,12 +109,16 @@ fn run() -> Result<(), String> {
     };
 
     if args.ranks == 1 {
+        // Streamed schedule: the grad_offload span interleaves with
+        // fwd_bwd in the exported timeline, as in paper Fig. 6.
         let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), cfg);
         let mut data = BigramLm::new(gpt.vocab, 0.05, 7);
         for _ in 0..args.steps {
             let b = data.batch(args.batch, gpt.seq_len);
             engine
-                .step(|m| m.train_step(&b.inputs, &b.targets, args.batch, gpt.seq_len, |_| {}))
+                .step_streamed(|m, s| {
+                    m.train_step_hooked(&b.inputs, &b.targets, args.batch, gpt.seq_len, s)
+                })
                 .map_err(|e| e.to_string())?;
         }
     } else {

@@ -35,5 +35,5 @@ pub use embedding::{Embedding, EmbeddingCache};
 pub use layernorm::{LayerNorm, LayerNormCache};
 pub use linear::{Linear, LinearCache};
 pub use loss::{accuracy, cross_entropy};
-pub use model::{Classifier, GptCache, GptConfig, GptModel, Model, ParamVisitor};
+pub use model::{BackwardHook, Classifier, GptCache, GptConfig, GptModel, Model, ParamVisitor};
 pub use mp::{ColumnParallelLinear, RowParallelLinear};

@@ -19,6 +19,49 @@ use crate::loss::cross_entropy;
 /// `(layer_bucket, param, grad)` slice triple.
 pub type ParamVisitor<'a> = dyn FnMut(usize, &mut [f32], &mut [f32]) + 'a;
 
+/// Observes backward progress as gradients become final, bucket by bucket.
+///
+/// This is the streaming interface behind the paper's overlapped gradient
+/// offload (Sec. 4.1): during backward, each finished layer bucket can be
+/// shipped to the CPU while earlier layers are still computing. Buckets
+/// fire in backward order — head first, blocks reversed, embeddings last.
+///
+/// Within a bucket, [`BackwardHook::on_grads`] receives the bucket's
+/// gradient slices in the *canonical* [`Model::visit_mut`] order, so the
+/// concatenation of a bucket's slices equals that bucket's segment of
+/// [`Model::copy_grads_to`]. [`BackwardHook::on_bucket`] then marks the
+/// bucket complete.
+pub trait BackwardHook {
+    /// A finished gradient slice of `bucket`, in canonical visitation
+    /// order. Slices of one bucket are contiguous in the flat layout.
+    fn on_grads(&mut self, bucket: usize, grads: &[f32]) {
+        let _ = (bucket, grads);
+    }
+
+    /// Layer bucket `bucket` has its final gradients for this micro-batch.
+    fn on_bucket(&mut self, bucket: usize);
+}
+
+impl<H: BackwardHook + ?Sized> BackwardHook for &mut H {
+    fn on_grads(&mut self, bucket: usize, grads: &[f32]) {
+        (**self).on_grads(bucket, grads);
+    }
+
+    fn on_bucket(&mut self, bucket: usize) {
+        (**self).on_bucket(bucket);
+    }
+}
+
+/// Adapter for the closure-based `train_step` entry points: a plain
+/// `FnMut(usize)` observes bucket completion and ignores the slices.
+struct FnBucketHook<F>(F);
+
+impl<F: FnMut(usize)> BackwardHook for FnBucketHook<F> {
+    fn on_bucket(&mut self, bucket: usize) {
+        (self.0)(bucket);
+    }
+}
+
 /// Parameter visitation: every model exposes its `(param, grad)` slices in
 /// a stable canonical order, tagged with a layer index used as the
 /// offload/streaming bucket.
@@ -212,31 +255,64 @@ impl GptModel {
     /// Gradients accumulate into the layer grad buffers. `on_bucket` fires
     /// as each layer bucket's gradients become final, in backward order —
     /// head bucket first, blocks in reverse, embeddings last — mirroring
-    /// the paper's per-layer gradient streaming to CPU (Sec. 4.1).
+    /// the paper's per-layer gradient streaming to CPU (Sec. 4.1). To also
+    /// receive the finished gradient slices, use
+    /// [`GptModel::train_step_hooked`].
     pub fn train_step(
         &mut self,
         inputs: &[usize],
         targets: &[usize],
         batch: usize,
         seq: usize,
-        mut on_bucket: impl FnMut(usize),
+        on_bucket: impl FnMut(usize),
+    ) -> Result<f32, TensorError> {
+        self.train_step_hooked(inputs, targets, batch, seq, &mut FnBucketHook(on_bucket))
+    }
+
+    /// [`GptModel::train_step`] with a full [`BackwardHook`]: the hook sees
+    /// each bucket's finished gradient slices *during* backward, which is
+    /// what lets an engine overlap the device-to-host gradient offload with
+    /// the remaining backward compute (paper Fig. 6).
+    pub fn train_step_hooked(
+        &mut self,
+        inputs: &[usize],
+        targets: &[usize],
+        batch: usize,
+        seq: usize,
+        hook: &mut dyn BackwardHook,
     ) -> Result<f32, TensorError> {
         if self.checkpoint_activations {
-            return self.train_step_checkpointed(inputs, targets, batch, seq, on_bucket);
+            return self.train_step_checkpointed(inputs, targets, batch, seq, hook);
         }
         let (logits, cache) = self.forward(inputs, batch, seq)?;
         let (loss, dlogits) = cross_entropy(&logits, targets)?;
         let dx = self.lm_head.backward(&cache.head_cache, &dlogits)?;
         let mut dx = self.final_ln.backward(&cache.ln_cache, &dx)?;
-        on_bucket(self.blocks.len() + 1); // Head bucket is final.
+        self.stream_head_grads(hook); // Head bucket is final.
         for (i, block) in self.blocks.iter_mut().enumerate().rev() {
             dx = block.backward(&cache.block_caches[i], &dx)?;
-            on_bucket(i + 1);
+            stream_block_grads(hook, i + 1, block);
+            hook.on_bucket(i + 1);
         }
         self.tok_emb.backward(&cache.tok_cache, &dx)?;
         self.pos_emb.backward(&cache.pos_cache, &dx)?;
-        on_bucket(0);
+        self.stream_embedding_grads(hook);
         Ok(loss)
+    }
+
+    /// Emits the head bucket (final LN + LM head) to `hook`.
+    fn stream_head_grads(&self, hook: &mut dyn BackwardHook) {
+        let head = self.blocks.len() + 1;
+        stream_ln_grads(hook, head, &self.final_ln);
+        stream_linear_grads(hook, head, &self.lm_head);
+        hook.on_bucket(head);
+    }
+
+    /// Emits the embeddings bucket (bucket 0) to `hook`.
+    fn stream_embedding_grads(&self, hook: &mut dyn BackwardHook) {
+        hook.on_grads(0, self.tok_emb.dtable.data());
+        hook.on_grads(0, self.pos_emb.dtable.data());
+        hook.on_bucket(0);
     }
 
     /// Training step with activation checkpointing: the forward pass keeps
@@ -247,7 +323,7 @@ impl GptModel {
         targets: &[usize],
         batch: usize,
         seq: usize,
-        mut on_bucket: impl FnMut(usize),
+        hook: &mut dyn BackwardHook,
     ) -> Result<f32, TensorError> {
         if inputs.len() != batch * seq {
             return Err(TensorError::LengthMismatch {
@@ -277,15 +353,16 @@ impl GptModel {
         // Backward with per-block recompute.
         let dx = self.lm_head.backward(&head_cache, &dlogits)?;
         let mut dx = self.final_ln.backward(&ln_cache, &dx)?;
-        on_bucket(self.blocks.len() + 1);
+        self.stream_head_grads(hook);
         for (i, block) in self.blocks.iter_mut().enumerate().rev() {
             let (_, cache) = block.forward(&checkpoints[i], batch, seq)?;
             dx = block.backward(&cache, &dx)?;
-            on_bucket(i + 1);
+            stream_block_grads(hook, i + 1, block);
+            hook.on_bucket(i + 1);
         }
         self.tok_emb.backward(&tok_cache, &dx)?;
         self.pos_emb.backward(&pos_cache, &dx)?;
-        on_bucket(0);
+        self.stream_embedding_grads(hook);
         Ok(loss)
     }
 
@@ -312,6 +389,32 @@ fn visit_linear(layer: usize, lin: &mut Linear, f: &mut ParamVisitor) {
 fn visit_ln(layer: usize, ln: &mut LayerNorm, f: &mut ParamVisitor) {
     f(layer, &mut ln.gamma, &mut ln.dgamma);
     f(layer, &mut ln.beta, &mut ln.dbeta);
+}
+
+/// Streams one [`Linear`]'s gradients in the same order [`visit_linear`]
+/// visits its parameters — the streamed concat must match the flat layout.
+fn stream_linear_grads(hook: &mut dyn BackwardHook, bucket: usize, lin: &Linear) {
+    hook.on_grads(bucket, lin.dw.data());
+    hook.on_grads(bucket, &lin.db);
+}
+
+/// Streams one [`LayerNorm`]'s gradients (order of [`visit_ln`]).
+fn stream_ln_grads(hook: &mut dyn BackwardHook, bucket: usize, ln: &LayerNorm) {
+    hook.on_grads(bucket, &ln.dgamma);
+    hook.on_grads(bucket, &ln.dbeta);
+}
+
+/// Streams one transformer block's gradients (order of the block's leg of
+/// [`GptModel`]'s `visit_mut`).
+fn stream_block_grads(hook: &mut dyn BackwardHook, bucket: usize, b: &TransformerBlock) {
+    stream_ln_grads(hook, bucket, &b.ln1);
+    stream_linear_grads(hook, bucket, &b.attn.wq);
+    stream_linear_grads(hook, bucket, &b.attn.wk);
+    stream_linear_grads(hook, bucket, &b.attn.wv);
+    stream_linear_grads(hook, bucket, &b.attn.wo);
+    stream_ln_grads(hook, bucket, &b.ln2);
+    stream_linear_grads(hook, bucket, &b.mlp.fc1);
+    stream_linear_grads(hook, bucket, &b.mlp.fc2);
 }
 
 impl Model for GptModel {
@@ -404,7 +507,18 @@ impl Classifier {
         &mut self,
         x: &Tensor,
         targets: &[usize],
-        mut on_bucket: impl FnMut(usize),
+        on_bucket: impl FnMut(usize),
+    ) -> Result<f32, TensorError> {
+        self.train_step_hooked(x, targets, &mut FnBucketHook(on_bucket))
+    }
+
+    /// [`Classifier::train_step`] with a full [`BackwardHook`] that also
+    /// receives each layer's finished gradient slices during backward.
+    pub fn train_step_hooked(
+        &mut self,
+        x: &Tensor,
+        targets: &[usize],
+        hook: &mut dyn BackwardHook,
     ) -> Result<f32, TensorError> {
         let (h1, c_in) = self.fc_in.forward(x)?;
         let (a1, ca1) = self.act.forward(&h1);
@@ -413,13 +527,16 @@ impl Classifier {
         let (logits, c_out) = self.fc_out.forward(&a2)?;
         let (loss, dlogits) = cross_entropy(&logits, targets)?;
         let da2 = self.fc_out.backward(&c_out, &dlogits)?;
-        on_bucket(2);
+        stream_linear_grads(hook, 2, &self.fc_out);
+        hook.on_bucket(2);
         let dh2 = self.act.backward(&ca2, &da2);
         let da1 = self.fc_mid.backward(&c_mid, &dh2)?;
-        on_bucket(1);
+        stream_linear_grads(hook, 1, &self.fc_mid);
+        hook.on_bucket(1);
         let dh1 = self.act.backward(&ca1, &da1);
         self.fc_in.backward(&c_in, &dh1)?;
-        on_bucket(0);
+        stream_linear_grads(hook, 0, &self.fc_in);
+        hook.on_bucket(0);
         Ok(loss)
     }
 
@@ -548,6 +665,99 @@ mod tests {
             .unwrap();
         // Head (3), blocks reversed (2, 1), embeddings (0).
         assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    /// Collects every streamed slice, tagged by bucket, in arrival order.
+    struct Collector {
+        per_bucket: Vec<Vec<f32>>,
+        bucket_order: Vec<usize>,
+    }
+
+    impl BackwardHook for Collector {
+        fn on_grads(&mut self, bucket: usize, grads: &[f32]) {
+            self.per_bucket[bucket].extend_from_slice(grads);
+        }
+
+        fn on_bucket(&mut self, bucket: usize) {
+            self.bucket_order.push(bucket);
+        }
+    }
+
+    #[test]
+    fn streamed_grad_slices_match_flat_layout() {
+        let mut m = tiny();
+        let inputs: Vec<usize> = (0..16).map(|i| (i * 3) % 16).collect();
+        let targets: Vec<usize> = (0..16).map(|i| (i * 3 + 1) % 16).collect();
+        let mut hook = Collector {
+            per_bucket: vec![Vec::new(); m.num_layer_buckets()],
+            bucket_order: Vec::new(),
+        };
+        m.zero_grads();
+        m.train_step_hooked(&inputs, &targets, 2, 8, &mut hook)
+            .unwrap();
+        assert_eq!(hook.bucket_order, vec![3, 2, 1, 0]);
+
+        let n = m.num_params();
+        let mut flat = vec![0.0f32; n];
+        m.copy_grads_to(&mut flat);
+        let ranges = m.layer_ranges();
+        for (bucket, range) in ranges.iter().enumerate() {
+            assert_eq!(
+                hook.per_bucket[bucket],
+                &flat[range.clone()],
+                "bucket {bucket} streamed slices diverge from the flat layout"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_streaming_matches_plain() {
+        let cfg = GptConfig {
+            vocab: 16,
+            seq_len: 8,
+            hidden: 8,
+            heads: 2,
+            layers: 2,
+        };
+        let inputs = vec![3usize; 8];
+        let targets = vec![5usize; 8];
+        let collect = |ckpt: bool| {
+            let mut m = GptModel::new(cfg, 11);
+            m.set_activation_checkpointing(ckpt);
+            let mut hook = Collector {
+                per_bucket: vec![Vec::new(); m.num_layer_buckets()],
+                bucket_order: Vec::new(),
+            };
+            m.train_step_hooked(&inputs, &targets, 1, 8, &mut hook)
+                .unwrap();
+            hook.per_bucket
+        };
+        assert_eq!(collect(false), collect(true));
+    }
+
+    #[test]
+    fn classifier_streamed_grads_match_flat_layout() {
+        let mut m = Classifier::new(4, 8, 2, 7);
+        let mut x = Tensor::zeros(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                x.set(r, c, (r * 4 + c) as f32 * 0.1 - 0.5).unwrap();
+            }
+        }
+        let y = vec![0usize, 1, 0, 1];
+        let mut hook = Collector {
+            per_bucket: vec![Vec::new(); 3],
+            bucket_order: Vec::new(),
+        };
+        m.zero_grads();
+        m.train_step_hooked(&x, &y, &mut hook).unwrap();
+        assert_eq!(hook.bucket_order, vec![2, 1, 0]);
+        let n = m.num_params();
+        let mut flat = vec![0.0f32; n];
+        m.copy_grads_to(&mut flat);
+        for (bucket, range) in m.layer_ranges().iter().enumerate() {
+            assert_eq!(hook.per_bucket[bucket], &flat[range.clone()]);
+        }
     }
 
     #[test]

@@ -9,10 +9,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release"
 cargo build --release
 
 echo "== cargo test"
 cargo test -q
+
+echo "== cargo test --release"
+cargo test --release -q
 
 echo "CI green."
