@@ -80,7 +80,10 @@ pub struct ZeroOffloadConfig {
     pub max_grad_norm: f64,
     /// Micro-batches accumulated per optimizer step.
     pub grad_accumulation: u32,
-    /// CPU optimizer worker threads.
+    /// CPU optimizer worker threads: the partition count CPU-Adam submits
+    /// to the shared worker pool. `0` means "auto" — use the pool's size
+    /// (`ZO_THREADS` or the machine's available parallelism). Results are
+    /// bit-identical at every setting; this only changes scheduling.
     pub optimizer_threads: usize,
     /// Elements per copy-back tile (Algorithm 1 line 15).
     pub tile_width: usize,
@@ -100,7 +103,8 @@ impl Default for ZeroOffloadConfig {
             loss_scale: LossScaleConfig::default(),
             max_grad_norm: 0.0,
             grad_accumulation: 1,
-            optimizer_threads: 1,
+            // Auto: follow the shared pool (ZO_THREADS / machine cores).
+            optimizer_threads: 0,
             tile_width: 2 * 1024 * 1024,
             bucket_bytes: crate::bucket::default_bucket_bytes(),
             tracer: None,
@@ -132,6 +136,16 @@ impl ZeroOffloadConfig {
     pub fn without_offload(mut self) -> ZeroOffloadConfig {
         self.offload = OffloadDevice::None;
         self
+    }
+
+    /// The effective optimizer partition count: `optimizer_threads`, with
+    /// `0` resolved to the shared pool's thread count.
+    pub fn resolved_optimizer_threads(&self) -> usize {
+        if self.optimizer_threads == 0 {
+            zo_tensor::pool::global().threads()
+        } else {
+            self.optimizer_threads
+        }
     }
 }
 

@@ -232,7 +232,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
             OffloadDevice::Cpu => {
                 let opt_cfg = CpuAdamConfig {
                     hp: cfg.adam,
-                    num_threads: cfg.optimizer_threads,
+                    num_threads: cfg.resolved_optimizer_threads(),
                     tile_width: cfg.tile_width,
                 };
                 match cfg.dpu_warmup {
@@ -265,6 +265,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
             tracer,
             grad_accumulation: cfg.grad_accumulation,
             max_grad_norm: cfg.max_grad_norm,
+            pool_base: zo_tensor::pool::global().stats(),
         };
         let mut engine = ZeroOffloadEngine {
             model,

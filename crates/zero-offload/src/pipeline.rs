@@ -360,9 +360,29 @@ pub(crate) struct StepPipeline {
     pub(crate) tracer: Tracer,
     pub(crate) grad_accumulation: u32,
     pub(crate) max_grad_norm: f64,
+    /// Shared-pool counters at the last emitted step boundary; the delta
+    /// becomes the step's `pool.tasks` / `pool.busy_ns` counters.
+    pub(crate) pool_base: zo_tensor::PoolStats,
 }
 
 impl StepPipeline {
+    /// Emits the shared worker pool's activity since the last boundary as
+    /// `pool.tasks` / `pool.busy_ns` counters on the `pool` track, so the
+    /// step-timeline shows how much kernel work ran on pool workers.
+    ///
+    /// Only the step-closing member calls this (the pool counters are
+    /// process-global; per-rank emission would double-count).
+    fn emit_pool_counters(&mut self) {
+        let now = zo_tensor::pool::global().stats();
+        let tasks = now.tasks.saturating_sub(self.pool_base.tasks);
+        let busy_ns = now.busy_ns.saturating_sub(self.pool_base.busy_ns);
+        if tasks > 0 {
+            self.tracer.add("pool", "pool.tasks", tasks);
+            self.tracer.add("pool", "pool.busy_ns", busy_ns);
+        }
+        self.pool_base = now;
+    }
+
     /// One micro-batch through the state machine; at window boundaries,
     /// the full transfer → overflow → clip → update → publish sequence.
     pub(crate) fn step<M, P, E, F>(
@@ -417,6 +437,7 @@ impl StepPipeline {
                 .add(placement.counter_track(), "steps_skipped", 1);
             placement.on_skip(model, &self.p16, &mut self.stats, &self.tracer);
             if placement.closes_step() {
+                self.emit_pool_counters();
                 self.tracer.finish_step();
             }
             return Ok(StepOutcome::SkippedOverflow { loss });
@@ -450,6 +471,7 @@ impl StepPipeline {
         self.tracer
             .add(placement.counter_track(), "steps_applied", 1);
         if placement.closes_step() {
+            self.emit_pool_counters();
             self.tracer.finish_step();
         }
         Ok(StepOutcome::Applied { loss })

@@ -158,7 +158,7 @@ impl<M: Model> Zero2OffloadEngine<M> {
         let track = format!("rank{}", comm.rank());
         let opt_cfg = CpuAdamConfig {
             hp: cfg.adam,
-            num_threads: cfg.optimizer_threads,
+            num_threads: cfg.resolved_optimizer_threads(),
             tile_width: cfg.tile_width,
         };
         let updater = match cfg.dpu_warmup {
@@ -192,6 +192,7 @@ impl<M: Model> Zero2OffloadEngine<M> {
             tracer,
             grad_accumulation: cfg.grad_accumulation,
             max_grad_norm: 0.0,
+            pool_base: zo_tensor::pool::global().stats(),
         };
         let mut engine = Zero2OffloadEngine {
             model,

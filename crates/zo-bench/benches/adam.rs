@@ -29,6 +29,27 @@ fn bench_adam(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_adam_thread_scaling(c: &mut Criterion) {
+    // CPU-Adam update partitioned 1/2/4/8 ways over the shared pool
+    // (Table 4's multi-core rows; identical bits at every setting).
+    let n = 1 << 20;
+    let grads: Vec<f32> = (0..n).map(|i| ((i % 997) as f32 - 498.0) * 1e-4).collect();
+    let mut group = c.benchmark_group("adam_threads");
+    group.throughput(Throughput::Elements(n as u64));
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let cfg = CpuAdamConfig {
+                num_threads: t,
+                ..CpuAdamConfig::default()
+            };
+            let mut opt = CpuAdam::new(cfg, n);
+            let mut p = vec![0.5f32; n];
+            b.iter(|| opt.step(&mut p, &grads).unwrap());
+        });
+    }
+    group.finish();
+}
+
 fn bench_tiled_mixed(c: &mut Criterion) {
     // Ablation: tile width of the fp16 copy-back (Algorithm 1, line 15).
     let n = 1 << 20;
@@ -52,6 +73,6 @@ fn bench_tiled_mixed(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_adam, bench_tiled_mixed
+    targets = bench_adam, bench_adam_thread_scaling, bench_tiled_mixed
 }
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Substrate kernel benches: fp16 casts (the PCIe wire format) and GEMM.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use zo_tensor::{cast_f16_to_f32, cast_f32_to_f16, matmul, Init, F16};
+use zo_tensor::{cast_f16_to_f32, cast_f32_to_f16, matmul, Init, Pool, F16};
 
 fn bench_f16_casts(c: &mut Criterion) {
     let mut group = c.benchmark_group("f16_cast");
@@ -22,8 +22,10 @@ fn bench_f16_casts(c: &mut Criterion) {
 }
 
 fn bench_matmul(c: &mut Criterion) {
+    // Throughput::Elements is 2·m·k·n flops, so elements/sec reads as
+    // FLOP/s (divide the printed rate by 1e9 for GFLOP/s).
     let mut group = c.benchmark_group("matmul");
-    for &dim in &[64usize, 128, 256] {
+    for &dim in &[64usize, 128, 256, 512] {
         let mut init = Init::new(1);
         let a = init.normal_tensor(dim, dim, 1.0);
         let b_m = init.normal_tensor(dim, dim, 1.0);
@@ -35,9 +37,35 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_thread_scaling(c: &mut Criterion) {
+    // Dedicated pools per thread count so the scaling curve is driven by
+    // the bench parameter, not the machine's ZO_THREADS — on a single-core
+    // host the >1-thread rows show scheduling overhead, not speedup.
+    let dim = 512usize;
+    let mut init = Init::new(2);
+    let a = init.normal_tensor(dim, dim, 1.0);
+    let b_m = init.normal_tensor(dim, dim, 1.0);
+    let mut c_m = init.normal_tensor(dim, dim, 0.0);
+    let mut group = c.benchmark_group("matmul_512_threads");
+    group.throughput(Throughput::Elements((2 * dim * dim * dim) as u64));
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    zo_tensor::matmul::matmul_acc_on(&pool, threads, &a, &b_m, &mut c_m).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_f16_casts, bench_matmul
+    targets = bench_f16_casts, bench_matmul, bench_matmul_thread_scaling
 }
 criterion_main!(benches);

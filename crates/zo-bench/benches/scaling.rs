@@ -1,0 +1,55 @@
+//! End-to-end thread scaling: the full streamed training step at
+//! different optimizer partition counts.
+//!
+//! The trajectory is bit-identical at every setting (asserted by
+//! `tests/thread_invariance.rs`); this bench measures only the wall-clock
+//! effect. On a single-core host the curve is flat-to-worse — the
+//! partitions serialize on the lone pool thread — and it separates on
+//! multi-core machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zero_offload::{ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_models::BigramLm;
+use zo_nn::{GptConfig, GptModel};
+use zo_optim::LossScaleConfig;
+
+fn bench_step_streamed_threads(c: &mut Criterion) {
+    let gpt = GptConfig {
+        vocab: 64,
+        seq_len: 32,
+        hidden: 64,
+        heads: 4,
+        layers: 2,
+    };
+    let mut group = c.benchmark_group("step_streamed_threads");
+    for &threads in &[1usize, 4] {
+        let engine_cfg = ZeroOffloadConfig {
+            optimizer_threads: threads,
+            loss_scale: LossScaleConfig {
+                init_scale: 256.0,
+                ..Default::default()
+            },
+            ..ZeroOffloadConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 1), engine_cfg);
+            let mut data = BigramLm::new(gpt.vocab, 0.05, 2);
+            b.iter(|| {
+                let batch = data.batch(4, gpt.seq_len);
+                engine
+                    .step_streamed(|m, s| {
+                        m.train_step_hooked(&batch.inputs, &batch.targets, 4, gpt.seq_len, s)
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_step_streamed_threads
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! `fingerprint` — a deterministic trajectory hash for cross-process
+//! thread-invariance checks.
+//!
+//! Trains a fixed GPT with the streamed engine for a fixed number of steps
+//! and prints one FNV-1a hash over every per-step loss bit pattern and the
+//! final master parameters. `optimizer_threads` is left at 0 (auto), so the
+//! run picks up `ZO_THREADS` from the environment — CI runs this binary
+//! under `ZO_THREADS=1` and `ZO_THREADS=4` and diffs the output, proving
+//! the paper's claim that host-side parallelism never changes a single bit
+//! of the trajectory.
+//!
+//! ```text
+//! ZO_THREADS=4 fingerprint [--steps N]
+//! ```
+
+use std::process::ExitCode;
+
+use zero_offload::{ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_models::BigramLm;
+use zo_nn::{GptConfig, GptModel};
+use zo_optim::{AdamParams, LossScaleConfig};
+
+/// FNV-1a over a byte stream: stable, dependency-free, order-sensitive.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut steps = 30usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--steps" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => steps = n,
+                _ => {
+                    eprintln!("--steps requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; usage: fingerprint [--steps N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let gpt = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
+    let cfg = ZeroOffloadConfig {
+        adam: AdamParams {
+            lr: 3e-3,
+            ..AdamParams::default()
+        },
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
+        // 0 = auto: follow the shared pool, i.e. ZO_THREADS.
+        optimizer_threads: 0,
+        ..ZeroOffloadConfig::default()
+    };
+    let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), cfg);
+    let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
+
+    let mut hash = Fnv::new();
+    for _ in 0..steps {
+        let b = data.batch(4, gpt.seq_len);
+        let outcome = engine
+            .step_streamed(|m, s| m.train_step_hooked(&b.inputs, &b.targets, 4, gpt.seq_len, s))
+            .expect("training step");
+        hash.write(&outcome.loss().to_bits().to_le_bytes());
+    }
+    for p in engine.master_params() {
+        hash.write(&p.to_bits().to_le_bytes());
+    }
+
+    println!(
+        "fingerprint {:016x} threads={} steps={steps}",
+        hash.0,
+        zo_tensor::pool::global().threads()
+    );
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,12 @@
 //! Activations flow as `(batch·seq, hidden)` matrices; the layer is told
 //! the `(batch, seq)` factorization so it can slice per-sequence,
 //! per-head blocks for the attention core.
+//!
+//! The projection and score/context matmuls use the parallel
+//! [`zo_tensor::matmul`] kernels (row-partitioned over the shared worker
+//! pool, bit-identical at any thread count); the per-head score matrices
+//! are usually small enough that the kernels' flop threshold keeps them
+//! inline while the big QKV/output projections fan out.
 
 use zo_tensor::{matmul, matmul_a_bt, matmul_at_b, ops, Init, Tensor, TensorError};
 

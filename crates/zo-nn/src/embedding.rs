@@ -1,6 +1,12 @@
 //! Token and position embeddings with manual backward.
+//!
+//! The backward scatter-add parallelizes over contiguous **table-row
+//! ranges** on the shared worker pool: each task scans the id list in
+//! order and applies only the rows it owns, so duplicate ids accumulate
+//! in exactly the serial order and results are bit-identical at any
+//! thread count (same argument as the matmul kernels).
 
-use zo_tensor::{Init, Tensor, TensorError};
+use zo_tensor::{pool, Init, Tensor, TensorError};
 
 /// A learned embedding table.
 #[derive(Debug, Clone)]
@@ -62,6 +68,10 @@ impl Embedding {
     }
 
     /// Scatters `dy` rows back into the table gradient.
+    ///
+    /// Large scatters run across the shared worker pool, partitioned by
+    /// table row so duplicate-id accumulation order — and therefore every
+    /// bit of the result — matches the serial path.
     pub fn backward(&mut self, cache: &EmbeddingCache, dy: &Tensor) -> Result<(), TensorError> {
         if dy.rows() != cache.ids.len() || dy.cols() != self.dim() {
             return Err(TensorError::ShapeMismatch {
@@ -70,13 +80,51 @@ impl Embedding {
                 rhs: dy.shape(),
             });
         }
-        for (r, &id) in cache.ids.iter().enumerate() {
-            let dst = self.dtable.row_mut(id);
-            for (d, s) in dst.iter_mut().zip(dy.row(r)) {
-                *d += *s;
-            }
-        }
+        let threads = pool::global().threads();
+        // Below ~64k accumulated elements the scan cost dominates; stay
+        // serial (identical arithmetic either way).
+        let parts = if cache.ids.len() * self.dim() < (1 << 16) {
+            1
+        } else {
+            threads
+        };
+        self.scatter_on(pool::global(), parts, &cache.ids, dy);
         Ok(())
+    }
+
+    /// The scatter-add behind [`Embedding::backward`], on an explicit
+    /// pool with an explicit partition count over table rows
+    /// (bit-identical for every `parts`; exposed for tests and benches).
+    pub fn scatter_on(&mut self, pool: &pool::Pool, parts: usize, ids: &[usize], dy: &Tensor) {
+        let dim = self.dim();
+        let ranges = pool::partition(self.vocab(), parts);
+        if ranges.len() <= 1 {
+            for (r, &id) in ids.iter().enumerate() {
+                let dst = self.dtable.row_mut(id);
+                for (d, s) in dst.iter_mut().zip(dy.row(r)) {
+                    *d += *s;
+                }
+            }
+            return;
+        }
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(ranges.len());
+        let mut rest = self.dtable.data_mut();
+        for rows in ranges {
+            let (head, tail) = rest.split_at_mut(rows.len() * dim);
+            tasks.push(Box::new(move || {
+                for (r, &id) in ids.iter().enumerate() {
+                    if rows.contains(&id) {
+                        let local = (id - rows.start) * dim;
+                        let dst = &mut head[local..local + dim];
+                        for (d, s) in dst.iter_mut().zip(dy.row(r)) {
+                            *d += *s;
+                        }
+                    }
+                }
+            }));
+            rest = tail;
+        }
+        pool.run(tasks);
     }
 
     /// Zeroes accumulated gradients.
@@ -119,6 +167,28 @@ mod tests {
         assert_eq!(emb.dtable.row(0), &[0.0, 0.0]);
         emb.zero_grads();
         assert!(emb.dtable.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn parallel_scatter_bit_identical_to_serial() {
+        let pool = pool::Pool::new(4);
+        let mut init = Init::new(9);
+        let dim = 6;
+        let vocab = 11;
+        // Duplicate-heavy id pattern across the whole table.
+        let ids: Vec<usize> = (0..200).map(|i| (i * 7 + i / 3) % vocab).collect();
+        let dy = init.normal_tensor(ids.len(), dim, 1.0);
+        let mut want = Embedding::new(vocab, dim, &mut Init::new(1));
+        want.scatter_on(&pool, 1, &ids, &dy);
+        for parts in [2usize, 3, 7] {
+            let mut got = Embedding::new(vocab, dim, &mut Init::new(1));
+            got.scatter_on(&pool, parts, &ids, &dy);
+            assert_eq!(
+                got.dtable.data(),
+                want.dtable.data(),
+                "parts={parts} must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //!    of hand-written AVX512 intrinsics);
 //! 2. **Loop unrolling** — an explicit 8-wide unroll (`UNROLL`), the width
 //!    the paper's autotuning selected;
-//! 3. **Multithreading** — contiguous chunk parallelism across worker
-//!    threads (OMP analog, via `std::thread::scope`);
+//! 3. **Multithreading** — contiguous chunk parallelism submitted to the
+//!    persistent shared worker pool ([`zo_tensor::pool`], the OMP analog).
+//!    Workers are spawned once per process, not per step or per tile, so
+//!    the per-tile dispatch cost is a queue push instead of a clone+spawn;
 //! 4. **Tiling** — the parameter buffer is processed in tiles and a
 //!    callback fires after each tile, so the engine can overlap the fp32→
 //!    fp16 cast + PCIe copy of tile *k* with the Adam math of tile *k+1*
@@ -68,6 +70,9 @@ impl Default for CpuAdamConfig {
 pub struct CpuAdam {
     cfg: CpuAdamConfig,
     state: AdamState,
+    /// Reusable fp16→fp32 widening scratch for [`CpuAdam::step_fp16_grads`]
+    /// (allocated once, not per step).
+    g32_scratch: Vec<f32>,
 }
 
 /// The unrolled inner kernel over one contiguous range.
@@ -121,7 +126,13 @@ fn adam_range(
 }
 
 /// Splits four parallel slices into `threads` contiguous chunks and runs
-/// [`adam_range`] on each chunk concurrently.
+/// [`adam_range`] on each chunk concurrently via the shared worker pool.
+///
+/// The chunk boundaries depend only on `(n, threads)` and every element's
+/// recurrence is independent, so results are bit-identical to the serial
+/// path for any chunk count and any pool size. No OS threads are created
+/// here: the chunks are queued to [`zo_tensor::pool::global`]'s
+/// persistent workers (or run inline on a 1-thread pool).
 #[allow(clippy::too_many_arguments)]
 fn adam_range_parallel(
     hp: &AdamParams,
@@ -138,25 +149,27 @@ fn adam_range_parallel(
         adam_range(hp, bc1, bc2, p, g, m, v);
         return;
     }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut p_rest = p;
-        let mut g_rest = g;
-        let mut m_rest = m;
-        let mut v_rest = v;
-        while !p_rest.is_empty() {
-            let take = chunk.min(p_rest.len());
-            let (p_head, p_tail) = p_rest.split_at_mut(take);
-            let (g_head, g_tail) = g_rest.split_at(take);
-            let (m_head, m_tail) = m_rest.split_at_mut(take);
-            let (v_head, v_tail) = v_rest.split_at_mut(take);
-            scope.spawn(move || adam_range(hp, bc1, bc2, p_head, g_head, m_head, v_head));
-            p_rest = p_tail;
-            g_rest = g_tail;
-            m_rest = m_tail;
-            v_rest = v_tail;
-        }
-    });
+    let ranges = zo_tensor::pool::partition(n, threads);
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(ranges.len());
+    let mut p_rest = p;
+    let mut g_rest = g;
+    let mut m_rest = m;
+    let mut v_rest = v;
+    for range in ranges {
+        let take = range.len();
+        let (p_head, p_tail) = p_rest.split_at_mut(take);
+        let (g_head, g_tail) = g_rest.split_at(take);
+        let (m_head, m_tail) = m_rest.split_at_mut(take);
+        let (v_head, v_tail) = v_rest.split_at_mut(take);
+        tasks.push(Box::new(move || {
+            adam_range(hp, bc1, bc2, p_head, g_head, m_head, v_head)
+        }));
+        p_rest = p_tail;
+        g_rest = g_tail;
+        m_rest = m_tail;
+        v_rest = v_tail;
+    }
+    zo_tensor::pool::global().run(tasks);
 }
 
 impl CpuAdam {
@@ -171,6 +184,7 @@ impl CpuAdam {
         CpuAdam {
             cfg,
             state: AdamState::new(n),
+            g32_scratch: Vec::new(),
         }
     }
 
@@ -253,9 +267,15 @@ impl CpuAdam {
                 grads: grads.len(),
             });
         }
-        let mut g32 = vec![0.0f32; grads.len()];
+        // The widening buffer lives on the optimizer: `mem::take` it for
+        // the duration of the step (it cannot stay borrowed across the
+        // `&mut self` call) and put it back after, capacity intact.
+        let mut g32 = std::mem::take(&mut self.g32_scratch);
+        g32.resize(grads.len(), 0.0);
         zo_tensor::cast_f16_to_f32(grads, &mut g32);
-        self.step_mixed(params, &g32, p16)
+        let result = self.step_mixed(params, &g32, p16);
+        self.g32_scratch = g32;
+        result
     }
 
     /// One Adam step with a per-tile callback for copy-back overlap.
@@ -312,7 +332,14 @@ mod tests {
     #[test]
     fn bitwise_equal_to_reference() {
         // Unrolling, tiling, and threading must not change a single bit.
-        for &(threads, tile) in &[(1usize, 7usize), (1, 1000), (4, 33), (3, 64)] {
+        for &(threads, tile) in &[
+            (1usize, 7usize),
+            (1, 1000),
+            (2, 500),
+            (4, 33),
+            (3, 64),
+            (7, 129),
+        ] {
             let cfg = CpuAdamConfig {
                 hp: AdamParams {
                     lr: 0.01,
@@ -389,6 +416,24 @@ mod tests {
         let mut p16b = vec![F16::ZERO; 16];
         opt2.step_mixed(&mut p2, &g32, &mut p16b).unwrap();
         assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn fp16_grad_scratch_is_reused_across_steps() {
+        let n = 256;
+        let mut opt = CpuAdam::new(CpuAdamConfig::default(), n);
+        let mut p = vec![1.0f32; n];
+        let g16 = vec![F16::from_f32(0.01); n];
+        let mut p16 = vec![F16::ZERO; n];
+        opt.step_fp16_grads(&mut p, &g16, &mut p16).unwrap();
+        let ptr = opt.g32_scratch.as_ptr();
+        let cap = opt.g32_scratch.capacity();
+        for _ in 0..3 {
+            opt.step_fp16_grads(&mut p, &g16, &mut p16).unwrap();
+        }
+        // Same allocation every step: no per-step `vec!` churn.
+        assert_eq!(opt.g32_scratch.as_ptr(), ptr);
+        assert_eq!(opt.g32_scratch.capacity(), cap);
     }
 
     #[test]

@@ -33,6 +33,43 @@ proptest! {
         prop_assert_eq!(p_fast, p_ref);
     }
 
+    /// The pool-parallel Adam path is bit-identical to single-threaded for
+    /// a problem large enough that every thread count in {1,2,3,7} actually
+    /// partitions (n >= 4·UNROLL·threads engages the parallel path).
+    #[test]
+    fn parallel_adam_bit_identical_to_serial(
+        seed in 0u64..500,
+        steps in 1usize..4,
+    ) {
+        let n = 4 * zo_optim::UNROLL * 7 + 13; // past the widest threshold
+        let hp = AdamParams::default();
+        let grads: Vec<Vec<f32>> = (0..steps)
+            .map(|s| {
+                (0..n)
+                    .map(|i| {
+                        let x = seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(((s * n + i) as u64).wrapping_mul(1442695040888963407));
+                        ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+                    })
+                    .collect()
+            })
+            .collect();
+        let run = |threads: usize| {
+            let cfg = CpuAdamConfig { hp, num_threads: threads, tile_width: 1000 };
+            let mut opt = CpuAdam::new(cfg, n);
+            let mut p = vec![0.25f32; n];
+            for g in &grads {
+                opt.step(&mut p, g).unwrap();
+            }
+            p
+        };
+        let serial = run(1);
+        for threads in [2usize, 3, 7] {
+            prop_assert_eq!(&run(threads), &serial, "threads={}", threads);
+        }
+    }
+
     /// Naive (op-by-op) Adam tracks the reference within a tight bound.
     #[test]
     fn naive_adam_close_to_reference(g in grads_strategy(33)) {

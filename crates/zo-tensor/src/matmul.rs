@@ -8,50 +8,124 @@
 //!
 //! All kernels accumulate into `C` (caller zeroes it first if needed),
 //! which lets gradient accumulation reuse the same entry points.
+//!
+//! # Parallelism and determinism
+//!
+//! The `_acc` entry points partition the **output rows** of `C` into
+//! contiguous ranges and run one range per task on the shared
+//! [`pool`]. Every output element is produced by exactly the
+//! same sequence of floating-point operations regardless of how the rows
+//! are partitioned — a row's accumulation order depends only on the inner
+//! (`k`) loop, never on which task owns the row — so parallel results are
+//! **bit-identical** to the serial kernels at any thread count. The
+//! `*_serial` variants run the identical arithmetic inline and exist as
+//! the reference for tests and benches; `*_on` variants take an explicit
+//! pool and partition count (benches force 1/2/4/8-way scaling through
+//! them).
+//!
+//! Small products are not worth a pool round-trip; below
+//! [`MIN_PARALLEL_FLOPS`] the default entry points run serially inline.
 
 use crate::error::TensorError;
+use crate::pool::{self, Pool};
 use crate::tensor::Tensor;
 
 /// Block edge for the cache-blocked loops.
 const BLOCK: usize = 64;
 
-/// `c += a · b` where `a` is `(m, k)` and `b` is `(k, n)`.
-///
-/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ or
-/// `c` is not `(m, n)`.
-pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
-    let (m, ka) = a.shape();
-    let (kb, n) = b.shape();
-    if ka != kb {
+/// Products below this many flops (`2·m·k·n`) always run inline: pool
+/// dispatch costs more than it saves. 2·64³ flops ≈ the crossover point
+/// measured on the `zo-bench` kernel bench.
+pub const MIN_PARALLEL_FLOPS: usize = 2 * 64 * 64 * 64;
+
+fn check_shapes(
+    op: &'static str,
+    op_out: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+    inner: (usize, usize),
+    out_want: (usize, usize),
+    out_got: (usize, usize),
+) -> Result<(), TensorError> {
+    if inner.0 != inner.1 {
+        return Err(TensorError::ShapeMismatch { op, lhs, rhs });
+    }
+    if out_want != out_got {
         return Err(TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: a.shape(),
-            rhs: b.shape(),
+            op: op_out,
+            lhs: out_want,
+            rhs: out_got,
         });
     }
-    if c.shape() != (m, n) {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul(out)",
-            lhs: (m, n),
-            rhs: c.shape(),
-        });
+    Ok(())
+}
+
+/// Decides the partition count for an auto-parallel kernel call: the
+/// global pool's thread count, unless the product is too small to pay for
+/// dispatch (then 1, meaning inline serial execution).
+fn auto_parts(m: usize, k: usize, n: usize) -> usize {
+    let threads = pool::global().threads();
+    if threads <= 1
+        || 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n) < MIN_PARALLEL_FLOPS
+    {
+        1
+    } else {
+        threads
     }
-    let ad = a.data();
-    let bd = b.data();
-    let cd = c.data_mut();
-    // i-k-j loop order with blocking: the inner j loop is a contiguous
-    // axpy over a row of B and a row of C, which autovectorizes well.
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
+}
+
+/// Runs `kernel` once per contiguous row-range of `cd` (row width `n`),
+/// on `pool` when more than one range results.
+fn run_row_partitioned<'a>(
+    pool: &Pool,
+    parts: usize,
+    m: usize,
+    n: usize,
+    cd: &'a mut [f32],
+    kernel: impl Fn(core::ops::Range<usize>, &mut [f32]) + Sync + Send + 'a,
+) {
+    let ranges = pool::partition(m, parts);
+    if ranges.len() <= 1 {
+        kernel(0..m, cd);
+        return;
+    }
+    let kernel = &kernel;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(ranges.len());
+    let mut rest = cd;
+    for rows in ranges {
+        let (head, tail) = rest.split_at_mut(rows.len() * n);
+        tasks.push(Box::new(move || kernel(rows, head)));
+        rest = tail;
+    }
+    pool.run(tasks);
+}
+
+// ---- C += A · B ----
+
+/// The `matmul_acc` inner kernel over output rows `rows`; `cd` holds
+/// exactly those rows. i-k-j loop order with blocking: the inner j loop
+/// is a contiguous axpy over a row of B and a row of C, which
+/// autovectorizes well (no per-element branch — a zero in A costs one
+/// redundant FMA, far cheaper than the branch misprediction on dense
+/// inputs).
+fn matmul_rows(
+    ad: &[f32],
+    bd: &[f32],
+    cd: &mut [f32],
+    rows: core::ops::Range<usize>,
+    ka: usize,
+    n: usize,
+) {
+    let local_m = rows.len();
+    for i0 in (0..local_m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(local_m);
         for k0 in (0..ka).step_by(BLOCK) {
             let k1 = (k0 + BLOCK).min(ka);
-            for i in i0..i1 {
-                let crow = &mut cd[i * n..(i + 1) * n];
+            for li in i0..i1 {
+                let i = rows.start + li;
+                let crow = &mut cd[li * n..(li + 1) * n];
                 for k in k0..k1 {
                     let aik = ad[i * ka + k];
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let brow = &bd[k * n..(k + 1) * n];
                     for (cv, bv) in crow.iter_mut().zip(brow) {
                         *cv = bv.mul_add(aik, *cv);
@@ -60,6 +134,60 @@ pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorEr
             }
         }
     }
+}
+
+/// `c += a · b` where `a` is `(m, k)` and `b` is `(k, n)`, parallelized
+/// over the global pool (bit-identical to [`matmul_acc_serial`]).
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ or
+/// `c` is not `(m, n)`.
+pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (_, n) = b.shape();
+    matmul_acc_on(pool::global(), auto_parts(m, ka, n), a, b, c)
+}
+
+/// [`matmul_acc`] with the work always run inline on the calling thread.
+pub fn matmul_acc_serial(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    check_shapes(
+        "matmul",
+        "matmul(out)",
+        a.shape(),
+        b.shape(),
+        (ka, kb),
+        (m, n),
+        c.shape(),
+    )?;
+    matmul_rows(a.data(), b.data(), c.data_mut(), 0..m, ka, n);
+    Ok(())
+}
+
+/// [`matmul_acc`] on an explicit pool with an explicit partition count
+/// (results are bit-identical for every `parts`).
+pub fn matmul_acc_on(
+    pool: &Pool,
+    parts: usize,
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    check_shapes(
+        "matmul",
+        "matmul(out)",
+        a.shape(),
+        b.shape(),
+        (ka, kb),
+        (m, n),
+        c.shape(),
+    )?;
+    let (ad, bd) = (a.data(), b.data());
+    run_row_partitioned(pool, parts, m, n, c.data_mut(), |rows, cd| {
+        matmul_rows(ad, bd, cd, rows, ka, n);
+    });
     Ok(())
 }
 
@@ -70,43 +198,87 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     Ok(c)
 }
 
-/// `c += aᵀ · b` where `a` is `(k, m)` and `b` is `(k, n)`.
-///
-/// This is the weight-gradient kernel: for a linear layer `y = x · W`,
-/// `dW = xᵀ · dy`.
-pub fn matmul_at_b_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
-    let (ka, m) = a.shape();
-    let (kb, n) = b.shape();
-    if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_at_b",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
-    if c.shape() != (m, n) {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_at_b(out)",
-            lhs: (m, n),
-            rhs: c.shape(),
-        });
-    }
-    let ad = a.data();
-    let bd = b.data();
-    let cd = c.data_mut();
+// ---- C += Aᵀ · B ----
+
+/// The `matmul_at_b_acc` inner kernel over output rows `rows` (columns of
+/// `A`). The `k` loop stays outermost so each output row accumulates its
+/// `k` terms in exactly the serial order — partitioning the `i` loop
+/// cannot change any row's operation sequence.
+fn matmul_at_b_rows(
+    ad: &[f32],
+    bd: &[f32],
+    cd: &mut [f32],
+    rows: core::ops::Range<usize>,
+    ka: usize,
+    m: usize,
+    n: usize,
+) {
     for k in 0..ka {
         let arow = &ad[k * m..(k + 1) * m];
         let brow = &bd[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
+        for i in rows.clone() {
+            let aki = arow[i];
+            let li = i - rows.start;
+            let crow = &mut cd[li * n..(li + 1) * n];
             for (cv, bv) in crow.iter_mut().zip(brow) {
                 *cv = bv.mul_add(aki, *cv);
             }
         }
     }
+}
+
+/// `c += aᵀ · b` where `a` is `(k, m)` and `b` is `(k, n)`, parallelized
+/// over the global pool (bit-identical to [`matmul_at_b_acc_serial`]).
+///
+/// This is the weight-gradient kernel: for a linear layer `y = x · W`,
+/// `dW = xᵀ · dy`.
+pub fn matmul_at_b_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (ka, m) = a.shape();
+    let (_, n) = b.shape();
+    matmul_at_b_acc_on(pool::global(), auto_parts(m, ka, n), a, b, c)
+}
+
+/// [`matmul_at_b_acc`] with the work always run inline.
+pub fn matmul_at_b_acc_serial(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    check_shapes(
+        "matmul_at_b",
+        "matmul_at_b(out)",
+        a.shape(),
+        b.shape(),
+        (ka, kb),
+        (m, n),
+        c.shape(),
+    )?;
+    matmul_at_b_rows(a.data(), b.data(), c.data_mut(), 0..m, ka, m, n);
+    Ok(())
+}
+
+/// [`matmul_at_b_acc`] on an explicit pool with an explicit partition
+/// count (results are bit-identical for every `parts`).
+pub fn matmul_at_b_acc_on(
+    pool: &Pool,
+    parts: usize,
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    check_shapes(
+        "matmul_at_b",
+        "matmul_at_b(out)",
+        a.shape(),
+        b.shape(),
+        (ka, kb),
+        (m, n),
+        c.shape(),
+    )?;
+    let (ad, bd) = (a.data(), b.data());
+    run_row_partitioned(pool, parts, m, n, c.data_mut(), |rows, cd| {
+        matmul_at_b_rows(ad, bd, cd, rows, ka, m, n);
+    });
     Ok(())
 }
 
@@ -117,34 +289,24 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     Ok(c)
 }
 
-/// `c += a · bᵀ` where `a` is `(m, k)` and `b` is `(n, k)`.
-///
-/// This is the input-gradient kernel: for `y = x · W`, `dx = dy · Wᵀ`.
-pub fn matmul_a_bt_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
-    let (m, ka) = a.shape();
-    let (n, kb) = b.shape();
-    if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_a_bt",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
-    if c.shape() != (m, n) {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_a_bt(out)",
-            lhs: (m, n),
-            rhs: c.shape(),
-        });
-    }
-    let ad = a.data();
-    let bd = b.data();
-    let cd = c.data_mut();
-    for i in 0..m {
+// ---- C += A · Bᵀ ----
+
+/// The `matmul_a_bt_acc` inner kernel over output rows `rows`. Each
+/// output element is an independent dot product, so any row partition
+/// performs identical arithmetic.
+fn matmul_a_bt_rows(
+    ad: &[f32],
+    bd: &[f32],
+    cd: &mut [f32],
+    rows: core::ops::Range<usize>,
+    ka: usize,
+    n: usize,
+) {
+    for (li, i) in rows.enumerate() {
         let arow = &ad[i * ka..(i + 1) * ka];
-        let crow = &mut cd[i * n..(i + 1) * n];
+        let crow = &mut cd[li * n..(li + 1) * n];
         for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * kb..(j + 1) * kb];
+            let brow = &bd[j * ka..(j + 1) * ka];
             let mut acc = 0.0f32;
             for (av, bv) in arow.iter().zip(brow) {
                 acc = av.mul_add(*bv, acc);
@@ -152,6 +314,59 @@ pub fn matmul_a_bt_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), Ten
             *cv += acc;
         }
     }
+}
+
+/// `c += a · bᵀ` where `a` is `(m, k)` and `b` is `(n, k)`, parallelized
+/// over the global pool (bit-identical to [`matmul_a_bt_acc_serial`]).
+///
+/// This is the input-gradient kernel: for `y = x · W`, `dx = dy · Wᵀ`.
+pub fn matmul_a_bt_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (n, _) = b.shape();
+    matmul_a_bt_acc_on(pool::global(), auto_parts(m, ka, n), a, b, c)
+}
+
+/// [`matmul_a_bt_acc`] with the work always run inline.
+pub fn matmul_a_bt_acc_serial(a: &Tensor, b: &Tensor, c: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    check_shapes(
+        "matmul_a_bt",
+        "matmul_a_bt(out)",
+        a.shape(),
+        b.shape(),
+        (ka, kb),
+        (m, n),
+        c.shape(),
+    )?;
+    matmul_a_bt_rows(a.data(), b.data(), c.data_mut(), 0..m, ka, n);
+    Ok(())
+}
+
+/// [`matmul_a_bt_acc`] on an explicit pool with an explicit partition
+/// count (results are bit-identical for every `parts`).
+pub fn matmul_a_bt_acc_on(
+    pool: &Pool,
+    parts: usize,
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    check_shapes(
+        "matmul_a_bt",
+        "matmul_a_bt(out)",
+        a.shape(),
+        b.shape(),
+        (ka, kb),
+        (m, n),
+        c.shape(),
+    )?;
+    let (ad, bd) = (a.data(), b.data());
+    run_row_partitioned(pool, parts, m, n, c.data_mut(), |rows, cd| {
+        matmul_a_bt_rows(ad, bd, cd, rows, ka, n);
+    });
     Ok(())
 }
 
@@ -165,6 +380,14 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
+
+    /// A real multi-worker pool shared by the parallel-equivalence tests
+    /// (spawned once; these tests must not depend on `ZO_THREADS`).
+    fn test_pool() -> &'static std::sync::Arc<Pool> {
+        static POOL: OnceLock<std::sync::Arc<Pool>> = OnceLock::new();
+        POOL.get_or_init(|| Pool::new(4))
+    }
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = a.shape();
@@ -241,6 +464,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_bit_identical_to_serial_at_any_part_count() {
+        let pool = test_pool();
+        for &(m, k, n) in &[
+            (1usize, 3usize, 2usize),
+            (5, 9, 4),
+            (65, 63, 30),
+            (80, 17, 70),
+        ] {
+            let a = randomish(m, k, (m * 7 + k) as u32);
+            let b = randomish(k, n, (k * 13 + n) as u32);
+            let a_t = randomish(k, m, (m * 5 + 1) as u32);
+            let b_t = randomish(n, k, (n * 3 + 2) as u32);
+            let mut want = Tensor::full(m, n, 0.25);
+            let mut want_atb = want.clone();
+            let mut want_abt = want.clone();
+            matmul_acc_serial(&a, &b, &mut want).unwrap();
+            matmul_at_b_acc_serial(&a_t, &b, &mut want_atb).unwrap();
+            matmul_a_bt_acc_serial(&a, &b_t, &mut want_abt).unwrap();
+            for parts in [1usize, 2, 3, 7] {
+                let mut got = Tensor::full(m, n, 0.25);
+                matmul_acc_on(pool, parts, &a, &b, &mut got).unwrap();
+                assert_eq!(
+                    got.data(),
+                    want.data(),
+                    "matmul m={m} k={k} n={n} parts={parts}"
+                );
+                let mut got = Tensor::full(m, n, 0.25);
+                matmul_at_b_acc_on(pool, parts, &a_t, &b, &mut got).unwrap();
+                assert_eq!(got.data(), want_atb.data(), "at_b m={m} parts={parts}");
+                let mut got = Tensor::full(m, n, 0.25);
+                matmul_a_bt_acc_on(pool, parts, &a, &b_t, &mut got).unwrap();
+                assert_eq!(got.data(), want_abt.data(), "a_bt m={m} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_heavy_inputs_still_correct() {
+        // The old kernels skipped zero elements of A with a per-element
+        // branch; the dense kernels must produce the same products.
+        let mut a = randomish(20, 30, 3);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = randomish(30, 10, 4);
+        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+        let b2 = randomish(20, 10, 5);
+        let want_atb = naive(&a.transposed(), &b2);
+        assert_close(&matmul_at_b(&a, &b2).unwrap(), &want_atb, 1e-4);
+    }
+
+    #[test]
     fn shape_errors() {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(4, 5);
@@ -250,6 +527,8 @@ mod tests {
         let mut bad_out = Tensor::zeros(1, 1);
         let b_ok = Tensor::zeros(3, 5);
         assert!(matmul_acc(&a, &b_ok, &mut bad_out).is_err());
+        assert!(matmul_acc_serial(&a, &b_ok, &mut bad_out).is_err());
+        assert!(matmul_acc_on(test_pool(), 2, &a, &b_ok, &mut bad_out).is_err());
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
-use zo_tensor::{matmul, matmul_a_bt, matmul_at_b, ops, F16};
+use std::sync::OnceLock;
+use zo_tensor::{matmul, matmul_a_bt, matmul_at_b, ops, Pool, F16};
+
+/// One shared 4-worker pool for every proptest case (spawning a pool per
+/// case would dominate the runtime and hide reuse bugs).
+fn test_pool() -> &'static Pool {
+    static POOL: OnceLock<std::sync::Arc<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(4))
+}
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     // Values well inside the f16 range so casts stay finite.
@@ -107,6 +115,46 @@ proptest! {
         let total: f64 = row.iter().map(|x| *x as f64).sum();
         prop_assert!((total - 1.0).abs() < 1e-4);
         prop_assert!(row.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+
+    /// All three parallel matmul kernels are bit-identical to their serial
+    /// variants for random shapes at every partition count, including part
+    /// counts that exceed the pool's thread count and the row count.
+    #[test]
+    fn parallel_matmul_bit_identical_to_serial(
+        m in 1usize..40, k in 1usize..24, n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut init = zo_tensor::Init::new(seed.wrapping_add(99));
+        let pool = test_pool();
+        for parts in [1usize, 2, 3, 7] {
+            // C += A·B with A (m,k), B (k,n).
+            let a = init.normal_tensor(m, k, 1.0);
+            let b = init.normal_tensor(k, n, 1.0);
+            let mut want = init.normal_tensor(m, n, 0.5);
+            let mut got = want.clone();
+            zo_tensor::matmul::matmul_acc_serial(&a, &b, &mut want).unwrap();
+            zo_tensor::matmul::matmul_acc_on(pool, parts, &a, &b, &mut got).unwrap();
+            prop_assert_eq!(got.data(), want.data(), "matmul parts={}", parts);
+
+            // C += Aᵀ·B with A (k,m), B (k,n).
+            let at = init.normal_tensor(k, m, 1.0);
+            let bt = init.normal_tensor(k, n, 1.0);
+            let mut want = init.normal_tensor(m, n, 0.5);
+            let mut got = want.clone();
+            zo_tensor::matmul::matmul_at_b_acc_serial(&at, &bt, &mut want).unwrap();
+            zo_tensor::matmul::matmul_at_b_acc_on(pool, parts, &at, &bt, &mut got).unwrap();
+            prop_assert_eq!(got.data(), want.data(), "matmul_at_b parts={}", parts);
+
+            // C += A·Bᵀ with A (m,k), B (n,k).
+            let ab = init.normal_tensor(m, k, 1.0);
+            let bb = init.normal_tensor(n, k, 1.0);
+            let mut want = init.normal_tensor(m, n, 0.5);
+            let mut got = want.clone();
+            zo_tensor::matmul::matmul_a_bt_acc_serial(&ab, &bb, &mut want).unwrap();
+            zo_tensor::matmul::matmul_a_bt_acc_on(pool, parts, &ab, &bb, &mut got).unwrap();
+            prop_assert_eq!(got.data(), want.data(), "matmul_a_bt parts={}", parts);
+        }
     }
 
     /// axpy with alpha = 0 is the identity; with src = 0 it is the identity.

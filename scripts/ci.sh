@@ -15,10 +15,27 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test"
-cargo test -q
+echo "== cargo test (ZO_THREADS=1)"
+ZO_THREADS=1 cargo test -q
+
+echo "== cargo test (ZO_THREADS=4)"
+ZO_THREADS=4 cargo test -q
 
 echo "== cargo test --release"
 cargo test --release -q
+
+echo "== thread-invariance fingerprint (ZO_THREADS=1 vs 4)"
+cargo build --release -q --bin fingerprint
+fp1=$(ZO_THREADS=1 ./target/release/fingerprint | awk '{print $2}')
+fp4=$(ZO_THREADS=4 ./target/release/fingerprint | awk '{print $2}')
+echo "   ZO_THREADS=1 -> $fp1"
+echo "   ZO_THREADS=4 -> $fp4"
+if [ "$fp1" != "$fp4" ]; then
+    echo "FAIL: training trajectory depends on ZO_THREADS" >&2
+    exit 1
+fi
+
+echo "== benches compile"
+cargo build -q --benches -p zo-bench
 
 echo "CI green."
