@@ -5,6 +5,12 @@
 //! step counter, loss-scaler state, and any pending DPU gradient — which
 //! is by construction sufficient to resume: the fp16 device parameters are
 //! a pure function of the master copy (`float2half`).
+//!
+//! The on-disk file format frames the JSON payload with a validated
+//! header (`magic | version | payload length | FNV-1a checksum`), so a
+//! write that died partway — e.g. under an injected `checkpoint.write`
+//! fault — is *detected* at restore time as a typed error instead of a
+//! deserializer panic or, worse, a silently-wrong resume.
 
 use serde::{Deserialize, Serialize};
 use zo_nn::Model;
@@ -39,7 +45,7 @@ pub struct DpuCheckpoint {
     pub pending: Option<Vec<f32>>,
 }
 
-/// Errors when restoring a checkpoint.
+/// Errors when saving or restoring a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// The checkpoint covers a different parameter count.
@@ -52,6 +58,38 @@ pub enum CheckpointError {
     /// The checkpoint has DPU state but the engine is not in DPU mode (or
     /// vice versa).
     ModeMismatch,
+    /// The file could not be read or written.
+    Io {
+        /// The underlying I/O error, stringified (keeps this type `Eq`).
+        detail: String,
+    },
+    /// The file ends before the framed payload does — a write died partway
+    /// (torn write / crashed process).
+    Truncated {
+        /// Bytes present.
+        have: usize,
+        /// Bytes the header promised.
+        need: usize,
+    },
+    /// The file does not start with the checkpoint magic.
+    BadMagic {
+        /// The value found.
+        found: u32,
+    },
+    /// The payload checksum does not match the header.
+    Corrupted {
+        /// Checksum recorded in the header.
+        expected: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// The framing validated but the payload does not parse.
+    Malformed {
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// An injected `checkpoint.write` fault killed the save mid-write.
+    Fault(zo_fault::FaultError),
 }
 
 impl core::fmt::Display for CheckpointError {
@@ -67,11 +105,105 @@ impl core::fmt::Display for CheckpointError {
                     "checkpoint DPU state does not match the engine's DPU mode"
                 )
             }
+            CheckpointError::Io { detail } => write!(f, "checkpoint i/o failed: {detail}"),
+            CheckpointError::Truncated { have, need } => {
+                write!(f, "truncated checkpoint: have {have} bytes, need {need}")
+            }
+            CheckpointError::BadMagic { found } => {
+                write!(f, "not a checkpoint file (magic {found:#010x})")
+            }
+            CheckpointError::Corrupted { expected, computed } => write!(
+                f,
+                "checkpoint corrupted: checksum header {expected:#010x}, payload {computed:#010x}"
+            ),
+            CheckpointError::Malformed { detail } => {
+                write!(f, "malformed checkpoint payload: {detail}")
+            }
+            CheckpointError::Fault(fault) => write!(f, "checkpoint write fault: {fault}"),
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// Checkpoint file magic: "ZOck".
+pub const FILE_MAGIC: u32 = 0x5A4F_636B;
+
+/// Current checkpoint file format version.
+pub const FILE_VERSION: u32 = 1;
+
+/// Framed header size: magic, version, payload length, checksum.
+const FILE_HEADER_BYTES: usize = 4 + 4 + 8 + 4;
+
+/// FNV-1a over the payload bytes (same recurrence as the wire frames).
+fn fnv1a(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in payload {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Encodes a checkpoint into the framed on-disk byte format:
+/// `magic | version | payload_len | fnv1a(payload) | JSON payload`.
+pub fn encode_checkpoint_bytes(ckpt: &TrainingCheckpoint) -> Vec<u8> {
+    // Plain-old-data: serialization cannot fail.
+    let payload = serde_json::to_string(ckpt)
+        .expect("checkpoint serialization")
+        .into_bytes();
+    let mut out = Vec::with_capacity(FILE_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&FILE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&FILE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a framed checkpoint, validating magic, version, length and
+/// checksum before the payload is handed to the deserializer — a torn or
+/// bit-flipped file surfaces as a typed [`CheckpointError`], never a
+/// panic.
+pub fn decode_checkpoint_bytes(bytes: &[u8]) -> Result<TrainingCheckpoint, CheckpointError> {
+    if bytes.len() < FILE_HEADER_BYTES {
+        return Err(CheckpointError::Truncated {
+            have: bytes.len(),
+            need: FILE_HEADER_BYTES,
+        });
+    }
+    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    let magic = word(0);
+    if magic != FILE_MAGIC {
+        return Err(CheckpointError::BadMagic { found: magic });
+    }
+    let version = word(4);
+    if version != FILE_VERSION {
+        return Err(CheckpointError::Malformed {
+            detail: format!("unsupported checkpoint version {version}"),
+        });
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let expected = word(16);
+    let payload = &bytes[FILE_HEADER_BYTES..];
+    if payload.len() < len {
+        return Err(CheckpointError::Truncated {
+            have: payload.len(),
+            need: len,
+        });
+    }
+    let payload = &payload[..len];
+    let computed = fnv1a(payload);
+    if computed != expected {
+        return Err(CheckpointError::Corrupted { expected, computed });
+    }
+    let text = core::str::from_utf8(payload).map_err(|e| CheckpointError::Malformed {
+        detail: e.to_string(),
+    })?;
+    serde_json::from_str(text).map_err(|e| CheckpointError::Malformed {
+        detail: e.to_string(),
+    })
+}
 
 impl<M: Model> ZeroOffloadEngine<M> {
     /// Captures the current training state.
@@ -115,6 +247,52 @@ impl<M: Model> ZeroOffloadEngine<M> {
         let ckpt: TrainingCheckpoint = serde_json::from_str(json)?;
         self.restore_checkpoint(&ckpt)?;
         Ok(())
+    }
+
+    /// Writes the framed checkpoint file at `path`.
+    ///
+    /// The write passes the `checkpoint.write` fault gate: transients are
+    /// retried with bounded backoff; a fatal or retry-exhausted fault
+    /// simulates a crash mid-write — a *truncated* file is left on disk
+    /// and [`CheckpointError::Fault`] returned, so recovery paths can
+    /// prove they detect (not deserialize) the torn file.
+    pub fn save_checkpoint_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), CheckpointError> {
+        let bytes = encode_checkpoint_bytes(&self.save_checkpoint());
+        let tracer = self.tracer().clone();
+        let gate = zo_fault::with_retry(
+            self.faults_mut(),
+            zo_fault::Site::CheckpointWrite,
+            &tracer,
+            "checkpoint",
+            || (),
+        );
+        if let Err(fault) = gate {
+            let torn = &bytes[..bytes.len() / 2];
+            std::fs::write(path, torn).map_err(|e| CheckpointError::Io {
+                detail: e.to_string(),
+            })?;
+            return Err(CheckpointError::Fault(fault));
+        }
+        std::fs::write(path, &bytes).map_err(|e| CheckpointError::Io {
+            detail: e.to_string(),
+        })
+    }
+
+    /// Restores from a file written by
+    /// [`ZeroOffloadEngine::save_checkpoint_file`], validating the framing
+    /// (magic, version, length, checksum) before any state is touched.
+    pub fn restore_checkpoint_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), CheckpointError> {
+        let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io {
+            detail: e.to_string(),
+        })?;
+        let ckpt = decode_checkpoint_bytes(&bytes)?;
+        self.restore_checkpoint(&ckpt)
     }
 }
 
@@ -259,6 +437,74 @@ mod tests {
             dpu_engine.restore_checkpoint(&ckpt),
             Err(super::CheckpointError::ModeMismatch)
         ));
+    }
+
+    /// Unique scratch file path for a test (no timestamps needed).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("zo-ckpt-{}-{name}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn file_roundtrip_resumes_bitwise() {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(GPT, 42), cfg());
+        run(&mut engine, 0, 5);
+        let path = scratch("roundtrip");
+        engine.save_checkpoint_file(&path).unwrap();
+        let mut other = ZeroOffloadEngine::new(GptModel::new(GPT, 99), cfg());
+        other.restore_checkpoint_file(&path).unwrap();
+        assert_eq!(engine.master_params(), other.master_params());
+        assert_eq!(engine.loss_scale(), other.loss_scale());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error_not_a_panic() {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(GPT, 7), cfg());
+        run(&mut engine, 0, 3);
+        let path = scratch("truncated");
+        engine.save_checkpoint_file(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // A partial write at any cut point must be *detected*.
+        for cut in [3usize, 19, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let mut victim = ZeroOffloadEngine::new(GptModel::new(GPT, 7), cfg());
+            let before = victim.master_params().to_vec();
+            let err = victim.restore_checkpoint_file(&path).unwrap_err();
+            assert!(
+                matches!(err, super::CheckpointError::Truncated { .. }),
+                "cut at {cut}: expected Truncated, got {err:?}"
+            );
+            assert_eq!(
+                victim.master_params(),
+                &before[..],
+                "failed restore must not touch engine state"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(GPT, 8), cfg());
+        run(&mut engine, 0, 2);
+        let path = scratch("corrupt");
+        engine.save_checkpoint_file(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut victim = ZeroOffloadEngine::new(GptModel::new(GPT, 8), cfg());
+        assert!(matches!(
+            victim.restore_checkpoint_file(&path),
+            Err(super::CheckpointError::Corrupted { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_rejected_by_magic() {
+        let err = super::decode_checkpoint_bytes(b"definitely not a checkpoint").unwrap_err();
+        assert!(matches!(err, super::CheckpointError::BadMagic { .. }));
     }
 
     #[test]

@@ -43,6 +43,43 @@ pub(crate) fn resolve_tracer(tracer: Option<TracerRef>) -> zo_trace::Tracer {
         .unwrap_or_else(zo_trace::Tracer::disabled)
 }
 
+/// A `Copy` handle to an installed [`zo_fault::FaultPlan`], mirroring
+/// [`TracerRef`]: the config stays `Copy` while referencing a shared plan
+/// through the process-wide fault registry.
+///
+/// ```
+/// use zero_offload::{FaultsRef, ZeroOffloadConfig};
+///
+/// let cfg = ZeroOffloadConfig {
+///     faults: Some(FaultsRef::install(zo_fault::FaultPlan::transient_heavy())),
+///     ..ZeroOffloadConfig::default()
+/// };
+/// assert!(cfg.faults.unwrap().resolve().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultsRef(pub usize);
+
+impl FaultsRef {
+    /// Pins `plan` into the registry and returns its handle.
+    pub fn install(plan: zo_fault::FaultPlan) -> FaultsRef {
+        FaultsRef(zo_fault::install(plan))
+    }
+
+    /// Resolves the handle (`None` if the index was never installed).
+    pub fn resolve(&self) -> Option<std::sync::Arc<zo_fault::FaultPlan>> {
+        zo_fault::lookup(self.0)
+    }
+}
+
+/// Resolves the engine's fault plan: an installed handle wins; otherwise
+/// the `ZO_FAULTS` environment variable decides (disabled when unset) —
+/// which is how the CI fault matrix drives unmodified binaries.
+pub(crate) fn resolve_fault_plan(faults: Option<FaultsRef>) -> std::sync::Arc<zo_fault::FaultPlan> {
+    faults
+        .and_then(|f| f.resolve())
+        .unwrap_or_else(|| std::sync::Arc::new(zo_fault::FaultPlan::from_env()))
+}
+
 /// Where the optimizer states and step live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OffloadDevice {
@@ -92,6 +129,12 @@ pub struct ZeroOffloadConfig {
     pub bucket_bytes: usize,
     /// Step-timeline tracer handle (`None` disables tracing).
     pub tracer: Option<TracerRef>,
+    /// Fault-injection plan handle. `None` defers to the `ZO_FAULTS`
+    /// environment variable (disabled when unset).
+    pub faults: Option<FaultsRef>,
+    /// Consecutive overflow-skipped steps tolerated before the engine
+    /// surfaces a typed overflow-storm error (`0` disables the detector).
+    pub overflow_storm_limit: u32,
 }
 
 impl Default for ZeroOffloadConfig {
@@ -108,6 +151,8 @@ impl Default for ZeroOffloadConfig {
             tile_width: 2 * 1024 * 1024,
             bucket_bytes: crate::bucket::default_bucket_bytes(),
             tracer: None,
+            faults: None,
+            overflow_storm_limit: 0,
         }
     }
 }

@@ -15,15 +15,16 @@
 //! the same code trains the GPT LM of Fig. 12 and the classifier of
 //! Fig. 13.
 
+use zo_fault::{lane, with_retry, FaultError, FaultSession, Site};
 use zo_nn::Model;
 use zo_optim::{clip, AdamState, CpuAdam, CpuAdamConfig, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::Tracer;
 
 use crate::bucket::{scatter_frames, GradBucketer};
-use crate::config::{resolve_tracer, OffloadDevice, ZeroOffloadConfig};
-use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepPipeline, Updater};
-use crate::wire::decode_frame_traced;
+use crate::config::{resolve_fault_plan, resolve_tracer, OffloadDevice, ZeroOffloadConfig};
+use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepError, StepPipeline, Updater};
+use crate::wire::{decode_frame_traced, ship_frame};
 
 /// What a call to [`ZeroOffloadEngine::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,19 +77,31 @@ pub struct EngineStats {
 /// Ships the staged frames, reassembles them host-side, unscales, and
 /// updates traffic counters and memory high-water marks — the tail of the
 /// gradient offload shared by the streamed and post-hoc transfer paths.
+///
+/// With a fault session, every frame passes the `wire.d2h` gate (bounded
+/// retry; fatal faults abort the transfer with a typed error). Pass `None`
+/// when the frames already crossed a gate — the streamed path gates each
+/// slice at push time, and the degraded post-hoc retransmission models
+/// recovery *after* the faulty window.
 fn finish_offload(
     bucketer: &mut GradBucketer,
     grads: &mut [f32],
     scale: f32,
     stats: &mut EngineStats,
     tracer: &Tracer,
-) {
+    mut faults: Option<&mut FaultSession>,
+) -> Result<(), FaultError> {
     bucketer.flush();
-    let frames: Vec<crate::wire::GradFrame> = bucketer
-        .take_frames()
-        .into_iter()
-        .map(|f| decode_frame_traced(tracer, "pcie", f).expect("loopback frames are well-formed"))
-        .collect();
+    let mut frames = Vec::new();
+    for raw in bucketer.take_frames() {
+        let raw = match faults.as_deref_mut() {
+            Some(session) => ship_frame(raw, session, tracer, "pcie")?,
+            None => raw,
+        };
+        frames.push(
+            decode_frame_traced(tracer, "pcie", raw).expect("loopback frames are well-formed"),
+        );
+    }
     scatter_frames(&frames, grads);
     zo_tensor::ops::scale(grads, 1.0 / scale);
     stats.d2h_bytes += bucketer.payload_bytes();
@@ -101,6 +114,7 @@ fn finish_offload(
     let n = grads.len() as f64;
     tracer.gauge_max("gpu_hwm_bytes", 2.0 * n + bucketer.wire_bytes() as f64);
     tracer.gauge_max("cpu_hwm_bytes", 16.0 * n);
+    Ok(())
 }
 
 /// The single-accelerator placement: one full fp16 replica on the device,
@@ -144,16 +158,22 @@ impl<M: Model> Placement<M> for ReplicaPlacement {
         stream: &mut GradStream,
         stats: &mut EngineStats,
         tracer: &Tracer,
-    ) -> bool {
+        faults: &mut FaultSession,
+    ) -> Result<bool, FaultError> {
         if let Some(start) = stream.take_streamed() {
-            // The gradients already crossed the wire from inside backward;
-            // only the tail (final flush, reassembly, unscale) remains.
+            // The gradients already crossed the wire from inside backward
+            // (each slice passed the gate at push time); only the tail
+            // (final flush, reassembly, unscale) remains.
             let mut bucketer = core::mem::replace(&mut stream.bucketer, GradBucketer::new(2));
-            finish_offload(&mut bucketer, grads, scale, stats, tracer);
+            finish_offload(&mut bucketer, grads, scale, stats, tracer, None)?;
             let end = tracer.now_us();
             tracer.record_span("pcie", "grad_offload", start, end.saturating_sub(start));
-            return stream.overflow;
+            return Ok(stream.overflow);
         }
+        // A poisoned stream means the mid-backward transfer died; this
+        // post-hoc pass is the *recovery* retransmission after backward
+        // completed, so it bypasses the wire gate.
+        let degraded = stream.take_poisoned();
         // Post-hoc transfer: scale, cast to fp16, pack the layer spans into
         // wire frames in backward order (head bucket first, blocks
         // reversed, embeddings last — the order they become ready in
@@ -174,8 +194,9 @@ impl<M: Model> Placement<M> for ReplicaPlacement {
             }
             bucketer.push(range.start as u64, &self.wire);
         }
-        finish_offload(&mut bucketer, grads, scale, stats, tracer);
-        overflow
+        let gate = if degraded { None } else { Some(faults) };
+        finish_offload(&mut bucketer, grads, scale, stats, tracer, gate)?;
+        Ok(overflow)
     }
 
     fn clip_grads(&mut self, grads: &mut [f32], max_norm: f64) {
@@ -186,11 +207,23 @@ impl<M: Model> Placement<M> for ReplicaPlacement {
         ("cpu", "cpu_adam")
     }
 
-    fn publish(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer) {
+    fn publish(
+        &mut self,
+        model: &mut M,
+        p16: &[F16],
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+        faults: &mut FaultSession,
+    ) -> Result<(), FaultError> {
         let _copy = tracer.span("pcie", "param_copy_back");
+        // The h2d gate sits *before* the model sees the new parameters: a
+        // fatal fault here is the "killed between DPU update and copy-back"
+        // crash point the recovery tests exercise.
+        with_retry(faults, Site::WireH2d, tracer, "pcie", || ())?;
         stats.h2d_bytes += 2 * p16.len() as u64;
         tracer.add("pcie", "h2d_bytes", 2 * p16.len() as u64);
         self.load_model(model, p16);
+        Ok(())
     }
 
     fn on_skip(
@@ -199,8 +232,9 @@ impl<M: Model> Placement<M> for ReplicaPlacement {
         _p16: &[F16],
         _stats: &mut EngineStats,
         _tracer: &Tracer,
-    ) {
+    ) -> Result<(), FaultError> {
         // Parameters unchanged; nothing to publish.
+        Ok(())
     }
 }
 
@@ -253,7 +287,9 @@ impl<M: Model> ZeroOffloadEngine<M> {
             wire: Vec::new(),
             widened: Vec::new(),
         };
-        let stream = GradStream::new(tracer.clone(), layer_ranges, cfg.bucket_bytes);
+        let plan = resolve_fault_plan(cfg.faults);
+        let mut stream = GradStream::new(tracer.clone(), layer_ranges, cfg.bucket_bytes);
+        stream.set_faults(FaultSession::new(plan.clone(), lane::STREAM));
         let pipe = StepPipeline {
             master,
             p16,
@@ -266,6 +302,8 @@ impl<M: Model> ZeroOffloadEngine<M> {
             grad_accumulation: cfg.grad_accumulation,
             max_grad_norm: cfg.max_grad_norm,
             pool_base: zo_tensor::pool::global().stats(),
+            faults: FaultSession::new(plan, lane::ENGINE),
+            overflow_storm_limit: cfg.overflow_storm_limit,
         };
         let mut engine = ZeroOffloadEngine {
             model,
@@ -359,6 +397,11 @@ impl<M: Model> ZeroOffloadEngine<M> {
         }
     }
 
+    /// The step-level fault session (checkpoint-write gating).
+    pub(crate) fn faults_mut(&mut self) -> &mut FaultSession {
+        &mut self.pipe.faults
+    }
+
     /// Loss-scaler snapshot (checkpointing).
     pub(crate) fn scaler_snapshot(&self) -> (f32, u32) {
         self.pipe.scaler.snapshot()
@@ -398,10 +441,15 @@ impl<M: Model> ZeroOffloadEngine<M> {
     /// `run_backward` must perform forward + backward on the model,
     /// accumulating gradients, and return the loss. The engine zeroes
     /// gradients at the start of each accumulation window.
+    ///
+    /// Errors are typed ([`StepError`]): the model's own backward error,
+    /// a non-recoverable fault at one of the offload path's injection
+    /// sites, or an overflow storm. Transient faults are retried inside
+    /// the step and never surface here.
     pub fn step<E>(
         &mut self,
         run_backward: impl FnOnce(&mut M) -> Result<f32, E>,
-    ) -> Result<StepOutcome, E> {
+    ) -> Result<StepOutcome, StepError<E>> {
         self.pipe.step(
             &mut self.model,
             &mut self.placement,
@@ -430,7 +478,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
     pub fn step_streamed<E>(
         &mut self,
         run_backward: impl FnOnce(&mut M, &mut GradStream) -> Result<f32, E>,
-    ) -> Result<StepOutcome, E> {
+    ) -> Result<StepOutcome, StepError<E>> {
         if self.pipe.micro_in_window + 1 >= self.pipe.grad_accumulation {
             let scale = self.pipe.scaler.scale();
             let denom = self.pipe.grad_accumulation as f32;

@@ -50,10 +50,13 @@ mod pipeline;
 pub mod wire;
 mod zero2;
 
-pub use checkpoint::{CheckpointError, DpuCheckpoint, TrainingCheckpoint};
-pub use config::{OffloadDevice, TracerRef, ZeroOffloadConfig};
+pub use checkpoint::{
+    decode_checkpoint_bytes, encode_checkpoint_bytes, CheckpointError, DpuCheckpoint,
+    TrainingCheckpoint,
+};
+pub use config::{FaultsRef, OffloadDevice, TracerRef, ZeroOffloadConfig};
 pub use engine::{EngineStats, StepOutcome, ZeroOffloadEngine};
 pub use overlap::{AsyncDpu, DpuUpdate};
 pub use perf::{IterStats, ZeroOffloadPerf};
-pub use pipeline::GradStream;
+pub use pipeline::{GradStream, StepError};
 pub use zero2::{run_ranks, Zero2OffloadEngine};

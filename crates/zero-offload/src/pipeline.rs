@@ -25,14 +25,67 @@
 //!   stage. The observable arithmetic is bit-identical to the synchronous
 //!   [`DelayedUpdate`](zo_optim::DelayedUpdate).
 
+use zo_fault::{with_retry, FaultError, FaultSession, Site};
 use zo_nn::{BackwardHook, Model};
 use zo_optim::{adam_reference_step, AdamParams, AdamState, CpuAdamConfig, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
-use zo_trace::Tracer;
+use zo_trace::{names, Tracer};
 
 use crate::bucket::GradBucketer;
 use crate::engine::{EngineStats, StepOutcome};
 use crate::overlap::AsyncDpu;
+
+/// Why a training step failed.
+///
+/// Every failure mode of the offload schedule is typed: the model's own
+/// backward error, a non-recoverable injected (or real) transport fault,
+/// and the overflow-storm degradation signal. Transient faults never show
+/// up here — they are retried inside the step and the step succeeds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepError<E> {
+    /// The model's forward/backward pass failed.
+    Backward(E),
+    /// A transfer, collective, optimizer or checkpoint site surfaced a
+    /// fatal or retry-exhausted fault.
+    Fault(FaultError),
+    /// The loss scaler skipped too many consecutive steps — the run is
+    /// no longer making progress (see
+    /// [`ZeroOffloadConfig::overflow_storm_limit`](crate::ZeroOffloadConfig::overflow_storm_limit)).
+    OverflowStorm {
+        /// Consecutive overflow-skipped steps observed.
+        consecutive: u32,
+    },
+}
+
+impl<E> StepError<E> {
+    /// The fault behind this error, if it came from an injection site.
+    pub fn fault(&self) -> Option<FaultError> {
+        match self {
+            StepError::Fault(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl<E> From<FaultError> for StepError<E> {
+    fn from(f: FaultError) -> StepError<E> {
+        StepError::Fault(f)
+    }
+}
+
+impl<E: core::fmt::Display> core::fmt::Display for StepError<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StepError::Backward(e) => write!(f, "backward pass failed: {e}"),
+            StepError::Fault(fault) => write!(f, "step fault: {fault}"),
+            StepError::OverflowStorm { consecutive } => {
+                write!(f, "overflow storm: {consecutive} consecutive skipped steps")
+            }
+        }
+    }
+}
+
+impl<E: core::fmt::Display + core::fmt::Debug> std::error::Error for StepError<E> {}
 
 /// The stages of the step state machine that differ between the
 /// full-replica and the ZeRO-2 sharded placements.
@@ -48,7 +101,10 @@ pub(crate) trait Placement<M: Model> {
 
     /// Moves this member's gradients off the device into `grads` (sized
     /// for the optimizer input: full model or shard), applying loss-scale
-    /// fp16 rounding. Returns the *local* overflow flag.
+    /// fp16 rounding. Returns the *local* overflow flag. Transfer-layer
+    /// fault sites (`wire.d2h`, `collective.reduce_scatter`) are consulted
+    /// through `faults`; transients are retried internally, so an `Err`
+    /// is always fatal or retry-exhausted.
     #[allow(clippy::too_many_arguments)]
     fn transfer(
         &mut self,
@@ -59,7 +115,8 @@ pub(crate) trait Placement<M: Model> {
         stream: &mut GradStream,
         stats: &mut EngineStats,
         tracer: &Tracer,
-    ) -> bool;
+        faults: &mut FaultSession,
+    ) -> Result<bool, FaultError>;
 
     /// Folds the local overflow flag across the group (collective for
     /// multi-rank placements; identity for a single replica).
@@ -75,12 +132,27 @@ pub(crate) trait Placement<M: Model> {
     fn update_span(&self) -> (&str, &str);
 
     /// Publishes the fp16 parameters back into the model — the h2d
-    /// parameter copy for a replica, all-gather for a shard.
-    fn publish(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer);
+    /// parameter copy for a replica, all-gather for a shard. Gated by the
+    /// `wire.h2d` / `collective.allgather` fault sites.
+    fn publish(
+        &mut self,
+        model: &mut M,
+        p16: &[F16],
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+        faults: &mut FaultSession,
+    ) -> Result<(), FaultError>;
 
     /// Runs on an overflow-skipped step, after counters. Shard placements
-    /// must still execute their collectives to keep ranks in lock-step.
-    fn on_skip(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer);
+    /// must still execute their collectives to keep ranks in lock-step
+    /// (which is also why this can fault).
+    fn on_skip(
+        &mut self,
+        model: &mut M,
+        p16: &[F16],
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+    ) -> Result<(), FaultError>;
 
     /// Whether this member closes the tracer step boundary (rank 0 or
     /// the single replica).
@@ -248,6 +320,12 @@ pub struct GradStream {
     wire: Vec<F16>,
     /// Timestamp of the first streamed slice (span start).
     pub(crate) start_us: Option<u64>,
+    /// Mid-backward transfer fault session (lane `STREAM`): every pushed
+    /// slice passes the `wire.d2h` gate.
+    pub(crate) faults: FaultSession,
+    /// Set when a non-recoverable fault hit mid-backward: staged frames
+    /// were dropped and the window must fall back to the post-hoc path.
+    poisoned: bool,
 }
 
 impl GradStream {
@@ -276,7 +354,14 @@ impl GradStream {
             bucketer: GradBucketer::new(2),
             wire: Vec::new(),
             start_us: None,
+            faults: FaultSession::disabled(),
+            poisoned: false,
         }
+    }
+
+    /// Installs the stream's fault session (lane `STREAM`).
+    pub(crate) fn set_faults(&mut self, faults: FaultSession) {
+        self.faults = faults;
     }
 
     /// Arms the stream for the closing micro-batch of a window: slices
@@ -291,6 +376,13 @@ impl GradStream {
         self.streamed = 0;
         self.bucketer = GradBucketer::traced(self.bucket_bytes, self.tracer.clone(), "pcie");
         self.start_us = None;
+        self.poisoned = false;
+    }
+
+    /// Consumes the poisoned flag: `true` means the streamed window was
+    /// abandoned mid-backward and the caller must retransmit post hoc.
+    pub(crate) fn take_poisoned(&mut self) -> bool {
+        core::mem::take(&mut self.poisoned)
     }
 
     /// Disarms; returns the `grad_offload` span start if the window was
@@ -305,6 +397,13 @@ impl GradStream {
             return None;
         }
         self.armed = false;
+        if self.poisoned {
+            // Degraded window: partial frames were dropped mid-backward;
+            // the gradients themselves are intact on the device, so the
+            // caller retransmits them post hoc.
+            self.streamed = 0;
+            return None;
+        }
         if self.streamed == 0 {
             return None;
         }
@@ -319,11 +418,24 @@ impl GradStream {
 
 impl BackwardHook for GradStream {
     fn on_grads(&mut self, bucket: usize, grads: &[f32]) {
-        if !self.armed {
+        if !self.armed || self.poisoned {
             return;
         }
         if self.start_us.is_none() {
             self.start_us = Some(self.tracer.now_us());
+        }
+        if self.faults.enabled() {
+            // Each mid-backward slice crosses the wire gate. A transient
+            // retries invisibly; a non-recoverable fault poisons the
+            // window — staged frames are dropped and the step falls back
+            // to the post-hoc transfer (graceful degradation, not abort).
+            let gate = with_retry(&mut self.faults, Site::WireD2h, &self.tracer, "pcie", || ());
+            if gate.is_err() {
+                self.poisoned = true;
+                self.bucketer = GradBucketer::new(2);
+                self.tracer.add("pcie", names::FAULT_STREAM_FALLBACK, 1);
+                return;
+            }
         }
         let offset = self.ranges[bucket].start + self.written[bucket];
         self.wire.clear();
@@ -363,6 +475,12 @@ pub(crate) struct StepPipeline {
     /// Shared-pool counters at the last emitted step boundary; the delta
     /// becomes the step's `pool.tasks` / `pool.busy_ns` counters.
     pub(crate) pool_base: zo_tensor::PoolStats,
+    /// Step-level fault session (lane `ENGINE` + rank): gates the
+    /// transfer, optimizer and publish stages.
+    pub(crate) faults: FaultSession,
+    /// Consecutive overflow skips tolerated before
+    /// [`StepError::OverflowStorm`] (0 disables).
+    pub(crate) overflow_storm_limit: u32,
 }
 
 impl StepPipeline {
@@ -383,6 +501,16 @@ impl StepPipeline {
         self.pool_base = now;
     }
 
+    /// Closes the tracer step boundary if this member owns it. Called on
+    /// *every* terminal path — applied, skipped, backward error, fault —
+    /// so partial spans never leak into the next step's record.
+    fn close_boundary(&mut self, closes: bool) {
+        if closes {
+            self.emit_pool_counters();
+            self.tracer.finish_step();
+        }
+    }
+
     /// One micro-batch through the state machine; at window boundaries,
     /// the full transfer → overflow → clip → update → publish sequence.
     pub(crate) fn step<M, P, E, F>(
@@ -391,7 +519,7 @@ impl StepPipeline {
         placement: &mut P,
         stream: &mut GradStream,
         run_backward: F,
-    ) -> Result<StepOutcome, E>
+    ) -> Result<StepOutcome, StepError<E>>
     where
         M: Model,
         P: Placement<M>,
@@ -408,7 +536,10 @@ impl StepPipeline {
                     // A failed backward leaves partial streamed state;
                     // disarm so the next window starts clean.
                     stream.armed = false;
-                    return Err(e);
+                    let closes = placement.closes_step();
+                    drop(_fwd);
+                    self.close_boundary(closes);
+                    return Err(StepError::Backward(e));
                 }
             }
         };
@@ -420,7 +551,7 @@ impl StepPipeline {
 
         let scale = self.scaler.scale();
         let denom = self.grad_accumulation as f32;
-        let local_overflow = placement.transfer(
+        let mut local_overflow = match placement.transfer(
             model,
             &mut self.grads,
             scale,
@@ -428,17 +559,53 @@ impl StepPipeline {
             stream,
             &mut self.stats,
             &self.tracer,
-        );
+            &mut self.faults,
+        ) {
+            Ok(flag) => flag,
+            Err(f) => {
+                let closes = placement.closes_step();
+                self.close_boundary(closes);
+                return Err(StepError::Fault(f));
+            }
+        };
+        // Injected NaN gradient bucket: corrupt the host-side copy and let
+        // the standard skip-and-rescale machinery absorb it — the fault
+        // model's claim is that a flipped payload is *survivable*.
+        if self.faults.grad_nan(Site::WireD2h) {
+            if let Some(g) = self.grads.first_mut() {
+                *g = f32::NAN;
+            }
+            local_overflow = true;
+            self.tracer
+                .add(placement.counter_track(), names::FAULT_GRAD_NAN, 1);
+        }
         let overflow = placement.combine_overflow(local_overflow);
 
         if !self.scaler.update(overflow) {
             self.stats.steps_skipped += 1;
             self.tracer
                 .add(placement.counter_track(), "steps_skipped", 1);
-            placement.on_skip(model, &self.p16, &mut self.stats, &self.tracer);
-            if placement.closes_step() {
-                self.emit_pool_counters();
-                self.tracer.finish_step();
+            self.tracer
+                .add(placement.counter_track(), names::OPTIM_OVERFLOW, 1);
+            // The optimizer never runs on a skipped step, but the step
+            // record must still carry its update phase: a zero-length
+            // span keeps the row's schema identical to an applied step.
+            let (utrack, uname) = placement.update_span();
+            let now = self.tracer.now_us();
+            self.tracer.record_span(utrack, uname, now, 0);
+            if let Err(f) = placement.on_skip(model, &self.p16, &mut self.stats, &self.tracer) {
+                let closes = placement.closes_step();
+                self.close_boundary(closes);
+                return Err(StepError::Fault(f));
+            }
+            let closes = placement.closes_step();
+            self.close_boundary(closes);
+            if self.overflow_storm_limit > 0
+                && self.scaler.consecutive_skips() >= self.overflow_storm_limit
+            {
+                return Err(StepError::OverflowStorm {
+                    consecutive: self.scaler.consecutive_skips(),
+                });
             }
             return Ok(StepOutcome::SkippedOverflow { loss });
         }
@@ -449,6 +616,20 @@ impl StepPipeline {
 
         {
             let (track, name) = placement.update_span();
+            // The optimizer gate fires *before* any updater state mutates:
+            // a fatal `optim.cpu_step` fault leaves master, moments and
+            // the scaler exactly as checkpointed.
+            if let Err(f) = with_retry(
+                &mut self.faults,
+                Site::OptimCpuStep,
+                &self.tracer,
+                track,
+                || (),
+            ) {
+                let closes = placement.closes_step();
+                self.close_boundary(closes);
+                return Err(StepError::Fault(f));
+            }
             let _update = self.tracer.span(track, name);
             match &mut self.updater {
                 Updater::Reference(state, hp) => {
@@ -466,14 +647,22 @@ impl StepPipeline {
                 }
             }
         }
-        placement.publish(model, &self.p16, &mut self.stats, &self.tracer);
+        if let Err(f) = placement.publish(
+            model,
+            &self.p16,
+            &mut self.stats,
+            &self.tracer,
+            &mut self.faults,
+        ) {
+            let closes = placement.closes_step();
+            self.close_boundary(closes);
+            return Err(StepError::Fault(f));
+        }
         self.stats.steps_applied += 1;
         self.tracer
             .add(placement.counter_track(), "steps_applied", 1);
-        if placement.closes_step() {
-            self.emit_pool_counters();
-            self.tracer.finish_step();
-        }
+        let closes = placement.closes_step();
+        self.close_boundary(closes);
         Ok(StepOutcome::Applied { loss })
     }
 }

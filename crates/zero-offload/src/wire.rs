@@ -156,6 +156,23 @@ pub fn frame_bytes(elements: usize) -> usize {
     HEADER_BYTES + 2 * elements
 }
 
+/// Carries one staged frame across the emulated link under a fault
+/// session: the frame passes the `wire.d2h` gate with bounded
+/// exponential-backoff retry before delivery.
+///
+/// A recovered transient retransmits the *same* bytes (retries never
+/// change what was staged), so transient faults cannot perturb the
+/// decoded gradients. A fatal or retry-exhausted fault surfaces as a
+/// typed [`zo_fault::FaultError`]; the frame is considered lost.
+pub fn ship_frame(
+    frame: Bytes,
+    faults: &mut zo_fault::FaultSession,
+    tracer: &zo_trace::Tracer,
+    track: &str,
+) -> Result<Bytes, zo_fault::FaultError> {
+    zo_fault::with_retry(faults, zo_fault::Site::WireD2h, tracer, track, || frame)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +242,50 @@ mod tests {
             decode_frame(Bytes::from(raw)),
             Err(WireError::BadChecksum { .. })
         ));
+    }
+
+    #[test]
+    fn ship_frame_retries_transients_and_surfaces_fatals() {
+        use zo_fault::{FaultKind, FaultPlan, FaultSession, Site, SiteSpec};
+        let tracer = zo_trace::Tracer::new();
+        let frame = encode_frame(1, 8, &values(4));
+
+        let transient = std::sync::Arc::new(
+            FaultPlan::builder(2)
+                .site(
+                    Site::WireD2h,
+                    SiteSpec {
+                        kind: FaultKind::Transient,
+                        prob: 1.0,
+                        depth: 2,
+                    },
+                )
+                .build(),
+        );
+        let mut session = FaultSession::new(transient, 1);
+        let shipped = ship_frame(frame.clone(), &mut session, &tracer, "pcie").unwrap();
+        assert_eq!(shipped, frame, "retries must retransmit identical bytes");
+        assert_eq!(tracer.counter_total(zo_trace::names::RETRY_ATTEMPTS), 2);
+
+        let fatal = std::sync::Arc::new(
+            FaultPlan::builder(2)
+                .site(
+                    Site::WireD2h,
+                    SiteSpec {
+                        kind: FaultKind::Fatal,
+                        prob: 1.0,
+                        depth: 1,
+                    },
+                )
+                .build(),
+        );
+        let mut session = FaultSession::new(fatal, 1);
+        assert_eq!(
+            ship_frame(frame, &mut session, &tracer, "pcie"),
+            Err(zo_fault::FaultError::Fatal {
+                site: Site::WireD2h
+            })
+        );
     }
 
     #[test]

@@ -15,14 +15,15 @@
 //! the per-rank tracks, and the lock-step bookkeeping.
 
 use zo_collectives::{partition_range, Communicator};
+use zo_fault::{lane, with_retry, FaultError, FaultSession, Site};
 use zo_nn::Model;
 use zo_optim::{CpuAdam, CpuAdamConfig, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::Tracer;
 
-use crate::config::{resolve_tracer, ZeroOffloadConfig};
+use crate::config::{resolve_fault_plan, resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
-use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepPipeline, Updater};
+use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepError, StepPipeline, Updater};
 
 /// The ZeRO-2 placement: reduce-scatter in, shard-wise fp16 rounding,
 /// all-gather out; overflow agreed by all-reduce so every rank skips (or
@@ -39,21 +40,24 @@ struct ShardPlacement {
 }
 
 impl ShardPlacement {
-    /// All-gathers the fp16 shards and loads the full model.
+    /// All-gathers the fp16 shards and loads the full model. Gated by the
+    /// `collective.allgather` fault site (the communicator's session, so
+    /// every rank draws the same decision and errors in lock-step).
     fn gather_and_load<M: Model>(
         &mut self,
         model: &mut M,
         p16: &[F16],
         stats: &mut EngineStats,
         tracer: &Tracer,
-    ) {
+    ) -> Result<(), FaultError> {
         let _gather = tracer.span(&self.track, "all_gather");
         self.shard_f32.clear();
         self.shard_f32.extend(p16.iter().map(|h| h.to_f32()));
-        let full = self.comm.all_gather(&self.shard_f32, self.num_params);
+        let full = self.comm.try_all_gather(&self.shard_f32, self.num_params)?;
         model.load_params_from(&full);
         stats.h2d_bytes += 2 * p16.len() as u64;
         tracer.add(&self.track, "h2d_bytes", 2 * p16.len() as u64);
+        Ok(())
     }
 }
 
@@ -75,15 +79,18 @@ impl<M: Model> Placement<M> for ShardPlacement {
         _stream: &mut GradStream,
         stats: &mut EngineStats,
         tracer: &Tracer,
-    ) -> bool {
+        faults: &mut FaultSession,
+    ) -> Result<bool, FaultError> {
         // Reduce-scatter the averaged gradients: this rank receives its
         // owned shard only (Fig. 5, line 29).
         {
             let _rs = tracer.span(&self.track, "reduce_scatter");
             model.copy_grads_to(&mut self.full_grads);
-            let shard = self.comm.reduce_scatter_mean(&self.full_grads);
+            let shard = self.comm.try_reduce_scatter_mean(&self.full_grads)?;
             grads.copy_from_slice(&shard);
         }
+        // The reduced shard crosses PCIe: the per-rank wire gate.
+        with_retry(faults, Site::WireD2h, tracer, &self.track, || ())?;
 
         // The shard crosses PCIe as fp16, with loss scaling.
         let mut overflow = false;
@@ -96,7 +103,7 @@ impl<M: Model> Placement<M> for ShardPlacement {
         }
         stats.d2h_bytes += 2 * grads.len() as u64;
         tracer.add(&self.track, "d2h_bytes", 2 * grads.len() as u64);
-        overflow
+        Ok(overflow)
     }
 
     fn combine_overflow(&mut self, local: bool) -> bool {
@@ -115,14 +122,29 @@ impl<M: Model> Placement<M> for ShardPlacement {
         (&self.track, "partition_update")
     }
 
-    fn publish(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer) {
-        self.gather_and_load(model, p16, stats, tracer);
+    fn publish(
+        &mut self,
+        model: &mut M,
+        p16: &[F16],
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+        _faults: &mut FaultSession,
+    ) -> Result<(), FaultError> {
+        // The all-gather is the sharded copy-back; its gate lives on the
+        // communicator's shared session, not the per-rank one.
+        self.gather_and_load(model, p16, stats, tracer)
     }
 
-    fn on_skip(&mut self, model: &mut M, p16: &[F16], stats: &mut EngineStats, tracer: &Tracer) {
+    fn on_skip(
+        &mut self,
+        model: &mut M,
+        p16: &[F16],
+        stats: &mut EngineStats,
+        tracer: &Tracer,
+    ) -> Result<(), FaultError> {
         // Parameters unchanged, but ranks must stay in lock-step through
         // the same collective sequence.
-        self.gather_and_load(model, p16, stats, tracer);
+        self.gather_and_load(model, p16, stats, tracer)
     }
 
     fn closes_step(&self) -> bool {
@@ -173,6 +195,7 @@ impl<M: Model> Zero2OffloadEngine<M> {
         };
         let mut p16 = vec![F16::ZERO; shard_len];
         cast_f32_to_f16(&master, &mut p16);
+        let plan = resolve_fault_plan(cfg.faults);
         let placement = ShardPlacement {
             comm,
             shard_start: range.start,
@@ -193,6 +216,13 @@ impl<M: Model> Zero2OffloadEngine<M> {
             grad_accumulation: cfg.grad_accumulation,
             max_grad_norm: 0.0,
             pool_base: zo_tensor::pool::global().stats(),
+            // All ranks share lane ENGINE (no rank offset): lock-step SPMD
+            // execution visits every site in the same order, so identical
+            // lanes make identical per-rank fault decisions — a fatal
+            // `wire.d2h` or `optim.cpu_step` fault errors on *every* rank
+            // before the next collective, never deadlocking a barrier.
+            faults: FaultSession::new(plan.clone(), lane::ENGINE),
+            overflow_storm_limit: cfg.overflow_storm_limit,
         };
         let mut engine = Zero2OffloadEngine {
             model,
@@ -201,13 +231,25 @@ impl<M: Model> Zero2OffloadEngine<M> {
             stream: GradStream::inert(),
         };
         // Start from the fp16 rounding of the initial parameters, agreed
-        // across ranks through the same gather path used in training.
-        engine.placement.gather_and_load(
-            &mut engine.model,
-            &engine.pipe.p16,
-            &mut engine.pipe.stats,
-            &engine.pipe.tracer,
-        );
+        // across ranks through the same gather path used in training. The
+        // communicator's fault gate is installed only *after* this
+        // initialization sync — construction itself is not a fault site.
+        engine
+            .placement
+            .gather_and_load(
+                &mut engine.model,
+                &engine.pipe.p16,
+                &mut engine.pipe.stats,
+                &engine.pipe.tracer,
+            )
+            .expect("initial gather runs before fault gates are installed");
+        if plan.is_enabled() {
+            engine.placement.comm.install_faults(
+                FaultSession::new(plan, lane::COLLECTIVE),
+                engine.pipe.tracer.clone(),
+                &engine.placement.track,
+            );
+        }
         engine
     }
 
@@ -253,7 +295,7 @@ impl<M: Model> Zero2OffloadEngine<M> {
     pub fn step<E>(
         &mut self,
         run_backward: impl FnOnce(&mut M) -> Result<f32, E>,
-    ) -> Result<StepOutcome, E> {
+    ) -> Result<StepOutcome, StepError<E>> {
         self.pipe.step(
             &mut self.model,
             &mut self.placement,

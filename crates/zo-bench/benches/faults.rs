@@ -1,0 +1,75 @@
+//! Fault-hook overhead: the resilience layer must be zero-cost when off.
+//!
+//! Compares `step_streamed` on three engines: one built with no fault
+//! configuration at all (gates resolve to disabled sessions), one with an
+//! explicitly installed-but-disabled plan, and one with the
+//! `transient-heavy` CI preset (every site injecting recoverable
+//! transients). The first two must be indistinguishable — the hooks are
+//! compiled in unconditionally, so any gap there is real overhead — and
+//! the third bounds what the CI matrix run pays for its coverage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zero_offload::{FaultsRef, ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_fault::FaultPlan;
+use zo_models::BigramLm;
+use zo_nn::{GptConfig, GptModel};
+use zo_optim::LossScaleConfig;
+
+fn cfg() -> ZeroOffloadConfig {
+    ZeroOffloadConfig {
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
+        ..ZeroOffloadConfig::default()
+    }
+}
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let gpt = GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    };
+    let mut group = c.benchmark_group("fault_overhead");
+    for (name, engine_cfg) in [
+        ("no_plan", cfg()),
+        (
+            "disabled_plan",
+            ZeroOffloadConfig {
+                faults: Some(FaultsRef::install(FaultPlan::disabled())),
+                ..cfg()
+            },
+        ),
+        (
+            "transient_heavy",
+            ZeroOffloadConfig {
+                faults: Some(FaultsRef::install(FaultPlan::transient_heavy())),
+                ..cfg()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 1), engine_cfg);
+            let mut data = BigramLm::new(gpt.vocab, 0.05, 2);
+            b.iter(|| {
+                let batch = data.batch(4, gpt.seq_len);
+                engine
+                    .step_streamed(|m, s| {
+                        m.train_step_hooked(&batch.inputs, &batch.targets, 4, gpt.seq_len, s)
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fault_overhead
+}
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
+use zo_fault::{with_retry, FaultError, FaultSession, Site};
 
 use crate::partition::partition_range;
 
@@ -19,6 +20,15 @@ struct Shared {
     buf: Mutex<Vec<f32>>,
     /// Per-rank staging used to fix the reduction order.
     stage: Mutex<Vec<Option<Vec<f32>>>>,
+}
+
+/// Per-endpoint fault state: the decision session plus where retries are
+/// traced. Wrapped in a mutex only so endpoint clones (same rank, same
+/// thread) share the decision counter — there is no cross-rank sharing.
+struct FaultState {
+    session: FaultSession,
+    tracer: zo_trace::Tracer,
+    track: String,
 }
 
 /// One rank's endpoint of a thread collective group.
@@ -47,6 +57,9 @@ pub struct Communicator {
     rank: usize,
     world: usize,
     shared: Arc<Shared>,
+    /// Fault-injection state, `None` until installed. Endpoint-local (per
+    /// rank), shared between clones of the same endpoint.
+    faults: Arc<Mutex<Option<FaultState>>>,
 }
 
 impl Clone for Communicator {
@@ -59,6 +72,7 @@ impl Clone for Communicator {
             rank: self.rank,
             world: self.world,
             shared: Arc::clone(&self.shared),
+            faults: Arc::clone(&self.faults),
         }
     }
 }
@@ -81,6 +95,7 @@ impl Communicator {
                 rank,
                 world,
                 shared: Arc::clone(&shared),
+                faults: Arc::new(Mutex::new(None)),
             })
             .collect()
     }
@@ -93,6 +108,33 @@ impl Communicator {
     /// Group size.
     pub fn world(&self) -> usize {
         self.world
+    }
+
+    /// Installs a fault-injection session on this endpoint; retries and
+    /// injected faults are traced on `track`.
+    ///
+    /// Every rank's session must draw on [`zo_fault::lane::COLLECTIVE`]:
+    /// decisions are then keyed only by `(site, operation index)`, and
+    /// because collectives are lock-step per endpoint, all ranks agree on
+    /// every inject/retry/fatal decision — a fatal fault errors out on all
+    /// ranks together instead of deadlocking a barrier.
+    pub fn install_faults(&self, session: FaultSession, tracer: zo_trace::Tracer, track: &str) {
+        *self.faults.lock() = Some(FaultState {
+            session,
+            tracer,
+            track: track.to_string(),
+        });
+    }
+
+    /// Runs the fault gate for one collective at `site`: retries burn
+    /// deterministic backoff without touching the barriers; a fatal or
+    /// exhausted fault returns before any barrier is entered.
+    fn gate(&self, site: Site) -> Result<(), FaultError> {
+        let mut guard = self.faults.lock();
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        with_retry(&mut state.session, site, &state.tracer, &state.track, || ())
     }
 
     fn barrier(&self) {
@@ -157,6 +199,23 @@ impl Communicator {
             .iter()
             .map(|v| v * inv)
             .collect()
+    }
+
+    /// Fault-aware [`Communicator::reduce_scatter_mean`]: transient
+    /// faults at `collective.reduce_scatter` are retried with bounded
+    /// backoff; fatal/exhausted faults surface as a typed error on every
+    /// rank simultaneously (the decision is rank-agreed).
+    pub fn try_reduce_scatter_mean(&self, data: &[f32]) -> Result<Vec<f32>, FaultError> {
+        self.gate(Site::CollectiveReduceScatter)?;
+        Ok(self.reduce_scatter_mean(data))
+    }
+
+    /// Fault-aware [`Communicator::all_gather`] (site
+    /// `collective.allgather`); same retry and rank-agreement semantics as
+    /// [`Communicator::try_reduce_scatter_mean`].
+    pub fn try_all_gather(&self, shard: &[f32], total: usize) -> Result<Vec<f32>, FaultError> {
+        self.gate(Site::CollectiveAllGather)?;
+        Ok(self.all_gather(shard, total))
     }
 
     /// All-gather: assembles per-rank shards (partitioned by
@@ -381,6 +440,92 @@ mod tests {
         for (blocks, v) in out {
             assert_eq!(blocks, vec![vec![0.0], vec![1.0]]);
             assert_eq!(v, vec![2.0]);
+        }
+    }
+
+    #[test]
+    fn try_collectives_without_faults_match_plain() {
+        let out = run_group(2, |c| {
+            let shard = c.try_reduce_scatter_mean(&[2.0, 4.0]).unwrap();
+            c.try_all_gather(&shard, 2).unwrap()
+        });
+        for full in out {
+            assert_eq!(full, vec![2.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn transient_collective_faults_retry_in_lock_step() {
+        use zo_fault::{FaultKind, FaultPlan, FaultSession, SiteSpec};
+        let plan = std::sync::Arc::new(
+            FaultPlan::builder(11)
+                .site(
+                    zo_fault::Site::CollectiveReduceScatter,
+                    SiteSpec {
+                        kind: FaultKind::Transient,
+                        prob: 0.6,
+                        depth: 2,
+                    },
+                )
+                .build(),
+        );
+        let tracer = zo_trace::Tracer::new();
+        let plan2 = std::sync::Arc::clone(&plan);
+        let tracer2 = tracer.clone();
+        let out = run_group(3, move |c| {
+            c.install_faults(
+                FaultSession::new(std::sync::Arc::clone(&plan2), zo_fault::lane::COLLECTIVE),
+                tracer2.clone(),
+                &format!("rank{}", c.rank()),
+            );
+            let mut shards = Vec::new();
+            for _ in 0..8 {
+                shards.push(c.try_reduce_scatter_mean(&[3.0; 7]).unwrap());
+            }
+            shards
+        });
+        // Values are unperturbed by retries...
+        for shards in &out {
+            for s in shards {
+                assert!(s.iter().all(|&v| v == 3.0));
+            }
+        }
+        // ...and with p=0.6 over 8 ops × 3 ranks some retries must show up.
+        assert!(tracer.counter_total(zo_trace::names::RETRY_ATTEMPTS) > 0);
+    }
+
+    #[test]
+    fn fatal_collective_fault_errors_on_all_ranks_without_deadlock() {
+        use zo_fault::{FaultKind, FaultPlan, FaultSession, SiteSpec};
+        let plan = std::sync::Arc::new(
+            FaultPlan::builder(4)
+                .site(
+                    zo_fault::Site::CollectiveAllGather,
+                    SiteSpec {
+                        kind: FaultKind::Fatal,
+                        prob: 1.0,
+                        depth: 1,
+                    },
+                )
+                .build(),
+        );
+        let out = run_group(3, move |c| {
+            c.install_faults(
+                FaultSession::new(std::sync::Arc::clone(&plan), zo_fault::lane::COLLECTIVE),
+                zo_trace::Tracer::disabled(),
+                "comm",
+            );
+            let range = partition_range(6, 3, c.rank());
+            let shard = vec![1.0f32; range.len()];
+            c.try_all_gather(&shard, 6)
+        });
+        for r in out {
+            assert_eq!(
+                r,
+                Err(zo_fault::FaultError::Fatal {
+                    site: zo_fault::Site::CollectiveAllGather
+                })
+            );
         }
     }
 

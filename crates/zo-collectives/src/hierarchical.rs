@@ -85,6 +85,30 @@ impl HierarchicalCost {
             2.0 * shard * (self.nodes - 1) as f64 / self.nodes as f64
         }
     }
+
+    /// Hierarchical all-reduce under a lossy inter-node fabric: each
+    /// inter-node transfer independently fails with probability
+    /// `inter_fault_prob` and is retried until it lands, so the expected
+    /// number of sends per chunk is the geometric `1/(1-p)`. Intra-node
+    /// links (NVSwitch) are modeled as reliable — the fault-injection
+    /// campaigns against the real engines showed retries concentrate on
+    /// the narrow shared uplink, which is exactly the term this inflates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inter_fault_prob` is outside `[0, 1)` (at `p = 1` the
+    /// transfer never completes).
+    pub fn all_reduce_secs_faulty(&self, bytes: f64, inter_fault_prob: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&inter_fault_prob),
+            "inter-node fault probability must be in [0, 1): {inter_fault_prob}"
+        );
+        let shard = bytes / self.gpus_per_node as f64;
+        let retransmit = 1.0 / (1.0 - inter_fault_prob);
+        self.intra.reduce_scatter_secs(bytes)
+            + self.inter.all_reduce_secs(shard) * retransmit
+            + self.intra.all_gather_secs(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +165,25 @@ mod tests {
     #[should_panic(expected = "partial nodes")]
     fn partial_nodes_rejected() {
         HierarchicalCost::new(24, 16, 120.0, 100.0, 0.0);
+    }
+
+    #[test]
+    fn faulty_fabric_inflates_only_the_inter_term() {
+        let c = cluster(128);
+        let bytes = 8e9;
+        let clean = c.all_reduce_secs(bytes);
+        assert_eq!(c.all_reduce_secs_faulty(bytes, 0.0), clean);
+        let lossy = c.all_reduce_secs_faulty(bytes, 0.5);
+        assert!(lossy > clean);
+        // The inflation is exactly one extra inter all-reduce of the shard.
+        let shard = bytes / c.gpus_per_node as f64;
+        let want = clean + c.inter.all_reduce_secs(shard);
+        assert!((lossy - want).abs() / want < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probability")]
+    fn total_loss_rejected() {
+        cluster(32).all_reduce_secs_faulty(1e9, 1.0);
     }
 }

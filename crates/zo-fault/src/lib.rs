@@ -1,0 +1,779 @@
+//! Deterministic seeded fault injection for the ZeRO-Offload path.
+//!
+//! The offload schedule is a chain of transfers, collectives and
+//! asynchronous optimizer work; every hop is a place a real deployment
+//! sees transient PCIe/NIC failures, fp16 overflow storms, or a crash
+//! mid-update. This crate gives the engines a way to *rehearse* those
+//! failures deterministically:
+//!
+//! * a [`FaultPlan`] — a seed plus per-[`Site`] fault specs — decides,
+//!   purely by counter hashing (no wall-clock randomness), which
+//!   operations fail and how;
+//! * a [`FaultSession`] — one consumer's deterministic view of the plan:
+//!   each `(lane, site)` pair owns its own operation counter, so thread
+//!   interleaving can never reorder decisions;
+//! * [`with_retry`] — the bounded exponential-backoff retry loop the
+//!   transport layers wrap around each faultable operation, emitting its
+//!   attempts and backoff as `zo-trace` counters and spans.
+//!
+//! Determinism contract: a [`FaultKind::Transient`] spec with
+//! `depth < RetryPolicy::max_attempts` always recovers within the retry
+//! budget, and a recovered operation runs **exactly once** — so a
+//! transient-injected run's training trajectory is bit-identical to the
+//! fault-free run (asserted by `tests/fault_matrix.rs`). Fatal specs trip
+//! on the first attempt and surface as typed [`FaultError`]s.
+//!
+//! Plans come from the builder or from the `ZO_FAULTS` environment
+//! variable (see [`FaultPlan::from_env`]).
+
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use zo_trace::names;
+
+/// A named injection point in the offload schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Host→device parameter copy-back.
+    WireH2d,
+    /// Device→host gradient transfer (wire frames).
+    WireD2h,
+    /// Gradient reduce-scatter across ranks.
+    CollectiveReduceScatter,
+    /// Parameter all-gather across ranks.
+    CollectiveAllGather,
+    /// The CPU optimizer step.
+    OptimCpuStep,
+    /// Checkpoint file write.
+    CheckpointWrite,
+}
+
+impl Site {
+    /// Every site, in canonical order.
+    pub const ALL: [Site; 6] = [
+        Site::WireH2d,
+        Site::WireD2h,
+        Site::CollectiveReduceScatter,
+        Site::CollectiveAllGather,
+        Site::OptimCpuStep,
+        Site::CheckpointWrite,
+    ];
+
+    /// The site's wire name (the `ZO_FAULTS` grammar key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::WireH2d => "wire.h2d",
+            Site::WireD2h => "wire.d2h",
+            Site::CollectiveReduceScatter => "collective.reduce_scatter",
+            Site::CollectiveAllGather => "collective.allgather",
+            Site::OptimCpuStep => "optim.cpu_step",
+            Site::CheckpointWrite => "checkpoint.write",
+        }
+    }
+
+    /// Parses a wire name back into a site.
+    pub fn parse(name: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Site::WireH2d => 0,
+            Site::WireD2h => 1,
+            Site::CollectiveReduceScatter => 2,
+            Site::CollectiveAllGather => 3,
+            Site::OptimCpuStep => 4,
+            Site::CheckpointWrite => 5,
+        }
+    }
+}
+
+impl core::fmt::Display for Site {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an injected fault does to the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails `depth` consecutive attempts, then succeeds —
+    /// recoverable within the retry budget when `depth < max_attempts`.
+    Transient,
+    /// The operation fails permanently: no retry, typed error.
+    Fatal,
+    /// The operation "succeeds" but delivers a NaN/Inf gradient bucket
+    /// (consumed by the engines' overflow machinery, not by [`with_retry`]).
+    GradNan,
+}
+
+/// Per-site fault specification inside a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteSpec {
+    /// Fault behaviour at this site.
+    pub kind: FaultKind,
+    /// Probability (per operation) that the fault fires, in `[0, 1]`.
+    pub prob: f64,
+    /// Consecutive failing attempts for [`FaultKind::Transient`].
+    pub depth: u32,
+}
+
+/// Bounded deterministic exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts before an operation is abandoned as [`FaultError::Exhausted`].
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, microseconds.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling, microseconds.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_us: 50,
+            max_backoff_us: 800,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff after the `attempt`-th failure (1-based): doubles from
+    /// `base_backoff_us`, capped at `max_backoff_us`. Purely a function of
+    /// the attempt number — no clocks, no randomness.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .base_backoff_us
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        shifted.min(self.max_backoff_us)
+    }
+}
+
+/// A typed, non-recoverable fault surfaced to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// A transient fault outlasted the retry budget.
+    Exhausted {
+        /// Where it happened.
+        site: Site,
+        /// Attempts performed before giving up.
+        attempts: u32,
+    },
+    /// A fatal fault tripped; retrying cannot help.
+    Fatal {
+        /// Where it happened.
+        site: Site,
+    },
+}
+
+impl FaultError {
+    /// The injection site the error originated at.
+    pub fn site(&self) -> Site {
+        match self {
+            FaultError::Exhausted { site, .. } | FaultError::Fatal { site } => *site,
+        }
+    }
+}
+
+impl core::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultError::Exhausted { site, attempts } => {
+                write!(
+                    f,
+                    "transient fault at {site} persisted for {attempts} attempts"
+                )
+            }
+            FaultError::Fatal { site } => write!(f, "fatal fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// splitmix64: the decision hash. Full 64-bit avalanche, so consecutive
+/// operation indices give statistically independent draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, immutable fault schedule: which sites can fail, how, and how
+/// aggressively retries back off.
+///
+/// The plan is pure data; decisions are made by hashing
+/// `(seed, site, lane, operation index)`, so two sessions with the same
+/// lane replay the same fault sequence regardless of wall-clock timing or
+/// thread interleaving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: [Option<SiteSpec>; 6],
+    retry: RetryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::disabled()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the production default).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            sites: [None; 6],
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Starts a builder with the given decision seed.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan {
+                seed,
+                sites: [None; 6],
+                retry: RetryPolicy::default(),
+            },
+        }
+    }
+
+    /// The CI stress preset: every site transient with probability 0.25
+    /// and depth 2 — always within the default retry budget, so the
+    /// trajectory stays bit-identical to the fault-free run.
+    pub fn transient_heavy() -> FaultPlan {
+        let mut b = FaultPlan::builder(0x5A0F_AB1E);
+        for site in Site::ALL {
+            b = b.site(
+                site,
+                SiteSpec {
+                    kind: FaultKind::Transient,
+                    prob: 0.25,
+                    depth: 2,
+                },
+            );
+        }
+        b.build()
+    }
+
+    /// Builds a plan from the `ZO_FAULTS` environment variable.
+    ///
+    /// Accepted values: unset/empty/`off`/`none`/`0` (disabled),
+    /// `transient-heavy` (the CI preset), or a spec string parsed by
+    /// [`FaultPlan::parse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — a CI run with a typo'd `ZO_FAULTS`
+    /// must fail loudly, not silently train fault-free.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("ZO_FAULTS") {
+            Err(_) => FaultPlan::disabled(),
+            Ok(v) => FaultPlan::parse(&v).unwrap_or_else(|e| panic!("bad ZO_FAULTS: {e}")),
+        }
+    }
+
+    /// Parses a plan spec.
+    ///
+    /// Grammar (presets or `;`-separated clauses):
+    ///
+    /// ```text
+    /// off | none | 0 | "" | transient-heavy
+    /// seed=N
+    /// retry=MAX_ATTEMPTS:BASE_US:CAP_US
+    /// <site>=<kind>[:prob[:depth]]      kind ∈ transient|fatal|nan
+    /// ```
+    ///
+    /// Example: `seed=42;wire.d2h=transient:0.3:2;optim.cpu_step=fatal:0.1`.
+    /// Probability defaults to 1.0, depth to 1.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        match spec {
+            "" | "off" | "none" | "0" => return Ok(FaultPlan::disabled()),
+            "transient-heavy" => return Ok(FaultPlan::transient_heavy()),
+            _ => {}
+        }
+        let mut plan = FaultPlan::disabled();
+        plan.seed = 1;
+        for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("clause `{clause}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                }
+                "retry" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    if parts.len() != 3 {
+                        return Err(format!("retry wants MAX:BASE_US:CAP_US, got `{value}`"));
+                    }
+                    plan.retry = RetryPolicy {
+                        max_attempts: parts[0]
+                            .parse()
+                            .map_err(|_| format!("bad max_attempts `{}`", parts[0]))?,
+                        base_backoff_us: parts[1]
+                            .parse()
+                            .map_err(|_| format!("bad base backoff `{}`", parts[1]))?,
+                        max_backoff_us: parts[2]
+                            .parse()
+                            .map_err(|_| format!("bad backoff cap `{}`", parts[2]))?,
+                    };
+                    if plan.retry.max_attempts == 0 {
+                        return Err("retry max_attempts must be at least 1".to_string());
+                    }
+                }
+                site_name => {
+                    let site = Site::parse(site_name)
+                        .ok_or_else(|| format!("unknown fault site `{site_name}`"))?;
+                    let mut parts = value.split(':');
+                    let kind = match parts.next().unwrap_or("") {
+                        "transient" => FaultKind::Transient,
+                        "fatal" => FaultKind::Fatal,
+                        "nan" => FaultKind::GradNan,
+                        other => return Err(format!("unknown fault kind `{other}`")),
+                    };
+                    let prob = match parts.next() {
+                        None => 1.0,
+                        Some(p) => {
+                            let p: f64 = p.parse().map_err(|_| format!("bad probability `{p}`"))?;
+                            if !(0.0..=1.0).contains(&p) {
+                                return Err(format!("probability {p} outside [0, 1]"));
+                            }
+                            p
+                        }
+                    };
+                    let depth = match parts.next() {
+                        None => 1,
+                        Some(d) => d.parse().map_err(|_| format!("bad depth `{d}`"))?,
+                    };
+                    plan.sites[site.index()] = Some(SiteSpec { kind, prob, depth });
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether any site can inject a fault.
+    pub fn is_enabled(&self) -> bool {
+        self.sites.iter().any(|s| s.is_some())
+    }
+
+    /// The spec installed at `site`, if any.
+    pub fn site_spec(&self, site: Site) -> Option<SiteSpec> {
+        self.sites[site.index()]
+    }
+
+    /// The retry policy operations at every site share.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The decision for operation number `index` at `(site, lane)`:
+    /// `None` means the operation proceeds cleanly.
+    fn decide(&self, site: Site, lane: u64, index: u64) -> Option<SiteSpec> {
+        let spec = self.sites[site.index()]?;
+        let mut h = splitmix64(self.seed ^ (0x51_7E << 8) ^ site.index() as u64);
+        h = splitmix64(h ^ lane);
+        h = splitmix64(h ^ index);
+        // 53 high bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (u < spec.prob).then_some(spec)
+    }
+}
+
+/// Builder for [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    /// Installs a fault spec at `site`.
+    #[must_use]
+    pub fn site(mut self, site: Site, spec: SiteSpec) -> FaultPlanBuilder {
+        self.plan.sites[site.index()] = Some(spec);
+        self
+    }
+
+    /// Overrides the retry policy.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> FaultPlanBuilder {
+        self.plan.retry = retry;
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> FaultPlan {
+        self.plan
+    }
+}
+
+/// Deterministic decision lanes. Each independent consumer of a plan draws
+/// on its own lane so its fault sequence cannot be perturbed by other
+/// consumers' operation counts.
+pub mod lane {
+    /// The step pipeline's transfer/update/publish gates. Per-rank
+    /// consumers add their rank to this base.
+    pub const ENGINE: u64 = 0x10;
+    /// The mid-backward gradient stream.
+    pub const STREAM: u64 = 0x20;
+    /// Collective endpoints. All ranks share this lane (collectives are
+    /// lock-step per endpoint), so every rank agrees on each decision and
+    /// fatal faults error out on all ranks together — no barrier deadlock.
+    pub const COLLECTIVE: u64 = 0x30;
+}
+
+/// One consumer's deterministic stream of fault decisions.
+///
+/// Holds a per-site operation counter; `draw` advances it. Counters are
+/// plain integers owned by the session (never shared atomics), so the
+/// decision sequence depends only on the consumer's own operation order.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    plan: Arc<FaultPlan>,
+    lane: u64,
+    counts: [u64; 6],
+}
+
+impl FaultSession {
+    /// A session over `plan`, drawing on `lane`.
+    pub fn new(plan: Arc<FaultPlan>, lane: u64) -> FaultSession {
+        FaultSession {
+            plan,
+            lane,
+            counts: [0; 6],
+        }
+    }
+
+    /// A session that never injects (over the disabled plan).
+    pub fn disabled() -> FaultSession {
+        FaultSession::new(Arc::new(FaultPlan::disabled()), 0)
+    }
+
+    /// Whether this session can inject at all — the zero-cost-when-off
+    /// fast path ([`with_retry`] returns immediately when false).
+    pub fn enabled(&self) -> bool {
+        self.plan.is_enabled()
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// Draws the next decision for one operation at `site`.
+    pub fn draw(&mut self, site: Site) -> Option<SiteSpec> {
+        if !self.enabled() {
+            return None;
+        }
+        let index = self.counts[site.index()];
+        self.counts[site.index()] += 1;
+        self.plan.decide(site, self.lane, index)
+    }
+
+    /// Draws one gradient-corruption decision at `site`: `true` when the
+    /// site is configured with [`FaultKind::GradNan`] and the draw fires.
+    pub fn grad_nan(&mut self, site: Site) -> bool {
+        matches!(
+            self.draw(site),
+            Some(SiteSpec {
+                kind: FaultKind::GradNan,
+                ..
+            })
+        )
+    }
+}
+
+/// Runs `op` at `site` under the session's plan with bounded
+/// exponential-backoff retry.
+///
+/// * Clean draw (or [`FaultKind::GradNan`], which is not a transport
+///   failure): `op` runs once, `Ok`.
+/// * Transient with depth `d`: the first `d` attempts fail; each failure
+///   emits `fault.injected`, and each retry emits `retry.attempts`, a
+///   `retry.backoff_us` counter and a `retry_backoff` span on `track`,
+///   then sleeps the deterministic backoff. If `d` reaches the policy's
+///   `max_attempts` the operation is abandoned as
+///   [`FaultError::Exhausted`] **without running `op`**.
+/// * Fatal: `fault.injected`, then [`FaultError::Fatal`] — `op` never runs.
+///
+/// On success `op` runs exactly once, after the injected failures — which
+/// is why transient faults cannot perturb training numerics.
+pub fn with_retry<T>(
+    session: &mut FaultSession,
+    site: Site,
+    tracer: &zo_trace::Tracer,
+    track: &str,
+    op: impl FnOnce() -> T,
+) -> Result<T, FaultError> {
+    if !session.enabled() {
+        return Ok(op());
+    }
+    let spec = match session.draw(site) {
+        None => return Ok(op()),
+        Some(spec) => spec,
+    };
+    match spec.kind {
+        FaultKind::GradNan => Ok(op()),
+        FaultKind::Fatal => {
+            tracer.add(track, names::FAULT_INJECTED, 1);
+            Err(FaultError::Fatal { site })
+        }
+        FaultKind::Transient => {
+            let policy = session.plan.retry();
+            let failures = spec.depth;
+            for attempt in 1..=failures.min(policy.max_attempts) {
+                tracer.add(track, names::FAULT_INJECTED, 1);
+                if attempt == policy.max_attempts {
+                    return Err(FaultError::Exhausted {
+                        site,
+                        attempts: attempt,
+                    });
+                }
+                let backoff = policy.backoff_us(attempt);
+                tracer.add(track, names::RETRY_ATTEMPTS, 1);
+                tracer.add(track, names::RETRY_BACKOFF_US, backoff);
+                let start = tracer.now_us();
+                std::thread::sleep(std::time::Duration::from_micros(backoff));
+                tracer.record_span(track, names::RETRY_BACKOFF_SPAN, start, backoff);
+            }
+            Ok(op())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan registry: `Copy` engine configs reference installed plans by index,
+// mirroring the `zo-trace` tracer registry.
+
+static REGISTRY: OnceLock<Mutex<Vec<Arc<FaultPlan>>>> = OnceLock::new();
+
+/// Pins `plan` into the process-wide registry; returns its index.
+pub fn install(plan: FaultPlan) -> usize {
+    let reg = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+    let mut reg = reg.lock().expect("fault registry lock");
+    reg.push(Arc::new(plan));
+    reg.len() - 1
+}
+
+/// Resolves an [`install`]ed plan (`None` if the index is unknown).
+pub fn lookup(index: usize) -> Option<Arc<FaultPlan>> {
+    let reg = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+    let reg = reg.lock().expect("fault registry lock");
+    reg.get(index).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient_plan(prob: f64, depth: u32) -> FaultPlan {
+        FaultPlan::builder(7)
+            .site(
+                Site::WireD2h,
+                SiteSpec {
+                    kind: FaultKind::Transient,
+                    prob,
+                    depth,
+                },
+            )
+            .build()
+    }
+
+    #[test]
+    fn site_names_roundtrip() {
+        for site in Site::ALL {
+            assert_eq!(Site::parse(site.name()), Some(site));
+        }
+        assert_eq!(Site::parse("wire.bogus"), None);
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let mut s = FaultSession::disabled();
+        assert!(!s.enabled());
+        for _ in 0..100 {
+            assert_eq!(s.draw(Site::WireD2h), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_lane_scoped() {
+        let plan = Arc::new(transient_plan(0.5, 1));
+        let draws = |lane: u64| -> Vec<bool> {
+            let mut s = FaultSession::new(Arc::clone(&plan), lane);
+            (0..64).map(|_| s.draw(Site::WireD2h).is_some()).collect()
+        };
+        assert_eq!(draws(1), draws(1), "same lane must replay identically");
+        assert_ne!(draws(1), draws(2), "lanes must be independent");
+        let fired = draws(1).iter().filter(|&&f| f).count();
+        assert!((10..55).contains(&fired), "p=0.5 over 64 draws: {fired}");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let mut always = FaultSession::new(Arc::new(transient_plan(1.0, 1)), 3);
+        let mut never = FaultSession::new(Arc::new(transient_plan(0.0, 1)), 3);
+        for _ in 0..32 {
+            assert!(always.draw(Site::WireD2h).is_some());
+            assert!(never.draw(Site::WireD2h).is_none());
+        }
+    }
+
+    #[test]
+    fn with_retry_recovers_within_budget_and_runs_op_once() {
+        let tracer = zo_trace::Tracer::new();
+        let mut s = FaultSession::new(Arc::new(transient_plan(1.0, 2)), 5);
+        let mut runs = 0;
+        let out = with_retry(&mut s, Site::WireD2h, &tracer, "pcie", || {
+            runs += 1;
+            42
+        });
+        assert_eq!(out, Ok(42));
+        assert_eq!(runs, 1, "a recovered op must execute exactly once");
+        assert_eq!(tracer.counter_total(zo_trace::names::FAULT_INJECTED), 2);
+        assert_eq!(tracer.counter_total(zo_trace::names::RETRY_ATTEMPTS), 2);
+        assert!(tracer.counter_total(zo_trace::names::RETRY_BACKOFF_US) > 0);
+        assert_eq!(
+            tracer
+                .spans_named(zo_trace::names::RETRY_BACKOFF_SPAN)
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn with_retry_exhausts_deep_transients_without_running_op() {
+        let tracer = zo_trace::Tracer::new();
+        let plan = FaultPlan::builder(7)
+            .site(
+                Site::OptimCpuStep,
+                SiteSpec {
+                    kind: FaultKind::Transient,
+                    prob: 1.0,
+                    depth: 99,
+                },
+            )
+            .retry(RetryPolicy {
+                max_attempts: 3,
+                base_backoff_us: 1,
+                max_backoff_us: 4,
+            })
+            .build();
+        let mut s = FaultSession::new(Arc::new(plan), 1);
+        let mut runs = 0;
+        let out = with_retry(&mut s, Site::OptimCpuStep, &tracer, "cpu", || runs += 1);
+        assert_eq!(
+            out,
+            Err(FaultError::Exhausted {
+                site: Site::OptimCpuStep,
+                attempts: 3
+            })
+        );
+        assert_eq!(runs, 0, "an abandoned op must never run");
+    }
+
+    #[test]
+    fn with_retry_fatal_is_immediate() {
+        let tracer = zo_trace::Tracer::new();
+        let plan = FaultPlan::builder(9)
+            .site(
+                Site::WireH2d,
+                SiteSpec {
+                    kind: FaultKind::Fatal,
+                    prob: 1.0,
+                    depth: 1,
+                },
+            )
+            .build();
+        let mut s = FaultSession::new(Arc::new(plan), 1);
+        let out = with_retry(&mut s, Site::WireH2d, &tracer, "pcie", || ());
+        assert_eq!(
+            out,
+            Err(FaultError::Fatal {
+                site: Site::WireH2d
+            })
+        );
+        assert_eq!(tracer.counter_total(zo_trace::names::RETRY_ATTEMPTS), 0);
+    }
+
+    #[test]
+    fn grad_nan_draws_fire_only_for_nan_specs() {
+        let plan = FaultPlan::builder(3)
+            .site(
+                Site::WireD2h,
+                SiteSpec {
+                    kind: FaultKind::GradNan,
+                    prob: 1.0,
+                    depth: 1,
+                },
+            )
+            .build();
+        let mut s = FaultSession::new(Arc::new(plan), 1);
+        assert!(s.grad_nan(Site::WireD2h));
+        let mut t = FaultSession::new(Arc::new(transient_plan(1.0, 1)), 1);
+        assert!(!t.grad_nan(Site::WireD2h), "transient specs are not NaN");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 50,
+            max_backoff_us: 300,
+        };
+        assert_eq!(p.backoff_us(1), 50);
+        assert_eq!(p.backoff_us(2), 100);
+        assert_eq!(p.backoff_us(3), 200);
+        assert_eq!(p.backoff_us(4), 300);
+        assert_eq!(p.backoff_us(40), 300, "huge attempts must not overflow");
+    }
+
+    #[test]
+    fn parse_grammar() {
+        assert!(!FaultPlan::parse("off").unwrap().is_enabled());
+        assert!(!FaultPlan::parse("").unwrap().is_enabled());
+        let heavy = FaultPlan::parse("transient-heavy").unwrap();
+        assert_eq!(heavy, FaultPlan::transient_heavy());
+        for site in Site::ALL {
+            let spec = heavy.site_spec(site).expect("every site configured");
+            assert_eq!(spec.kind, FaultKind::Transient);
+            assert!(spec.depth < heavy.retry().max_attempts);
+        }
+        let custom = FaultPlan::parse(
+            "seed=42;wire.d2h=transient:0.3:2;optim.cpu_step=fatal:0.1;retry=4:10:80",
+        )
+        .unwrap();
+        let d2h = custom.site_spec(Site::WireD2h).unwrap();
+        assert_eq!(d2h.kind, FaultKind::Transient);
+        assert_eq!(d2h.prob, 0.3);
+        assert_eq!(d2h.depth, 2);
+        let cpu = custom.site_spec(Site::OptimCpuStep).unwrap();
+        assert_eq!(cpu.kind, FaultKind::Fatal);
+        assert_eq!(custom.retry().max_attempts, 4);
+        assert!(custom.site_spec(Site::WireH2d).is_none());
+
+        assert!(FaultPlan::parse("wire.bogus=fatal").is_err());
+        assert!(FaultPlan::parse("wire.d2h=sideways").is_err());
+        assert!(FaultPlan::parse("wire.d2h=transient:1.5").is_err());
+        assert!(FaultPlan::parse("retry=1:2").is_err());
+        assert!(FaultPlan::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn registry_installs_and_resolves() {
+        let ix = install(FaultPlan::transient_heavy());
+        let plan = lookup(ix).expect("installed plan resolves");
+        assert!(plan.is_enabled());
+        assert!(lookup(ix + 100_000).is_none());
+    }
+}

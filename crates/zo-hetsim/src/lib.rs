@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fault;
 mod memory;
 pub mod presets;
 mod sim;
@@ -22,6 +23,7 @@ pub mod specs;
 pub mod trace;
 
 pub use error::SimError;
+pub use fault::FaultyLinkSpec;
 pub use memory::{Allocation, MemoryPool};
 pub use sim::{ScheduledTask, Sim, StreamId, TaskId, Timeline};
 pub use specs::{ClusterSpec, CpuSpec, GpuSpec, LinkSpec, NodeSpec, GIB};

@@ -134,6 +134,16 @@ impl DelayedUpdate {
             None => Ok(false),
         }
     }
+
+    /// Drops the stashed gradient without applying it, returning it.
+    ///
+    /// Crash-recovery hook: when a step dies after the delayed update but
+    /// before its result is published, resuming replays the step from the
+    /// last checkpoint — the in-flight gradient of the *dead* attempt must
+    /// be discarded, not applied on top of the restored state.
+    pub fn discard_pending(&mut self) -> Option<Vec<f32>> {
+        self.pending.take()
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +225,19 @@ mod tests {
         dpu.step(&mut p, &[1.0, 1.0]).unwrap();
         let mut p3 = vec![0.0f32; 3];
         assert!(dpu.step(&mut p3, &[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn discard_pending_drops_in_flight_work_untouched() {
+        let mut dpu = DelayedUpdate::new(opt(2), 0);
+        let mut p = vec![1.0f32, -1.0];
+        dpu.step(&mut p, &[0.5, 0.5]).unwrap(); // Transition: stashes.
+        assert!(dpu.has_pending());
+        let before = p.clone();
+        let dropped = dpu.discard_pending();
+        assert_eq!(dropped.as_deref(), Some(&[0.5f32, 0.5][..]));
+        assert!(!dpu.has_pending());
+        assert_eq!(p, before, "discard must not apply the gradient");
+        assert!(!dpu.flush(&mut p).unwrap(), "nothing left to flush");
     }
 }

@@ -55,6 +55,7 @@ pub struct DynamicLossScaler {
     good_steps: u32,
     overflow_count: u64,
     skipped_steps: u64,
+    consecutive_skips: u32,
 }
 
 impl Default for DynamicLossScaler {
@@ -72,6 +73,7 @@ impl DynamicLossScaler {
             good_steps: 0,
             overflow_count: 0,
             skipped_steps: 0,
+            consecutive_skips: 0,
         }
     }
 
@@ -95,6 +97,16 @@ impl DynamicLossScaler {
         self.skipped_steps
     }
 
+    /// Consecutive overflow-skipped steps since the last applied step —
+    /// the "overflow storm" detector. A healthy run occasionally skips
+    /// one step while the scale backs off; a run whose gradients are
+    /// genuinely non-finite skips every step, and this counter lets the
+    /// engine surface that as a typed error instead of silently training
+    /// nothing (resets to zero when an update applies, and on restore).
+    pub fn consecutive_skips(&self) -> u32 {
+        self.consecutive_skips
+    }
+
     /// Checks a gradient buffer for overflow (NaN/Inf after unscaling).
     pub fn check_overflow(&self, grads: &[f32]) -> bool {
         zo_tensor::ops::has_non_finite(grads)
@@ -108,10 +120,12 @@ impl DynamicLossScaler {
         if overflow {
             self.overflow_count += 1;
             self.skipped_steps += 1;
+            self.consecutive_skips += 1;
             self.good_steps = 0;
             self.scale = (self.scale * self.cfg.backoff_factor).max(self.cfg.min_scale);
             false
         } else {
+            self.consecutive_skips = 0;
             self.good_steps += 1;
             if self.good_steps >= self.cfg.growth_interval {
                 self.good_steps = 0;
@@ -131,10 +145,12 @@ impl DynamicLossScaler {
         (self.scale, self.good_steps)
     }
 
-    /// Restores a [`DynamicLossScaler::snapshot`].
+    /// Restores a [`DynamicLossScaler::snapshot`]. The storm detector
+    /// restarts from zero: a resume is a fresh chance to make progress.
     pub fn restore(&mut self, snapshot: (f32, u32)) {
         self.scale = snapshot.0.max(self.cfg.min_scale);
         self.good_steps = snapshot.1;
+        self.consecutive_skips = 0;
     }
 }
 
@@ -182,6 +198,25 @@ mod tests {
         assert_eq!(s.scale(), 2.0); // One good step is not enough yet.
         s.update(false);
         assert_eq!(s.scale(), 4.0);
+    }
+
+    #[test]
+    fn consecutive_skips_track_storms_and_reset() {
+        let mut s = DynamicLossScaler::default();
+        assert_eq!(s.consecutive_skips(), 0);
+        s.update(true);
+        s.update(true);
+        s.update(true);
+        assert_eq!(s.consecutive_skips(), 3);
+        assert_eq!(s.skipped_steps(), 3);
+        s.update(false); // A good step breaks the storm...
+        assert_eq!(s.consecutive_skips(), 0);
+        assert_eq!(s.skipped_steps(), 3); // ...but the total persists.
+        s.update(true);
+        assert_eq!(s.consecutive_skips(), 1);
+        let snap = s.snapshot();
+        s.restore(snap); // A resume restarts the detector.
+        assert_eq!(s.consecutive_skips(), 0);
     }
 
     #[test]

@@ -33,6 +33,29 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+/// Canonical counter and span names shared by the resilience layer.
+///
+/// The fault-injection subsystem (`zo-fault`) and every engine that hosts
+/// it emit retries and injected faults under these names, so tests and
+/// dashboards can key on them without stringly-typed drift.
+pub mod names {
+    /// Counter: faults injected (transient failures and fatal trips).
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Counter: NaN/Inf gradient buckets injected.
+    pub const FAULT_GRAD_NAN: &str = "fault.grad_nan";
+    /// Counter: streamed-offload windows that degraded to the post-hoc
+    /// transfer path after a mid-backward transfer fault.
+    pub const FAULT_STREAM_FALLBACK: &str = "fault.stream_fallback";
+    /// Counter: retry attempts performed after transient faults.
+    pub const RETRY_ATTEMPTS: &str = "retry.attempts";
+    /// Counter: cumulative deterministic backoff, microseconds.
+    pub const RETRY_BACKOFF_US: &str = "retry.backoff_us";
+    /// Span: one backoff interval between retry attempts.
+    pub const RETRY_BACKOFF_SPAN: &str = "retry_backoff";
+    /// Counter: optimizer steps skipped because of fp16 overflow.
+    pub const OPTIM_OVERFLOW: &str = "optim.overflow";
+}
+
 /// One completed interval on a track (microseconds since the epoch).
 ///
 /// This is the common currency between real runs and the `zo-hetsim`

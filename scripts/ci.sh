@@ -35,6 +35,25 @@ if [ "$fp1" != "$fp4" ]; then
     exit 1
 fi
 
+echo "== zo-fault unit tests"
+cargo test -q -p zo-fault
+
+echo "== fault matrix (ZO_FAULTS=off)"
+ZO_FAULTS=off cargo test -q --release --test fault_matrix
+
+echo "== fault matrix (ZO_FAULTS=transient-heavy)"
+ZO_FAULTS=transient-heavy cargo test -q --release --test fault_matrix
+
+echo "== fault-invariance fingerprint (ZO_FAULTS=off vs transient-heavy)"
+fp_off=$(ZO_FAULTS=off ./target/release/fingerprint | awk '{print $2}')
+fp_hvy=$(ZO_FAULTS=transient-heavy ./target/release/fingerprint | awk '{print $2}')
+echo "   ZO_FAULTS=off             -> $fp_off"
+echo "   ZO_FAULTS=transient-heavy -> $fp_hvy"
+if [ "$fp_off" != "$fp_hvy" ]; then
+    echo "FAIL: recovered transient faults perturbed the training trajectory" >&2
+    exit 1
+fi
+
 echo "== benches compile"
 cargo build -q --benches -p zo-bench
 
