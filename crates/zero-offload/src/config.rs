@@ -135,6 +135,18 @@ pub struct ZeroOffloadConfig {
     /// Consecutive overflow-skipped steps tolerated before the engine
     /// surfaces a typed overflow-storm error (`0` disables the detector).
     pub overflow_storm_limit: u32,
+    /// Stage-3 prefetch window: how many upcoming non-resident layers the
+    /// parameter-partitioned engine gathers ahead of the one it is about
+    /// to run. `0` means strictly just-in-time. Only read by
+    /// [`Zero3OffloadEngine`](crate::zero3::Zero3OffloadEngine);
+    /// prefetching changes wall-clock overlap, never values.
+    pub prefetch_layers: usize,
+    /// Stage-3 persistent-parameter byte budget: gathered layers whose
+    /// full fp16 footprint fits in this LRU budget stay resident across
+    /// steps instead of being released after use (DeepSpeed's
+    /// "persistent parameters"). `0` releases every non-owned shard
+    /// immediately after each sweep.
+    pub persistent_param_bytes: usize,
 }
 
 impl Default for ZeroOffloadConfig {
@@ -153,6 +165,8 @@ impl Default for ZeroOffloadConfig {
             tracer: None,
             faults: None,
             overflow_storm_limit: 0,
+            prefetch_layers: 1,
+            persistent_param_bytes: 0,
         }
     }
 }

@@ -49,6 +49,7 @@ mod perf;
 mod pipeline;
 pub mod wire;
 mod zero2;
+mod zero3;
 
 pub use checkpoint::{
     decode_checkpoint_bytes, encode_checkpoint_bytes, CheckpointError, DpuCheckpoint,
@@ -60,3 +61,4 @@ pub use overlap::{AsyncDpu, DpuUpdate};
 pub use perf::{IterStats, ZeroOffloadPerf};
 pub use pipeline::{GradStream, StepError};
 pub use zero2::{run_ranks, Zero2OffloadEngine};
+pub use zero3::{run_zero3_ranks, Zero3Cache, Zero3Event, Zero3OffloadEngine, Zero3Plan};

@@ -40,6 +40,42 @@ pub fn cpu_bytes(cfg: &TransformerConfig, _mp_degree: u64) -> u64 {
     18 * cfg.total_params()
 }
 
+/// GPU bytes per rank to train `cfg` under stage-3 parameter
+/// partitioning with `world` data-parallel ranks.
+///
+/// Where ZeRO-2 keeps the full `2M` fp16 replica resident, stage 3 holds
+/// only this rank's owned shard (`2M/N`) plus a bounded transient working
+/// set:
+///
+/// * the persistent-parameter LRU budget (`persistent_param_bytes`) of
+///   small layers pinned across steps,
+/// * at most `prefetch_layers + 1` in-flight gathered layers (the one
+///   running plus the prefetch window), each bounded by the largest
+///   layer's fp16 footprint,
+/// * the same gradient staging bucket and activations as the other
+///   stages.
+///
+/// This is the residency bound `tests/zero3_traffic.rs` checks against
+/// the live engine's `param_hwm_bytes` gauge.
+pub fn gpu_bytes_stage3(
+    cfg: &TransformerConfig,
+    micro_batch: u64,
+    world: u64,
+    persistent_param_bytes: u64,
+    prefetch_layers: u64,
+) -> u64 {
+    let params = cfg.total_params();
+    let shard16 = 2 * params.div_ceil(world);
+    let per_layer = TransformerConfig::gpt2_like(1, cfg.hidden).params_per_layer();
+    let emb = TransformerConfig::gpt2_like(0, cfg.hidden).total_params();
+    let max_layer16 = 2 * per_layer.max(emb);
+    shard16
+        + persistent_param_bytes
+        + (prefetch_layers + 1) * max_layer16
+        + GRAD_BUCKET_BYTES
+        + activation_bytes_mp(cfg, micro_batch, 1)
+}
+
 /// Usable fraction of host memory after pinned-buffer and OS reserves.
 pub const USABLE_CPU_FRACTION: f64 = 0.85;
 
@@ -135,6 +171,34 @@ mod tests {
         // Model-parallel shards co-resident on one host sum to the whole
         // model: the aggregate does not shrink with the MP degree.
         assert_eq!(cpu_bytes(&cfg, 2), cpu_bytes(&cfg, 1));
+    }
+
+    #[test]
+    fn stage3_shrinks_the_per_rank_parameter_footprint() {
+        let cfg = TransformerConfig::gpt2_like(50, 4096); // ~10B
+        let params = cfg.total_params();
+        let z2 = gpu_bytes(&cfg, 1, 1);
+        for world in [2u64, 4, 16] {
+            let z3 = gpu_bytes_stage3(&cfg, 1, world, 0, 1);
+            assert!(z3 < z2, "world {world}: stage3 {z3} not below zero2 {z2}");
+            // The saving is the replica minus the shard, up to the bounded
+            // transient working set.
+            let saved = z2 - z3;
+            let replica_minus_shard = 2 * params - 2 * params.div_ceil(world);
+            assert!(saved <= replica_minus_shard);
+            let per_layer = TransformerConfig::gpt2_like(1, cfg.hidden).params_per_layer();
+            let emb = TransformerConfig::gpt2_like(0, cfg.hidden).total_params();
+            let working = 2 * 2 * per_layer.max(emb); // (prefetch 1 + 1) layers
+            assert!(saved + working >= replica_minus_shard);
+        }
+        // Cache budget and prefetch window are additive and monotone.
+        let base = gpu_bytes_stage3(&cfg, 1, 4, 0, 0);
+        assert_eq!(gpu_bytes_stage3(&cfg, 1, 4, 1 << 20, 0), base + (1 << 20));
+        assert!(gpu_bytes_stage3(&cfg, 1, 4, 0, 3) > base);
+        // At world 1 with no cache, stage 3 still bounds its working set:
+        // the full replica plus at most the in-flight layers.
+        let z3_single = gpu_bytes_stage3(&cfg, 1, 1, 0, 0);
+        assert!(z3_single >= z2);
     }
 
     #[test]

@@ -99,6 +99,20 @@ pub(crate) trait Placement<M: Model> {
     /// Track carrying the `steps_applied` / `steps_skipped` counters.
     fn counter_track(&self) -> &str;
 
+    /// Materialises whatever parameters the upcoming forward/backward
+    /// needs. A no-op for placements that keep a full replica; the stage-3
+    /// placement runs its gather/release schedule here (gated by the
+    /// `collective.param_allgather` / `param.release` fault sites).
+    fn pre_forward(
+        &mut self,
+        _model: &mut M,
+        _p16: &[F16],
+        _stats: &mut EngineStats,
+        _tracer: &Tracer,
+    ) -> Result<(), FaultError> {
+        Ok(())
+    }
+
     /// Moves this member's gradients off the device into `grads` (sized
     /// for the optimizer input: full model or shard), applying loss-scale
     /// fp16 rounding. Returns the *local* overflow flag. Transfer-layer
@@ -527,6 +541,14 @@ impl StepPipeline {
     {
         if self.micro_in_window == 0 {
             model.zero_grads();
+        }
+        // Stage-3 placements gather the layers this micro-batch needs
+        // before compute starts; a fatal gather fault surfaces before any
+        // state mutates, on every rank together (shared collective lane).
+        if let Err(f) = placement.pre_forward(model, &self.p16, &mut self.stats, &self.tracer) {
+            let closes = placement.closes_step();
+            self.close_boundary(closes);
+            return Err(StepError::Fault(f));
         }
         let loss = {
             let _fwd = self.tracer.span(placement.fwd_track(), "fwd_bwd");

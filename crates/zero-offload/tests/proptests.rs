@@ -8,6 +8,7 @@
 use proptest::prelude::*;
 use zero_offload::bucket::{scatter_frames, GradBucketer};
 use zero_offload::wire::{decode_frame, encode_frame, frame_bytes, WireError, HEADER_BYTES};
+use zero_offload::{run_zero3_ranks, Zero3Cache, Zero3Event, Zero3Plan, ZeroOffloadConfig};
 use zo_tensor::F16;
 
 fn f16_vec(max_len: usize) -> impl Strategy<Value = Vec<F16>> {
@@ -151,6 +152,155 @@ proptest! {
         }
         for (i, v) in c.iter().enumerate() {
             prop_assert_eq!(dst[b_off as usize + i], v.to_f32());
+        }
+    }
+}
+
+/// Cumulative layer ranges over random per-layer sizes.
+fn layer_ranges(sizes: &[usize]) -> Vec<core::ops::Range<usize>> {
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut at = 0;
+    for &s in sizes {
+        out.push(at..at + s);
+        at += s;
+    }
+    out
+}
+
+proptest! {
+    /// For any layer-size vector and world size, the stage-3 shard
+    /// ownership is a disjoint exact cover of the parameter space: every
+    /// index is owned by exactly one rank, ranges are contiguous and in
+    /// rank order.
+    #[test]
+    fn stage3_ownership_is_a_disjoint_exact_cover(
+        sizes in prop::collection::vec(1usize..60, 1..12),
+        world in 1usize..6,
+    ) {
+        let layers = layer_ranges(&sizes);
+        let total: usize = sizes.iter().sum();
+        let mut at = 0;
+        for rank in 0..world {
+            let plan = Zero3Plan::new(layers.clone(), total, world, rank, 0, 0);
+            let own = plan.owned_range();
+            prop_assert_eq!(own.start, at, "rank {} starts where rank {} ended", rank, rank.max(1) - 1);
+            prop_assert!(own.end >= own.start);
+            at = own.end;
+        }
+        prop_assert_eq!(at, total, "ranks must tile the whole parameter space");
+    }
+
+    /// Replaying the gather/release schedule for any layer sizes, world,
+    /// prefetch and cache budget: resident non-owned bytes never exceed
+    /// cache budget + prefetch window, the LRU never admits past its
+    /// budget, every transient is released by sweep end, and the cache's
+    /// high-water mark equals the replayed maximum.
+    #[test]
+    fn stage3_schedule_never_exceeds_the_residency_budget(
+        sizes in prop::collection::vec(1usize..60, 1..12),
+        world in 1usize..6,
+        rank_pick in 0usize..6,
+        prefetch in 0usize..4,
+        budget in 0usize..4000,
+        steps in 1usize..4,
+    ) {
+        let layers = layer_ranges(&sizes);
+        let total: usize = sizes.iter().sum();
+        let rank = rank_pick % world;
+        let plan = Zero3Plan::new(layers.clone(), total, world, rank, prefetch, budget);
+        let max_layer_bytes = layers.iter().map(|r| 2 * r.len() as u64).max().unwrap();
+        let window = (prefetch as u64 + 1) * max_layer_bytes;
+
+        let mut cache = Zero3Cache::new();
+        let mut running = 0u64; // non-owned fp16 bytes currently resident
+        let mut replayed_peak = 0u64;
+        for _ in 0..steps {
+            for ev in plan.micro_batch_events(&mut cache) {
+                match ev {
+                    Zero3Event::Gather { layer, recv_bytes } => {
+                        prop_assert_eq!(recv_bytes, plan.layer_nonowned_bytes(layer));
+                        running += recv_bytes;
+                    }
+                    Zero3Event::Release { freed_bytes, .. } => {
+                        prop_assert!(freed_bytes <= running, "released more than resident");
+                        running -= freed_bytes;
+                    }
+                    Zero3Event::Hit { .. } | Zero3Event::Refresh { .. } => {}
+                }
+                prop_assert!(
+                    running <= budget as u64 + window,
+                    "resident non-owned {} exceeds budget {} + window {}",
+                    running, budget, window
+                );
+                replayed_peak = replayed_peak.max(2 * plan.owned_range().len() as u64 + running);
+            }
+            // Sweep done: only cache-resident layers remain materialised.
+            let cached_nonowned: u64 = cache
+                .cached_layers()
+                .iter()
+                .map(|&l| plan.layer_nonowned_bytes(l))
+                .sum();
+            prop_assert_eq!(running, cached_nonowned, "transients leaked past the sweep");
+            prop_assert!(cache.cached_full_bytes() <= budget as u64, "LRU admitted past its budget");
+            // The refresh schedule touches exactly the cached layers.
+            for ev in plan.publish_events(&cache) {
+                match ev {
+                    Zero3Event::Refresh { layer, recv_bytes } => {
+                        prop_assert!(cache.cached_layers().contains(&layer));
+                        prop_assert_eq!(recv_bytes, plan.layer_nonowned_bytes(layer));
+                    }
+                    other => prop_assert!(false, "unexpected publish event {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(cache.peak_bytes(), replayed_peak, "high-water mark drifted from replay");
+    }
+}
+
+proptest! {
+    // Engine runs are costly; a handful of random seeds is plenty to pin
+    // the invariant on top of the deterministic tests in
+    // `tests/zero3_equivalence.rs`.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The prefetch depth is pure scheduling: for any model seed, worlds
+    /// of 2 with prefetch 0, 1 and 3 produce bit-identical shards and
+    /// losses.
+    #[test]
+    fn stage3_prefetch_depth_is_bitwise_invariant(seed in 0u64..1_000_000) {
+        let gpt = zo_nn::GptConfig { vocab: 16, seq_len: 8, hidden: 8, heads: 2, layers: 1 };
+        let run = |prefetch: usize| {
+            let cfg = ZeroOffloadConfig {
+                prefetch_layers: prefetch,
+                ..ZeroOffloadConfig::default()
+            };
+            run_zero3_ranks(
+                2,
+                cfg,
+                move |_| zo_nn::GptModel::new(gpt, seed),
+                move |engine| {
+                    let mut data = zo_models::BigramLm::new(16, 0.05, seed.wrapping_add(1));
+                    let mut losses = Vec::new();
+                    for _ in 0..3 {
+                        let b = data.batch(2, 8);
+                        let r = engine.rank();
+                        let inputs = b.inputs[r * 8..(r + 1) * 8].to_vec();
+                        let targets = b.targets[r * 8..(r + 1) * 8].to_vec();
+                        let out = engine
+                            .step(|m| m.train_step(&inputs, &targets, 1, 8, |_| {}))
+                            .unwrap();
+                        losses.push(out.loss().to_bits());
+                    }
+                    let shard: Vec<u32> =
+                        engine.master_shard().iter().map(|v| v.to_bits()).collect();
+                    (shard, losses)
+                },
+            )
+        };
+        let base = run(0);
+        for prefetch in [1usize, 3] {
+            let got = run(prefetch);
+            prop_assert_eq!(&base, &got, "prefetch {} diverged", prefetch);
         }
     }
 }

@@ -12,10 +12,15 @@
 //! ```text
 //! ZO_THREADS=4 fingerprint [--steps N]
 //! ```
+//!
+//! With `ZO_STAGE=3` the same fingerprint is computed over a two-rank
+//! ZeRO-3 run (rank 0's per-step losses, then every rank's master shard
+//! in rank order), so CI can prove the thread-invariance claim holds for
+//! the parameter-partitioned engine too.
 
 use std::process::ExitCode;
 
-use zero_offload::{ZeroOffloadConfig, ZeroOffloadEngine};
+use zero_offload::{run_zero3_ranks, ZeroOffloadConfig, ZeroOffloadEngine};
 use zo_models::BigramLm;
 use zo_nn::{GptConfig, GptModel};
 use zo_optim::{AdamParams, LossScaleConfig};
@@ -75,25 +80,61 @@ fn main() -> ExitCode {
         optimizer_threads: 0,
         ..ZeroOffloadConfig::default()
     };
-    let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), cfg);
-    let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
-
+    let stage3 = std::env::var("ZO_STAGE").is_ok_and(|v| v == "3");
     let mut hash = Fnv::new();
-    for _ in 0..steps {
-        let b = data.batch(4, gpt.seq_len);
-        let outcome = engine
-            .step_streamed(|m, s| m.train_step_hooked(&b.inputs, &b.targets, 4, gpt.seq_len, s))
-            .expect("training step");
-        hash.write(&outcome.loss().to_bits().to_le_bytes());
-    }
-    for p in engine.master_params() {
-        hash.write(&p.to_bits().to_le_bytes());
+    if stage3 {
+        // Two-rank ZeRO-3 run: each rank trains on its slice of the same
+        // deterministic global batch stream.
+        const WORLD: usize = 2;
+        let traces = run_zero3_ranks(
+            WORLD,
+            cfg,
+            move |_| GptModel::new(gpt, 42),
+            move |engine| {
+                let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
+                let mut losses = Vec::new();
+                for _ in 0..steps {
+                    let b = data.batch(WORLD, gpt.seq_len);
+                    let r = engine.rank();
+                    let n = gpt.seq_len;
+                    let inputs = b.inputs[r * n..(r + 1) * n].to_vec();
+                    let targets = b.targets[r * n..(r + 1) * n].to_vec();
+                    let out = engine
+                        .step(|m| m.train_step(&inputs, &targets, 1, n, |_| {}))
+                        .expect("training step");
+                    losses.push(out.loss());
+                }
+                (losses, engine.master_shard().to_vec())
+            },
+        );
+        for loss in &traces[0].0 {
+            hash.write(&loss.to_bits().to_le_bytes());
+        }
+        for (_, shard) in &traces {
+            for p in shard {
+                hash.write(&p.to_bits().to_le_bytes());
+            }
+        }
+    } else {
+        let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), cfg);
+        let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
+        for _ in 0..steps {
+            let b = data.batch(4, gpt.seq_len);
+            let outcome = engine
+                .step_streamed(|m, s| m.train_step_hooked(&b.inputs, &b.targets, 4, gpt.seq_len, s))
+                .expect("training step");
+            hash.write(&outcome.loss().to_bits().to_le_bytes());
+        }
+        for p in engine.master_params() {
+            hash.write(&p.to_bits().to_le_bytes());
+        }
     }
 
     println!(
-        "fingerprint {:016x} threads={} steps={steps}",
+        "fingerprint {:016x} threads={} steps={steps} engine={}",
         hash.0,
-        zo_tensor::pool::global().threads()
+        zo_tensor::pool::global().threads(),
+        if stage3 { "zero3" } else { "single" }
     );
     ExitCode::SUCCESS
 }

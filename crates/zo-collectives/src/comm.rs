@@ -20,6 +20,9 @@ struct Shared {
     buf: Mutex<Vec<f32>>,
     /// Per-rank staging used to fix the reduction order.
     stage: Mutex<Vec<Option<Vec<f32>>>>,
+    /// Release notifications: total non-owned elements the group's ranks
+    /// have dropped via [`Communicator::try_release_slice`].
+    released: Mutex<u64>,
 }
 
 /// Per-endpoint fault state: the decision session plus where retries are
@@ -89,6 +92,7 @@ impl Communicator {
             barrier: Barrier::new(world),
             buf: Mutex::new(Vec::new()),
             stage: Mutex::new(vec![None; world]),
+            released: Mutex::new(0),
         });
         (0..world)
             .map(|rank| Communicator {
@@ -243,6 +247,93 @@ impl Communicator {
         let out = self.shared.buf.lock().clone();
         self.barrier();
         out
+    }
+
+    /// Layer-sliced all-gather: assembles the flat-offset `range` of a
+    /// buffer whose `total` elements are shard-partitioned by
+    /// [`partition_range`]. Every rank passes its whole owned shard and
+    /// receives just the requested slice — the stage-3 primitive that lets
+    /// a rank materialise one layer without ever holding the full replica.
+    ///
+    /// All ranks must call with the same `range` and `total` (it is a
+    /// collective); ranks whose shard does not intersect `range` still
+    /// participate in the barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard.len()` differs from this rank's partition length
+    /// or `range` exceeds `total`.
+    pub fn all_gather_slice(
+        &self,
+        shard: &[f32],
+        range: core::ops::Range<usize>,
+        total: usize,
+    ) -> Vec<f32> {
+        let own = partition_range(total, self.world, self.rank);
+        assert_eq!(shard.len(), own.len(), "shard length mismatch");
+        assert!(range.end <= total, "slice range exceeds total");
+        if self.world == 1 {
+            return shard[range].to_vec();
+        }
+        self.barrier();
+        {
+            let mut buf = self.shared.buf.lock();
+            if buf.len() != range.len() {
+                buf.clear();
+                buf.resize(range.len(), 0.0);
+            }
+            let lo = range.start.max(own.start);
+            let hi = range.end.min(own.end);
+            if lo < hi {
+                buf[lo - range.start..hi - range.start]
+                    .copy_from_slice(&shard[lo - own.start..hi - own.start]);
+            }
+        }
+        self.barrier();
+        let out = self.shared.buf.lock().clone();
+        self.barrier();
+        out
+    }
+
+    /// Fault-aware [`Communicator::all_gather_slice`] (site
+    /// `collective.param_allgather`); same retry and rank-agreement
+    /// semantics as [`Communicator::try_reduce_scatter_mean`].
+    pub fn try_all_gather_slice(
+        &self,
+        shard: &[f32],
+        range: core::ops::Range<usize>,
+        total: usize,
+    ) -> Result<Vec<f32>, FaultError> {
+        self.gate(Site::CollectiveParamAllGather)?;
+        Ok(self.all_gather_slice(shard, range, total))
+    }
+
+    /// Releases a previously gathered slice: notifies the group that this
+    /// rank has dropped the non-owned elements of `range` and returns how
+    /// many elements were freed. Purely local (no barrier) — the
+    /// notification is a shared counter readable via
+    /// [`Communicator::released_elems`] — but gated at site
+    /// `param.release` so fault plans can target it; with the shared
+    /// collective lane every rank agrees on the decision.
+    pub fn try_release_slice(
+        &self,
+        range: core::ops::Range<usize>,
+        total: usize,
+    ) -> Result<usize, FaultError> {
+        self.gate(Site::ParamRelease)?;
+        assert!(range.end <= total, "slice range exceeds total");
+        let own = partition_range(total, self.world, self.rank);
+        let lo = range.start.max(own.start);
+        let hi = range.end.min(own.end);
+        let freed = range.len() - hi.saturating_sub(lo);
+        *self.shared.released.lock() += freed as u64;
+        Ok(freed)
+    }
+
+    /// Total non-owned elements released group-wide via
+    /// [`Communicator::try_release_slice`].
+    pub fn released_elems(&self) -> u64 {
+        *self.shared.released.lock()
     }
 
     /// All-gather with per-rank variable lengths: returns every rank's
@@ -524,6 +615,94 @@ mod tests {
                 r,
                 Err(zo_fault::FaultError::Fatal {
                     site: zo_fault::Site::CollectiveAllGather
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn all_gather_slice_assembles_any_range() {
+        let total = 11;
+        // Slices that sit inside one shard, span shard boundaries, and
+        // cover everything.
+        for range in [0..3usize, 2..9, 5..6, 0..11, 10..11] {
+            let r2 = range.clone();
+            let out = run_group(3, move |c| {
+                let own = partition_range(total, 3, c.rank());
+                let shard: Vec<f32> = own.clone().map(|i| i as f32 * 1.5).collect();
+                c.all_gather_slice(&shard, r2.clone(), total)
+            });
+            let want: Vec<f32> = range.clone().map(|i| i as f32 * 1.5).collect();
+            for got in out {
+                assert_eq!(got, want, "range {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_gather_interleaves_with_other_collectives() {
+        let out = run_group(2, |c| {
+            let own = partition_range(6, 2, c.rank());
+            let shard: Vec<f32> = own.clone().map(|i| i as f32).collect();
+            let a = c.all_gather_slice(&shard, 1..5, 6);
+            let mut s = vec![1.0f32; 2];
+            c.all_reduce_sum(&mut s);
+            let b = c.all_gather_slice(&shard, 0..6, 6);
+            (a, s, b)
+        });
+        for (a, s, b) in out {
+            assert_eq!(a, vec![1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(s, vec![2.0; 2]);
+            assert_eq!(b, (0..6).map(|i| i as f32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn release_slice_counts_non_owned_elements() {
+        let out = run_group(2, |c| {
+            // Range 0..6 over total 6: rank 0 owns 0..3, rank 1 owns 3..6.
+            let freed = c.try_release_slice(0..6, 6).unwrap();
+            c.barrier();
+            (freed, c.released_elems())
+        });
+        for (freed, total_released) in out {
+            // Each rank frees the 3 elements it does not own...
+            assert_eq!(freed, 3);
+            // ...and the group-wide notification counter sees all 6.
+            assert_eq!(total_released, 6);
+        }
+    }
+
+    #[test]
+    fn fatal_param_allgather_fault_errors_on_all_ranks() {
+        use zo_fault::{FaultKind, FaultPlan, FaultSession, SiteSpec};
+        let plan = std::sync::Arc::new(
+            FaultPlan::builder(9)
+                .site(
+                    zo_fault::Site::CollectiveParamAllGather,
+                    SiteSpec {
+                        kind: FaultKind::Fatal,
+                        prob: 1.0,
+                        depth: 1,
+                    },
+                )
+                .build(),
+        );
+        let out = run_group(3, move |c| {
+            c.install_faults(
+                FaultSession::new(std::sync::Arc::clone(&plan), zo_fault::lane::COLLECTIVE),
+                zo_trace::Tracer::disabled(),
+                "comm",
+            );
+            let own = partition_range(9, 3, c.rank());
+            let shard = vec![1.0f32; own.len()];
+            c.try_all_gather_slice(&shard, 2..7, 9)
+        });
+        for r in out {
+            assert_eq!(
+                r,
+                Err(zo_fault::FaultError::Fatal {
+                    site: zo_fault::Site::CollectiveParamAllGather
                 })
             );
         }

@@ -47,17 +47,23 @@ pub enum Site {
     OptimCpuStep,
     /// Checkpoint file write.
     CheckpointWrite,
+    /// Stage-3 layer-sliced parameter all-gather.
+    CollectiveParamAllGather,
+    /// Stage-3 release of a gathered parameter layer.
+    ParamRelease,
 }
 
 impl Site {
     /// Every site, in canonical order.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 8] = [
         Site::WireH2d,
         Site::WireD2h,
         Site::CollectiveReduceScatter,
         Site::CollectiveAllGather,
         Site::OptimCpuStep,
         Site::CheckpointWrite,
+        Site::CollectiveParamAllGather,
+        Site::ParamRelease,
     ];
 
     /// The site's wire name (the `ZO_FAULTS` grammar key).
@@ -69,6 +75,8 @@ impl Site {
             Site::CollectiveAllGather => "collective.allgather",
             Site::OptimCpuStep => "optim.cpu_step",
             Site::CheckpointWrite => "checkpoint.write",
+            Site::CollectiveParamAllGather => "collective.param_allgather",
+            Site::ParamRelease => "param.release",
         }
     }
 
@@ -85,6 +93,8 @@ impl Site {
             Site::CollectiveAllGather => 3,
             Site::OptimCpuStep => 4,
             Site::CheckpointWrite => 5,
+            Site::CollectiveParamAllGather => 6,
+            Site::ParamRelease => 7,
         }
     }
 }
@@ -214,7 +224,7 @@ fn splitmix64(mut x: u64) -> u64 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
-    sites: [Option<SiteSpec>; 6],
+    sites: [Option<SiteSpec>; 8],
     retry: RetryPolicy,
 }
 
@@ -229,7 +239,7 @@ impl FaultPlan {
     pub fn disabled() -> FaultPlan {
         FaultPlan {
             seed: 0,
-            sites: [None; 6],
+            sites: [None; 8],
             retry: RetryPolicy::default(),
         }
     }
@@ -239,7 +249,7 @@ impl FaultPlan {
         FaultPlanBuilder {
             plan: FaultPlan {
                 seed,
-                sites: [None; 6],
+                sites: [None; 8],
                 retry: RetryPolicy::default(),
             },
         }
@@ -441,7 +451,7 @@ pub mod lane {
 pub struct FaultSession {
     plan: Arc<FaultPlan>,
     lane: u64,
-    counts: [u64; 6],
+    counts: [u64; 8],
 }
 
 impl FaultSession {
@@ -450,7 +460,7 @@ impl FaultSession {
         FaultSession {
             plan,
             lane,
-            counts: [0; 6],
+            counts: [0; 8],
         }
     }
 

@@ -133,6 +133,54 @@ pub trait Model {
         }
         ranges
     }
+
+    /// Loads the parameters covering flat-offset `range` from `flat`
+    /// (indexed relative to `range.start`), leaving everything outside the
+    /// range untouched. This is the stage-3 materialisation hook: a
+    /// parameter-partitioned engine writes gathered layer slices in place
+    /// without ever holding a full flat replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != range.len()` or the range exceeds
+    /// `num_params()`.
+    fn load_param_range(&mut self, range: core::ops::Range<usize>, flat: &[f32]) {
+        assert_eq!(flat.len(), range.len(), "flat buffer length");
+        assert!(range.end <= self.num_params(), "range exceeds num_params");
+        let mut off = 0;
+        self.visit_mut(&mut |_, p, _| {
+            let start = off;
+            off += p.len();
+            let lo = range.start.max(start);
+            let hi = range.end.min(off);
+            if lo < hi {
+                p[lo - start..hi - start]
+                    .copy_from_slice(&flat[lo - range.start..hi - range.start]);
+            }
+        });
+    }
+
+    /// Zeroes the parameters covering flat-offset `range`, leaving
+    /// everything outside untouched. Stage-3 engines call this after a
+    /// layer's non-owned shard is released so tests can prove the model
+    /// really runs without a resident full replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `num_params()`.
+    fn clear_param_range(&mut self, range: core::ops::Range<usize>) {
+        assert!(range.end <= self.num_params(), "range exceeds num_params");
+        let mut off = 0;
+        self.visit_mut(&mut |_, p, _| {
+            let start = off;
+            off += p.len();
+            let lo = range.start.max(start);
+            let hi = range.end.min(off);
+            if lo < hi {
+                p[lo - start..hi - start].fill(0.0);
+            }
+        });
+    }
 }
 
 /// Configuration of the small real-execution GPT model.
@@ -623,6 +671,39 @@ mod tests {
         let mut back = vec![0.0f32; n];
         m.copy_params_to(&mut back);
         assert_eq!(back, scaled);
+    }
+
+    #[test]
+    fn param_range_load_and_clear_touch_only_the_range() {
+        let mut m = tiny();
+        let n = m.num_params();
+        let mut orig = vec![0.0f32; n];
+        m.copy_params_to(&mut orig);
+        // Each layer bucket: clear it, check only that range went to zero,
+        // then load it back and check full restoration.
+        for range in m.layer_ranges() {
+            m.clear_param_range(range.clone());
+            let mut now = vec![0.0f32; n];
+            m.copy_params_to(&mut now);
+            for (i, (&a, &b)) in now.iter().zip(&orig).enumerate() {
+                if range.contains(&i) {
+                    assert_eq!(a, 0.0, "index {i} not cleared");
+                } else {
+                    assert_eq!(a.to_bits(), b.to_bits(), "index {i} perturbed");
+                }
+            }
+            m.load_param_range(range.clone(), &orig[range.clone()]);
+            let mut back = vec![0.0f32; n];
+            m.copy_params_to(&mut back);
+            assert_eq!(back, orig, "range {range:?} did not restore");
+        }
+        // An unaligned slice spanning bucket boundaries also roundtrips.
+        let mid = n / 3..2 * n / 3 + 1;
+        m.clear_param_range(mid.clone());
+        m.load_param_range(mid.clone(), &orig[mid]);
+        let mut back = vec![0.0f32; n];
+        m.copy_params_to(&mut back);
+        assert_eq!(back, orig);
     }
 
     #[test]

@@ -54,6 +54,15 @@ pub mod names {
     pub const RETRY_BACKOFF_SPAN: &str = "retry_backoff";
     /// Counter: optimizer steps skipped because of fp16 overflow.
     pub const OPTIM_OVERFLOW: &str = "optim.overflow";
+    /// Span: one stage-3 layer-sliced parameter all-gather.
+    pub const PARAM_ALLGATHER: &str = "param.allgather";
+    /// Span: one stage-3 release of a gathered parameter layer.
+    pub const PARAM_RELEASE: &str = "param.release";
+    /// Counter: fp16 parameter bytes received by stage-3 gathers.
+    pub const PARAM_TRAFFIC_BYTES: &str = "param_traffic_bytes";
+    /// Gauge prefix: per-rank peak fp16 parameter residency, bytes. The
+    /// full gauge name carries a `.rank{r}` suffix.
+    pub const PARAM_HWM_BYTES: &str = "param_hwm_bytes";
 }
 
 /// One completed interval on a track (microseconds since the epoch).

@@ -35,6 +35,16 @@ if [ "$fp1" != "$fp4" ]; then
     exit 1
 fi
 
+echo "== stage-3 fingerprint (ZO_STAGE=3, ZO_THREADS=1 vs 4)"
+fp3_1=$(ZO_STAGE=3 ZO_THREADS=1 ./target/release/fingerprint | awk '{print $2}')
+fp3_4=$(ZO_STAGE=3 ZO_THREADS=4 ./target/release/fingerprint | awk '{print $2}')
+echo "   ZO_THREADS=1 -> $fp3_1"
+echo "   ZO_THREADS=4 -> $fp3_4"
+if [ "$fp3_1" != "$fp3_4" ]; then
+    echo "FAIL: ZeRO-3 trajectory depends on ZO_THREADS" >&2
+    exit 1
+fi
+
 echo "== zo-fault unit tests"
 cargo test -q -p zo-fault
 
@@ -43,6 +53,10 @@ ZO_FAULTS=off cargo test -q --release --test fault_matrix
 
 echo "== fault matrix (ZO_FAULTS=transient-heavy)"
 ZO_FAULTS=transient-heavy cargo test -q --release --test fault_matrix
+
+echo "== zero3 paper-claim harness (ZO_FAULTS=off and transient-heavy)"
+ZO_FAULTS=off cargo test -q --release --test zero3_equivalence --test zero3_traffic
+ZO_FAULTS=transient-heavy cargo test -q --release --test zero3_equivalence --test zero3_traffic
 
 echo "== fault-invariance fingerprint (ZO_FAULTS=off vs transient-heavy)"
 fp_off=$(ZO_FAULTS=off ./target/release/fingerprint | awk '{print $2}')

@@ -325,6 +325,119 @@ fn exhausted_retries_surface_as_typed_error() {
 }
 
 // ---------------------------------------------------------------------------
+// Stage 3: faults on the parameter-partitioned path.
+// ---------------------------------------------------------------------------
+
+/// Ten ZeRO-3 steps at world 2; returns each rank's (losses, shard).
+fn zero3_run(engine_cfg: ZeroOffloadConfig) -> Vec<(Vec<f32>, Vec<f32>)> {
+    zero_offload::run_zero3_ranks(
+        2,
+        engine_cfg,
+        |_| GptModel::new(GPT, 21),
+        |engine| {
+            let mut data = BigramLm::new(GPT.vocab, 0.05, 1000);
+            let mut losses = Vec::new();
+            for _ in 0..10 {
+                let b = data.batch(2, GPT.seq_len);
+                let rank = engine.rank();
+                let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
+                let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
+                losses.push(
+                    engine
+                        .step(|m| m.train_step(&inputs, &targets, 1, GPT.seq_len, |_| {}))
+                        .unwrap()
+                        .loss(),
+                );
+            }
+            (losses, engine.master_shard().to_vec())
+        },
+    )
+}
+
+#[test]
+fn transient_param_gather_and_release_faults_leave_ranks_bit_identical() {
+    let clean = zero3_run(with_plan(cfg(), FaultPlan::disabled()));
+    for site in [Site::CollectiveParamAllGather, Site::ParamRelease] {
+        let faulty = zero3_run(with_plan(cfg(), transient(site, 0.4).build()));
+        assert_eq!(faulty, clean, "site {site}: stage-3 trajectory diverged");
+    }
+}
+
+#[test]
+fn fatal_param_allgather_errors_on_every_rank_without_deadlock() {
+    // The shared fault lane makes the verdict rank-agreed: both ranks see
+    // the same fatal decision inside the gather, error out together, and
+    // nobody is left waiting on a barrier.
+    let results = zero_offload::run_zero3_ranks(
+        2,
+        with_plan(cfg(), fatal_plan(Site::CollectiveParamAllGather)),
+        |_| GptModel::new(GPT, 5),
+        |engine| {
+            let mut data = BigramLm::new(GPT.vocab, 0.05, 1000);
+            let b = data.batch(2, GPT.seq_len);
+            let rank = engine.rank();
+            let inputs = b.inputs[rank * 8..(rank + 1) * 8].to_vec();
+            let targets = b.targets[rank * 8..(rank + 1) * 8].to_vec();
+            engine.step(|m| m.train_step(&inputs, &targets, 1, GPT.seq_len, |_| {}))
+        },
+    );
+    for r in results {
+        match r {
+            Err(StepError::Fault(FaultError::Fatal { site })) => {
+                assert_eq!(site, Site::CollectiveParamAllGather)
+            }
+            other => panic!("expected a fatal gather fault on every rank, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn stage3_skipped_step_still_emits_a_complete_step_record() {
+    // Regression: an overflow-skipped stage-3 step must still close its
+    // step record *with* the `param.allgather` spans the schedule already
+    // issued before the overflow was detected — the gathers happen in
+    // pre-forward, the verdict only at the transfer boundary.
+    let tracer = zo_trace::Tracer::new();
+    let overflow_cfg = ZeroOffloadConfig {
+        tracer: Some(TracerRef::install(tracer.clone())),
+        loss_scale: LossScaleConfig {
+            init_scale: 3.4e38,
+            ..Default::default()
+        },
+        ..with_plan(cfg(), FaultPlan::disabled())
+    };
+    let out = zero_offload::run_zero3_ranks(
+        1,
+        overflow_cfg,
+        |_| GptModel::new(GPT, 8),
+        |engine| {
+            let mut data = BigramLm::new(GPT.vocab, 0.05, 21);
+            let b = data.batch(2, GPT.seq_len);
+            engine
+                .step(|m| m.train_step(&b.inputs, &b.targets, 2, GPT.seq_len, |_| {}))
+                .unwrap()
+        },
+    );
+    assert!(matches!(out[0], StepOutcome::SkippedOverflow { .. }));
+    let steps = tracer.step_metrics();
+    assert_eq!(steps.len(), 1, "the skipped step must close its boundary");
+    let row = &steps[0];
+    assert_eq!(row.counter("steps_skipped"), 1);
+    assert_eq!(row.counter(zo_trace::names::OPTIM_OVERFLOW), 1);
+    assert!(
+        row.phase_us
+            .iter()
+            .any(|(name, _)| name == zo_trace::names::PARAM_ALLGATHER),
+        "gather spans issued before the overflow must stay in the record: {:?}",
+        row.phase_us
+    );
+    assert!(!tracer
+        .spans_named(zo_trace::names::PARAM_ALLGATHER)
+        .is_empty());
+    assert!(row.phase("fwd_bwd") > 0);
+}
+
+// ---------------------------------------------------------------------------
 // Degradation policies.
 // ---------------------------------------------------------------------------
 

@@ -72,6 +72,58 @@ fn trajectory_bit_identical_across_optimizer_threads() {
     }
 }
 
+/// The same claim for the ZeRO-3 engine: the optimizer partition count
+/// must not perturb the parameter-partitioned trajectory either — the
+/// per-shard CPU Adam update and the layer gather schedule are both
+/// deterministic in the thread count.
+#[test]
+fn stage3_trajectory_bit_identical_across_optimizer_threads() {
+    let train3 = |optimizer_threads: usize| -> Vec<Vec<f32>> {
+        let cfg = gpt_cfg();
+        let engine_cfg = ZeroOffloadConfig {
+            adam: AdamParams {
+                lr: 1e-3,
+                ..AdamParams::default()
+            },
+            optimizer_threads,
+            ..ZeroOffloadConfig::default()
+        };
+        zero_offload::run_zero3_ranks(
+            2,
+            engine_cfg,
+            move |_| GptModel::new(cfg, 9),
+            move |engine| {
+                let mut data = BigramLm::new(cfg.vocab, 0.02, 3);
+                for _ in 0..8 {
+                    let b = data.batch(2, cfg.seq_len);
+                    let r = engine.rank();
+                    let n = cfg.seq_len;
+                    let inputs = b.inputs[r * n..(r + 1) * n].to_vec();
+                    let targets = b.targets[r * n..(r + 1) * n].to_vec();
+                    engine
+                        .step(|m| m.train_step(&inputs, &targets, 1, n, |_| {}))
+                        .unwrap();
+                }
+                engine.master_shard().to_vec()
+            },
+        )
+    };
+    let baseline = train3(1);
+    for threads in [2usize, 4] {
+        let got = train3(threads);
+        for (rank, (a, b)) in baseline.iter().zip(&got).enumerate() {
+            let diverged = a
+                .iter()
+                .zip(b)
+                .position(|(x, y)| x.to_bits() != y.to_bits());
+            assert_eq!(
+                diverged, None,
+                "rank {rank}: first bit divergence at {diverged:?} with threads={threads}"
+            );
+        }
+    }
+}
+
 /// Optimizer work is submitted to one persistent pool: the task counter
 /// keeps growing step over step while the spawned-thread probe stays flat,
 /// and the per-step `pool.tasks` / `pool.busy_ns` counters appear in the
