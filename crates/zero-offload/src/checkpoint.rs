@@ -18,6 +18,7 @@ use zo_optim::AdamState;
 use zo_tensor::cast_f32_to_f16;
 
 use crate::engine::ZeroOffloadEngine;
+use crate::framing::{decode_frame, encode_frame, FrameError, FrameSpec};
 
 /// Serializable snapshot of a training run.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -132,17 +133,25 @@ pub const FILE_MAGIC: u32 = 0x5A4F_636B;
 /// Current checkpoint file format version.
 pub const FILE_VERSION: u32 = 1;
 
-/// Framed header size: magic, version, payload length, checksum.
-const FILE_HEADER_BYTES: usize = 4 + 4 + 8 + 4;
+/// The checkpoint frame family (shared codec, checkpoint identity).
+const FILE_FRAME: FrameSpec = FrameSpec {
+    magic: FILE_MAGIC,
+    version: FILE_VERSION,
+};
 
-/// FNV-1a over the payload bytes (same recurrence as the wire frames).
-fn fnv1a(payload: &[u8]) -> u32 {
-    let mut h: u32 = 0x811C_9DC5;
-    for &b in payload {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
+impl From<FrameError> for CheckpointError {
+    fn from(err: FrameError) -> CheckpointError {
+        match err {
+            FrameError::Truncated { have, need } => CheckpointError::Truncated { have, need },
+            FrameError::BadMagic { found } => CheckpointError::BadMagic { found },
+            FrameError::BadVersion { found } => CheckpointError::Malformed {
+                detail: format!("unsupported checkpoint version {found}"),
+            },
+            FrameError::Corrupted { expected, computed } => {
+                CheckpointError::Corrupted { expected, computed }
+            }
+        }
     }
-    h
 }
 
 /// Encodes a checkpoint into the framed on-disk byte format:
@@ -152,13 +161,7 @@ pub fn encode_checkpoint_bytes(ckpt: &TrainingCheckpoint) -> Vec<u8> {
     let payload = serde_json::to_string(ckpt)
         .expect("checkpoint serialization")
         .into_bytes();
-    let mut out = Vec::with_capacity(FILE_HEADER_BYTES + payload.len());
-    out.extend_from_slice(&FILE_MAGIC.to_le_bytes());
-    out.extend_from_slice(&FILE_VERSION.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    encode_frame(FILE_FRAME, &payload)
 }
 
 /// Decodes a framed checkpoint, validating magic, version, length and
@@ -166,37 +169,7 @@ pub fn encode_checkpoint_bytes(ckpt: &TrainingCheckpoint) -> Vec<u8> {
 /// bit-flipped file surfaces as a typed [`CheckpointError`], never a
 /// panic.
 pub fn decode_checkpoint_bytes(bytes: &[u8]) -> Result<TrainingCheckpoint, CheckpointError> {
-    if bytes.len() < FILE_HEADER_BYTES {
-        return Err(CheckpointError::Truncated {
-            have: bytes.len(),
-            need: FILE_HEADER_BYTES,
-        });
-    }
-    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-    let magic = word(0);
-    if magic != FILE_MAGIC {
-        return Err(CheckpointError::BadMagic { found: magic });
-    }
-    let version = word(4);
-    if version != FILE_VERSION {
-        return Err(CheckpointError::Malformed {
-            detail: format!("unsupported checkpoint version {version}"),
-        });
-    }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-    let expected = word(16);
-    let payload = &bytes[FILE_HEADER_BYTES..];
-    if payload.len() < len {
-        return Err(CheckpointError::Truncated {
-            have: payload.len(),
-            need: len,
-        });
-    }
-    let payload = &payload[..len];
-    let computed = fnv1a(payload);
-    if computed != expected {
-        return Err(CheckpointError::Corrupted { expected, computed });
-    }
+    let payload = decode_frame(FILE_FRAME, bytes)?;
     let text = core::str::from_utf8(payload).map_err(|e| CheckpointError::Malformed {
         detail: e.to_string(),
     })?;

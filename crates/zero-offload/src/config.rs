@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use zo_optim::{AdamParams, LossScaleConfig};
 
+use crate::tier::TierKind;
+
 /// A `Copy` handle to an installed [`zo_trace::Tracer`].
 ///
 /// The engine config must stay `Copy` (it is captured by value in the
@@ -147,6 +149,22 @@ pub struct ZeroOffloadConfig {
     /// "persistent parameters"). `0` releases every non-owned shard
     /// immediately after each sweep.
     pub persistent_param_bytes: usize,
+    /// Which memory tier holds the fp32 optimizer states (paper Sec. 3's
+    /// model-state placement, generalized past DRAM). [`TierKind::Dram`]
+    /// keeps them resident in host memory — the classic ZeRO-Offload
+    /// placement; [`TierKind::Nvme`] spills them to framed files under
+    /// `ZO_TIER_DIR` (system temp dir when unset) and streams the Adam
+    /// update through a bounded DRAM scratch each step. The trajectory is
+    /// bit-identical across tiers; only residency and wall-clock change.
+    /// Ignored when DPU is active (`dpu_warmup`), which requires
+    /// DRAM-resident states.
+    pub optimizer_tier: TierKind,
+    /// DRAM scratch byte budget for the tiered optimizer's streaming
+    /// schedule (three tile slots of decoded fp32 state plus their encoded
+    /// payloads). Smaller budgets mean more, smaller tiles; the peak is
+    /// observable as the `tier_hwm_bytes` gauge. Only read when
+    /// `optimizer_tier` is not DRAM-resident.
+    pub tier_scratch_bytes: usize,
 }
 
 impl Default for ZeroOffloadConfig {
@@ -167,6 +185,8 @@ impl Default for ZeroOffloadConfig {
             overflow_storm_limit: 0,
             prefetch_layers: 1,
             persistent_param_bytes: 0,
+            optimizer_tier: TierKind::Dram,
+            tier_scratch_bytes: 8 * 1024 * 1024,
         }
     }
 }

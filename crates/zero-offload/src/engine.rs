@@ -5,7 +5,8 @@
 //! parameters** (what the GPU would hold), gradients leave the "device" by
 //! being **rounded through fp16** (the PCIe transfer), and the fp32 master
 //! parameters, momentum and variance live in a separate host-side buffer
-//! updated by [`CpuAdam`] — optionally one step delayed (DPU), in which
+//! updated by [`CpuAdam`](zo_optim::CpuAdam) — optionally one step
+//! delayed (DPU), in which
 //! case the update runs on the [`AsyncDpu`](crate::AsyncDpu) optimizer
 //! thread overlapped with the next step's forward/backward.
 //!
@@ -17,13 +18,15 @@
 
 use zo_fault::{lane, with_retry, FaultError, FaultSession, Site};
 use zo_nn::Model;
-use zo_optim::{clip, AdamState, CpuAdam, CpuAdamConfig, DynamicLossScaler};
+use zo_optim::{clip, AdamState, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::Tracer;
 
 use crate::bucket::{scatter_frames, GradBucketer};
 use crate::config::{resolve_fault_plan, resolve_tracer, OffloadDevice, ZeroOffloadConfig};
-use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepError, StepPipeline, Updater};
+use crate::pipeline::{
+    build_offload_updater, GradStream, Placement, StepError, StepPipeline, Updater,
+};
 use crate::wire::{decode_frame_traced, ship_frame};
 
 /// What a call to [`ZeroOffloadEngine::step`] did.
@@ -263,23 +266,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
 
         let updater = match cfg.offload {
             OffloadDevice::None => Updater::Reference(AdamState::new(n), cfg.adam),
-            OffloadDevice::Cpu => {
-                let opt_cfg = CpuAdamConfig {
-                    hp: cfg.adam,
-                    num_threads: cfg.resolved_optimizer_threads(),
-                    tile_width: cfg.tile_width,
-                };
-                match cfg.dpu_warmup {
-                    Some(warmup) => Updater::Async(PipelinedDpu::spawn(
-                        master.clone(),
-                        opt_cfg,
-                        warmup,
-                        tracer.clone(),
-                        "optimizer",
-                    )),
-                    None => Updater::Cpu(CpuAdam::new(opt_cfg, n)),
-                }
-            }
+            OffloadDevice::Cpu => build_offload_updater(&cfg, &master, &tracer, "optimizer"),
         };
         let placement = ReplicaPlacement {
             layer_ranges: layer_ranges.clone(),
@@ -361,6 +348,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
                     pending: dpu.pending().map(|p| p.to_vec()),
                 }),
             ),
+            Updater::Tiered(tiered) => (tiered.state(), None),
         }
     }
 
@@ -391,6 +379,19 @@ impl<M: Model> ZeroOffloadEngine<M> {
                 // `set_master` ran first in the restore sequence, so the
                 // pipeline's master is already the checkpointed one.
                 pipelined.restore(&self.pipe.master, optim, d.steps_seen, d.pending.clone());
+                Ok(())
+            }
+            (Updater::Tiered(tiered), None) => {
+                if optim.len() != self.pipe.master.len() {
+                    return Err(crate::checkpoint::CheckpointError::SizeMismatch {
+                        checkpoint: optim.len(),
+                        engine: self.pipe.master.len(),
+                    });
+                }
+                // `set_master` ran first, so rewriting the tier partitions
+                // from the pipeline master restores the checkpointed state
+                // (and heals any torn partition a fatal write left).
+                tiered.restore(&self.pipe.master, optim);
                 Ok(())
             }
             _ => Err(crate::checkpoint::CheckpointError::ModeMismatch),

@@ -43,10 +43,12 @@ pub mod bucket;
 pub mod checkpoint;
 mod config;
 mod engine;
+pub mod framing;
 pub mod memory;
 mod overlap;
 mod perf;
 mod pipeline;
+pub mod tier;
 pub mod wire;
 mod zero2;
 mod zero3;
@@ -57,8 +59,10 @@ pub use checkpoint::{
 };
 pub use config::{FaultsRef, OffloadDevice, TracerRef, ZeroOffloadConfig};
 pub use engine::{EngineStats, StepOutcome, ZeroOffloadEngine};
+pub use framing::{FrameError, FrameSpec};
 pub use overlap::{AsyncDpu, DpuUpdate};
 pub use perf::{IterStats, ZeroOffloadPerf};
 pub use pipeline::{GradStream, StepError};
+pub use tier::{DramTier, MemoryTier, NvmeTier, TierError, TierKind};
 pub use zero2::{run_ranks, Zero2OffloadEngine};
 pub use zero3::{run_zero3_ranks, Zero3Cache, Zero3Event, Zero3OffloadEngine, Zero3Plan};

@@ -95,7 +95,102 @@ pub fn activation_bytes_mp(cfg: &TransformerConfig, micro_batch: u64, mp: u64) -
 /// context, and workspace reserves.
 pub const USABLE_GPU_FRACTION: f64 = 0.94;
 
-/// Whether ZeRO-Offload can train `cfg` on the given budgets.
+/// Usable fraction of NVMe capacity after filesystem and framing
+/// overheads.
+pub const USABLE_NVME_FRACTION: f64 = 0.90;
+
+/// Host bytes per parameter when the fp32 optimizer states (master,
+/// momentum, variance — `12M`) spill to a lower tier: only the fp16 wire
+/// gradients (2) and the fp32 accumulation buffer (4) stay DRAM-resident.
+pub const TIERED_CPU_BYTES_PER_PARAM: u64 = 6;
+
+/// Tier bytes per parameter held by the spilled optimizer partitions:
+/// fp32 master + momentum + variance.
+pub const TIER_BYTES_PER_PARAM: u64 = 12;
+
+/// Where the fp32 optimizer states live and how parameters are placed —
+/// the placement half of a fit query (the hardware half is the capacity
+/// arguments of [`fits_spec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitSpec {
+    /// Micro-batch per GPU.
+    pub micro_batch: u64,
+    /// Tensor-slicing model-parallel degree.
+    pub mp_degree: u64,
+    /// Stage-3 parameter partitioning over `world` ranks (`None` = the
+    /// default ZeRO-2 full fp16 replica per GPU).
+    pub stage3_world: Option<u64>,
+    /// Whether the `12M` of fp32 optimizer states spill to the NVMe tier
+    /// (streamed through [`tier_scratch_bytes`](FitSpec::tier_scratch_bytes)
+    /// of DRAM) instead of residing in host memory.
+    pub nvme_optimizer: bool,
+    /// DRAM scratch held by the tiered optimizer's streaming schedule.
+    pub tier_scratch_bytes: u64,
+}
+
+impl Default for FitSpec {
+    fn default() -> FitSpec {
+        FitSpec {
+            micro_batch: 1,
+            mp_degree: 1,
+            stage3_world: None,
+            nvme_optimizer: false,
+            tier_scratch_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Host bytes when `spec` places the optimizer states (aggregated over
+/// the node as in [`cpu_bytes`]).
+pub fn cpu_bytes_spec(cfg: &TransformerConfig, spec: FitSpec) -> u64 {
+    if spec.nvme_optimizer {
+        let ranks = spec.stage3_world.unwrap_or(1).max(spec.mp_degree);
+        TIERED_CPU_BYTES_PER_PARAM * cfg.total_params() + ranks * spec.tier_scratch_bytes
+    } else {
+        cpu_bytes(cfg, spec.mp_degree)
+    }
+}
+
+/// NVMe bytes `spec` puts on the flash tier (zero when the optimizer is
+/// DRAM-resident).
+pub fn nvme_bytes_spec(cfg: &TransformerConfig, spec: FitSpec) -> u64 {
+    if spec.nvme_optimizer {
+        TIER_BYTES_PER_PARAM * cfg.total_params()
+    } else {
+        0
+    }
+}
+
+/// Per-GPU device bytes under `spec` (stage 3 partitions the fp16
+/// replica; otherwise the ZeRO-2 placement of [`gpu_bytes`]).
+pub fn gpu_bytes_spec(cfg: &TransformerConfig, spec: FitSpec) -> u64 {
+    match spec.stage3_world {
+        Some(world) => gpu_bytes_stage3(cfg, spec.micro_batch, world, 0, 1),
+        None => gpu_bytes(cfg, spec.micro_batch, spec.mp_degree),
+    }
+}
+
+/// Whether ZeRO-Offload can train `cfg` with the placement `spec` on the
+/// given budgets — the stage- and tier-aware memory equation. An
+/// `nvme_capacity` of 0 means the node has no flash tier (any spilling
+/// spec then fails to fit).
+pub fn fits_spec(
+    cfg: &TransformerConfig,
+    spec: FitSpec,
+    gpu_capacity: u64,
+    cpu_capacity: u64,
+    nvme_capacity: u64,
+) -> bool {
+    let gpu_usable = (gpu_capacity as f64 * USABLE_GPU_FRACTION) as u64;
+    let cpu_usable = (cpu_capacity as f64 * USABLE_CPU_FRACTION) as u64;
+    let nvme_usable = (nvme_capacity as f64 * USABLE_NVME_FRACTION) as u64;
+    gpu_bytes_spec(cfg, spec) <= gpu_usable
+        && cpu_bytes_spec(cfg, spec) <= cpu_usable
+        && nvme_bytes_spec(cfg, spec) <= nvme_usable
+}
+
+/// Whether ZeRO-Offload can train `cfg` on the given budgets (the classic
+/// two-tier placement: fp16 on the GPU, everything else DRAM-resident).
 pub fn fits(
     cfg: &TransformerConfig,
     micro_batch: u64,
@@ -103,9 +198,17 @@ pub fn fits(
     gpu_capacity: u64,
     cpu_capacity: u64,
 ) -> bool {
-    let usable = (gpu_capacity as f64 * USABLE_GPU_FRACTION) as u64;
-    let cpu_usable = (cpu_capacity as f64 * USABLE_CPU_FRACTION) as u64;
-    gpu_bytes(cfg, micro_batch, mp_degree) <= usable && cpu_bytes(cfg, mp_degree) <= cpu_usable
+    fits_spec(
+        cfg,
+        FitSpec {
+            micro_batch,
+            mp_degree,
+            ..FitSpec::default()
+        },
+        gpu_capacity,
+        cpu_capacity,
+        0,
+    )
 }
 
 /// The model-size family used for scale searches: hidden width by size
@@ -249,6 +352,125 @@ mod tests {
             let rel = (got - t as f64).abs() / t as f64;
             assert!(rel < 0.1, "target {t} got {got}");
         }
+    }
+
+    #[test]
+    fn workstation_is_dram_bound_without_the_flash_tier() {
+        // One V100 + 64 GiB host DRAM: the classic two-tier placement
+        // needs 18 bytes/param of host memory, so DRAM (not the 32 GB
+        // GPU) caps the model near 3B.
+        let node = presets::workstation();
+        let max =
+            max_trainable_params(|cfg| fits(cfg, 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
+        assert!(
+            (2.5e9..3.5e9).contains(&(max as f64)),
+            "workstation DRAM-bound max = {:.1}B",
+            max as f64 / 1e9
+        );
+    }
+
+    #[test]
+    fn nvme_spill_triples_the_workstation_maximum() {
+        // Spilling the 12M of fp32 optimizer states to the 1 TB NVMe
+        // drive leaves only 6 bytes/param in DRAM: the same workstation
+        // now trains ~3x the model, approaching the GPU-bound 13B.
+        let node = presets::workstation();
+        let nvme = node.nvme.expect("workstation carries an NVMe drive");
+        let dram_max =
+            max_trainable_params(|cfg| fits(cfg, 1, 1, node.gpu.mem_bytes, node.cpu.mem_bytes));
+        let spilled = FitSpec {
+            nvme_optimizer: true,
+            ..FitSpec::default()
+        };
+        let nvme_max = max_trainable_params(|cfg| {
+            fits_spec(
+                cfg,
+                spilled,
+                node.gpu.mem_bytes,
+                node.cpu.mem_bytes,
+                nvme.capacity_bytes,
+            )
+        });
+        assert!(
+            (8e9..11e9).contains(&(nvme_max as f64)),
+            "workstation NVMe-spilled max = {:.1}B",
+            nvme_max as f64 / 1e9
+        );
+        assert!(nvme_max as f64 > 2.5 * dram_max as f64);
+        // Without a flash tier the spilling spec cannot fit at all.
+        assert!(!fits_spec(
+            &config_for_params(1_000_000_000),
+            spilled,
+            node.gpu.mem_bytes,
+            node.cpu.mem_bytes,
+            0,
+        ));
+        // The drive itself is nowhere near binding: 12 bytes/param of a
+        // 10B model is ~12% of the usable terabyte.
+        let cfg = config_for_params(10_000_000_000);
+        assert!(
+            (nvme_bytes_spec(&cfg, spilled) as f64)
+                < 0.2 * nvme.capacity_bytes as f64 * USABLE_NVME_FRACTION
+        );
+    }
+
+    #[test]
+    fn stage3_partitioning_extends_the_fit_past_the_replica_limit() {
+        // 20B's full fp16 replica (40 GB) overflows one V100, but the
+        // stage-3 shard across a DGX-2's 16 ranks fits; host DRAM on the
+        // DGX-2 holds the 18M aggregate either way.
+        let node = presets::dgx2();
+        let cfg = config_for_params(20_000_000_000);
+        let z2 = FitSpec::default();
+        let z3 = FitSpec {
+            stage3_world: Some(16),
+            ..FitSpec::default()
+        };
+        assert!(!fits_spec(
+            &cfg,
+            z2,
+            node.gpu.mem_bytes,
+            node.cpu.mem_bytes,
+            0
+        ));
+        assert!(fits_spec(
+            &cfg,
+            z3,
+            node.gpu.mem_bytes,
+            node.cpu.mem_bytes,
+            0
+        ));
+        // Tiering composes with stage 3: spilling shrinks host bytes and
+        // books the drive instead.
+        let z3_spill = FitSpec {
+            nvme_optimizer: true,
+            ..z3
+        };
+        assert!(cpu_bytes_spec(&cfg, z3_spill) < cpu_bytes_spec(&cfg, z3));
+        assert_eq!(nvme_bytes_spec(&cfg, z3_spill), 12 * cfg.total_params());
+    }
+
+    #[test]
+    fn tiered_host_bytes_account_for_per_rank_scratch() {
+        let cfg = config_for_params(1_000_000_000);
+        let spec = FitSpec {
+            nvme_optimizer: true,
+            tier_scratch_bytes: 32 * 1024 * 1024,
+            ..FitSpec::default()
+        };
+        assert_eq!(
+            cpu_bytes_spec(&cfg, spec),
+            6 * cfg.total_params() + 32 * 1024 * 1024
+        );
+        // Each stage-3 rank streams through its own scratch window.
+        let spec4 = FitSpec {
+            stage3_world: Some(4),
+            ..spec
+        };
+        assert_eq!(
+            cpu_bytes_spec(&cfg, spec4),
+            6 * cfg.total_params() + 4 * 32 * 1024 * 1024
+        );
     }
 
     #[test]

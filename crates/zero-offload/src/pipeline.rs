@@ -32,8 +32,10 @@ use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::{names, Tracer};
 
 use crate::bucket::GradBucketer;
+use crate::config::ZeroOffloadConfig;
 use crate::engine::{EngineStats, StepOutcome};
 use crate::overlap::AsyncDpu;
+use crate::tier::{NvmeTier, TierKind, TieredAdam};
 
 /// Why a training step failed.
 ///
@@ -183,6 +185,57 @@ pub(crate) enum Updater {
     Cpu(zo_optim::CpuAdam),
     /// CPU-Adam on the optimizer thread, one step delayed (async DPU).
     Async(PipelinedDpu),
+    /// The memory-tier streaming optimizer: fp32 states live on a
+    /// [`MemoryTier`](crate::tier::MemoryTier) and the Adam update is
+    /// tiled through a bounded DRAM scratch. Bit-identical to [`Cpu`].
+    ///
+    /// [`Cpu`]: Updater::Cpu
+    Tiered(TieredAdam),
+}
+
+/// Builds the host-side optimizer for an offloaded engine (single
+/// replica, ZeRO-2 shard or ZeRO-3 shard) from the config's offload
+/// knobs.
+///
+/// Precedence: `dpu_warmup` wins over `optimizer_tier` — the DPU's
+/// optimizer thread owns a DRAM-resident copy of the states by design,
+/// so a tier setting is ignored while DPU is on. Otherwise
+/// [`TierKind::Dram`] is the classic resident [`CpuAdam`], and
+/// [`TierKind::Nvme`] streams the states through a file-backed
+/// [`NvmeTier`] under the configured DRAM scratch budget.
+///
+/// [`CpuAdam`]: zo_optim::CpuAdam
+pub(crate) fn build_offload_updater(
+    cfg: &ZeroOffloadConfig,
+    master: &[f32],
+    tracer: &Tracer,
+    track: &str,
+) -> Updater {
+    let opt_cfg = CpuAdamConfig {
+        hp: cfg.adam,
+        num_threads: cfg.resolved_optimizer_threads(),
+        tile_width: cfg.tile_width,
+    };
+    if let Some(warmup) = cfg.dpu_warmup {
+        return Updater::Async(PipelinedDpu::spawn(
+            master.to_vec(),
+            opt_cfg,
+            warmup,
+            tracer.clone(),
+            track,
+        ));
+    }
+    match cfg.optimizer_tier {
+        TierKind::Dram => Updater::Cpu(zo_optim::CpuAdam::new(opt_cfg, master.len())),
+        TierKind::Nvme => Updater::Tiered(TieredAdam::new(
+            Box::new(NvmeTier::new().expect("create NVMe spill directory")),
+            cfg.adam,
+            master,
+            cfg.tier_scratch_bytes,
+            tracer.clone(),
+            track,
+        )),
+    }
 }
 
 /// Drives the [`AsyncDpu`] optimizer thread with the delayed-parameter-
@@ -636,11 +689,13 @@ impl StepPipeline {
             placement.clip_grads(&mut self.grads, self.max_grad_norm);
         }
 
-        {
+        let update_result = {
             let (track, name) = placement.update_span();
             // The optimizer gate fires *before* any updater state mutates:
             // a fatal `optim.cpu_step` fault leaves master, moments and
-            // the scaler exactly as checkpointed.
+            // the scaler exactly as checkpointed. The tiered updater adds
+            // its own `tier.read`/`tier.write` gates, also before any
+            // tile mutates.
             if let Err(f) = with_retry(
                 &mut self.faults,
                 Site::OptimCpuStep,
@@ -659,15 +714,29 @@ impl StepPipeline {
                     adam_reference_step(hp, state, &mut self.master, &self.grads)
                         .expect("pipeline buffers are sized together");
                     cast_f32_to_f16(&self.master, &mut self.p16);
+                    Ok(())
                 }
                 Updater::Cpu(opt) => {
                     opt.step_mixed(&mut self.master, &self.grads, &mut self.p16)
                         .expect("pipeline buffers are sized together");
+                    Ok(())
                 }
                 Updater::Async(dpu) => {
                     dpu.step(&self.grads, &mut self.master, &mut self.p16);
+                    Ok(())
                 }
+                Updater::Tiered(tiered) => tiered.step(
+                    &self.grads,
+                    &mut self.master,
+                    &mut self.p16,
+                    &mut self.faults,
+                ),
             }
+        };
+        if let Err(f) = update_result {
+            let closes = placement.closes_step();
+            self.close_boundary(closes);
+            return Err(StepError::Fault(f));
         }
         if let Err(f) = placement.publish(
             model,

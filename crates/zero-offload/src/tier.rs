@@ -1,0 +1,844 @@
+//! The memory-tier stack: optimizer-state partitions addressed through an
+//! explicit [`MemoryTier`], including a file-backed NVMe tier.
+//!
+//! The paper's thesis is that model state belongs on the cheapest memory
+//! that bandwidth allows; ZeRO-Infinity pushes that one tier further, past
+//! CPU DRAM onto NVMe. This module generalizes the engine's implicit
+//! two-tier (GPU/CPU) placement into a tier abstraction:
+//!
+//! * [`MemoryTier`] — put/get of framed optimizer-state partitions. Every
+//!   blob reuses the checkpoint `magic | version | length | checksum`
+//!   framing (see [`crate::framing`]), so a torn tier-write decodes to a
+//!   typed [`TierError`], never a silently-wrong resume.
+//! * [`DramTier`] — partitions held in host memory (the reference
+//!   backend, and the degenerate case of the stack).
+//! * [`NvmeTier`] — partitions spilled to files under `ZO_TIER_DIR` (or
+//!   the system temp dir), emulating an NVMe device the way the rest of
+//!   this crate emulates a GPU: real bytes, real syscalls, real torn-write
+//!   failure modes.
+//! * `TieredAdam` — the memory-centric tiled Adam update: the full
+//!   fp32 master/momentum/variance state lives on the tier as fixed-size
+//!   partitions, and each optimizer step streams them through a bounded
+//!   DRAM scratch of three tile slots (read-ahead / compute / write-back)
+//!   double-buffered on a dedicated I/O worker pool, so tier reads and
+//!   writes overlap the Adam arithmetic (proven on wall-clock spans by
+//!   `tests/tier_offload.rs`).
+//!
+//! Determinism: the tiled schedule runs the exact [`zo_optim::adam_range`]
+//! kernel over the same element recurrences in the same order as the
+//! resident [`zo_optim::CpuAdam`], and fp32 state round-trips through the
+//! tier losslessly (LE byte images) — so a spilled run's trajectory is
+//! bit-identical to the DRAM-resident run, under fault injection included
+//! (`tier.read`/`tier.write` gates fire before any tile mutates).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+use zo_fault::{with_retry, FaultError, FaultSession, Site};
+use zo_optim::{adam_range, AdamParams, AdamState};
+use zo_tensor::pool::Pool;
+use zo_tensor::{cast_f32_to_f16, F16};
+use zo_trace::{names, Tracer};
+
+use crate::framing::{decode_frame, encode_frame, FrameError, FrameSpec};
+
+/// Tier partition-blob magic: "ZOtr".
+pub const TIER_MAGIC: u32 = 0x5A4F_7472;
+
+/// Current tier partition-blob format version.
+pub const TIER_VERSION: u32 = 1;
+
+/// The tier frame family (shared codec, tier identity).
+const TIER_FRAME: FrameSpec = FrameSpec {
+    magic: TIER_MAGIC,
+    version: TIER_VERSION,
+};
+
+/// Which memory tier holds the fp32 optimizer states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Host DRAM, resident (the classic ZeRO-Offload placement).
+    Dram,
+    /// File-backed NVMe emulation: states spilled to framed blobs and
+    /// streamed through a bounded DRAM scratch each step.
+    Nvme,
+}
+
+/// Errors from tier reads/writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierError {
+    /// The backing store could not be read or written.
+    Io {
+        /// The underlying I/O error, stringified (keeps this type `Eq`).
+        detail: String,
+    },
+    /// The partition was never written (or its file disappeared).
+    Missing {
+        /// Partition index.
+        part: usize,
+    },
+    /// The blob's framing failed validation — torn write, bit rot, or a
+    /// foreign file.
+    Frame(FrameError),
+    /// The framing validated but the payload has the wrong shape.
+    Malformed {
+        /// Diagnostic.
+        detail: String,
+    },
+}
+
+impl From<FrameError> for TierError {
+    fn from(err: FrameError) -> TierError {
+        TierError::Frame(err)
+    }
+}
+
+impl core::fmt::Display for TierError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TierError::Io { detail } => write!(f, "tier i/o failed: {detail}"),
+            TierError::Missing { part } => write!(f, "tier partition {part} missing"),
+            TierError::Frame(e) => write!(f, "tier partition frame invalid: {e}"),
+            TierError::Malformed { detail } => write!(f, "tier payload malformed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+/// A memory tier holding framed optimizer-state partitions.
+///
+/// Methods take `&self` so one I/O batch can read and write different
+/// partitions concurrently (implementations synchronize internally);
+/// partitions are independent blobs, written whole and read whole.
+pub trait MemoryTier: Send + Sync {
+    /// Which tier this is.
+    fn kind(&self) -> TierKind;
+
+    /// Frames `payload` and stores it as partition `part`, replacing any
+    /// previous blob.
+    fn write_part(&self, part: usize, payload: &[u8]) -> Result<(), TierError>;
+
+    /// Reads partition `part`, validates its framing, and appends the
+    /// payload to `out` (cleared first).
+    fn read_part(&self, part: usize, out: &mut Vec<u8>) -> Result<(), TierError>;
+
+    /// Truncates partition `part`'s stored blob to half its length —
+    /// the torn-write a fatal `tier.write` fault leaves behind (the tier
+    /// analog of the torn checkpoint half-file). A later read decodes to
+    /// [`FrameError::Truncated`].
+    fn tear_part(&self, part: usize) -> Result<(), TierError>;
+}
+
+/// Partitions resident in host DRAM (framed exactly like every tier, so
+/// the torn/corrupt machinery is testable without touching a filesystem).
+#[derive(Debug, Default)]
+pub struct DramTier {
+    parts: Mutex<Vec<Option<Vec<u8>>>>,
+}
+
+impl DramTier {
+    /// An empty DRAM tier.
+    pub fn new() -> DramTier {
+        DramTier::default()
+    }
+}
+
+impl MemoryTier for DramTier {
+    fn kind(&self) -> TierKind {
+        TierKind::Dram
+    }
+
+    fn write_part(&self, part: usize, payload: &[u8]) -> Result<(), TierError> {
+        let mut parts = self.parts.lock().expect("dram tier lock");
+        if parts.len() <= part {
+            parts.resize(part + 1, None);
+        }
+        parts[part] = Some(encode_frame(TIER_FRAME, payload));
+        Ok(())
+    }
+
+    fn read_part(&self, part: usize, out: &mut Vec<u8>) -> Result<(), TierError> {
+        let parts = self.parts.lock().expect("dram tier lock");
+        let blob = parts
+            .get(part)
+            .and_then(|b| b.as_ref())
+            .ok_or(TierError::Missing { part })?;
+        let payload = decode_frame(TIER_FRAME, blob)?;
+        out.clear();
+        out.extend_from_slice(payload);
+        Ok(())
+    }
+
+    fn tear_part(&self, part: usize) -> Result<(), TierError> {
+        let mut parts = self.parts.lock().expect("dram tier lock");
+        let blob = parts
+            .get_mut(part)
+            .and_then(|b| b.as_mut())
+            .ok_or(TierError::Missing { part })?;
+        blob.truncate(blob.len() / 2);
+        Ok(())
+    }
+}
+
+/// Monotonic suffix so concurrent engines (and test runs sharing a
+/// process) never collide on a spill directory.
+static NVME_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Partitions spilled to framed files — the NVMe emulation.
+///
+/// Files live under a unique directory below `ZO_TIER_DIR` (falling back
+/// to the system temp dir) and are removed on drop. One file per
+/// partition, written whole; the framing makes a torn write detectable.
+#[derive(Debug)]
+pub struct NvmeTier {
+    dir: PathBuf,
+}
+
+impl NvmeTier {
+    /// Creates a fresh spill directory and an empty tier over it.
+    pub fn new() -> Result<NvmeTier, TierError> {
+        let base = std::env::var_os("ZO_TIER_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "zo-tier-{}-{}",
+            std::process::id(),
+            NVME_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| TierError::Io {
+            detail: e.to_string(),
+        })?;
+        Ok(NvmeTier { dir })
+    }
+
+    /// The spill directory backing this tier.
+    pub fn spill_dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn part_path(&self, part: usize) -> PathBuf {
+        self.dir.join(format!("part-{part}.zot"))
+    }
+}
+
+impl Drop for NvmeTier {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+impl MemoryTier for NvmeTier {
+    fn kind(&self) -> TierKind {
+        TierKind::Nvme
+    }
+
+    fn write_part(&self, part: usize, payload: &[u8]) -> Result<(), TierError> {
+        std::fs::write(self.part_path(part), encode_frame(TIER_FRAME, payload)).map_err(|e| {
+            TierError::Io {
+                detail: e.to_string(),
+            }
+        })
+    }
+
+    fn read_part(&self, part: usize, out: &mut Vec<u8>) -> Result<(), TierError> {
+        let blob = match std::fs::read(self.part_path(part)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(TierError::Missing { part })
+            }
+            Err(e) => {
+                return Err(TierError::Io {
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let payload = decode_frame(TIER_FRAME, &blob)?;
+        out.clear();
+        out.extend_from_slice(payload);
+        Ok(())
+    }
+
+    fn tear_part(&self, part: usize) -> Result<(), TierError> {
+        let path = self.part_path(part);
+        let blob = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(TierError::Missing { part })
+            }
+            Err(e) => {
+                return Err(TierError::Io {
+                    detail: e.to_string(),
+                })
+            }
+        };
+        std::fs::write(&path, &blob[..blob.len() / 2]).map_err(|e| TierError::Io {
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// Slots in the double-buffer schedule: write-back of tile `k-1`, compute
+/// on tile `k`, read-ahead of tile `k+1`.
+const TILE_SLOTS: usize = 3;
+
+/// Workers on the dedicated tier I/O pool — one per schedule role, so the
+/// read-ahead, the write-back and the tile's Adam kernel genuinely run
+/// concurrently even when `ZO_THREADS=1` serializes the *compute* pool
+/// (thread count must never change numerics, only scheduling).
+///
+/// A separate pool also removes the nested-submission hazard: a tier I/O
+/// task never submits to the shared compute pool, and the compute pool's
+/// workers never block on tier I/O.
+const TIER_IO_THREADS: usize = 3;
+
+/// The process-wide tier I/O pool (lazily spawned on first tiered step).
+fn io_pool() -> &'static Arc<Pool> {
+    static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(TIER_IO_THREADS))
+}
+
+/// Payload bytes per element: fp32 master, momentum and variance.
+const PAYLOAD_BYTES_PER_ELEM: usize = 12;
+
+/// DRAM scratch bytes one element costs across the whole schedule: three
+/// slots, each holding the decoded fp32 triple plus its encoded payload.
+const SCRATCH_BYTES_PER_ELEM: usize = TILE_SLOTS * (12 + PAYLOAD_BYTES_PER_ELEM);
+
+/// Floor on tile size — below this the per-tile framing overhead dwarfs
+/// the state itself.
+const MIN_TILE_ELEMS: usize = 64;
+
+/// One DRAM scratch slot of the tiled schedule.
+struct TileSlot {
+    /// Decoded fp32 master for the held tile.
+    master: Vec<f32>,
+    /// Decoded momentum.
+    m: Vec<f32>,
+    /// Decoded variance.
+    v: Vec<f32>,
+    /// Encoded payload scratch (read target / write source).
+    payload: Vec<u8>,
+}
+
+impl TileSlot {
+    fn new(tile_elems: usize) -> TileSlot {
+        TileSlot {
+            master: vec![0.0; tile_elems],
+            m: vec![0.0; tile_elems],
+            v: vec![0.0; tile_elems],
+            payload: Vec::with_capacity(PAYLOAD_BYTES_PER_ELEM * tile_elems),
+        }
+    }
+}
+
+/// Serializes a tile's fp32 triple into the partition payload layout:
+/// `master ‖ m ‖ v`, little-endian — a lossless byte image, which is what
+/// makes the spilled trajectory bit-identical to the resident one.
+fn encode_payload(master: &[f32], m: &[f32], v: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(PAYLOAD_BYTES_PER_ELEM * master.len());
+    for series in [master, m, v] {
+        for &x in series {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// Inverse of [`encode_payload`] for a tile of `len` elements.
+fn decode_payload(
+    payload: &[u8],
+    len: usize,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+) -> Result<(), TierError> {
+    if payload.len() != PAYLOAD_BYTES_PER_ELEM * len {
+        return Err(TierError::Malformed {
+            detail: format!(
+                "partition payload holds {} bytes, tile of {len} elements needs {}",
+                payload.len(),
+                PAYLOAD_BYTES_PER_ELEM * len
+            ),
+        });
+    }
+    for (series, at) in [(master, 0usize), (m, 1), (v, 2)] {
+        let base = at * 4 * len;
+        for (i, x) in series.iter_mut().enumerate().take(len) {
+            let b = base + 4 * i;
+            *x = f32::from_le_bytes(payload[b..b + 4].try_into().expect("4 bytes"));
+        }
+    }
+    Ok(())
+}
+
+/// The memory-centric tiled Adam update over a [`MemoryTier`].
+///
+/// The full fp32 master/momentum/variance state lives on the tier as
+/// framed fixed-size partitions; each step streams them through
+/// [`TILE_SLOTS`] bounded DRAM scratch slots. At steady state iteration
+/// `k` runs three concurrent tasks on the tier I/O pool: write back tile
+/// `k-1`, run [`adam_range`] on tile `k` (then refresh the engine's
+/// master mirror and fp16 view for that range), and read ahead tile
+/// `k+1`. The engine-side `master` mirror stays allocated — it is the
+/// checkpoint/publication view — but the Adam inputs are re-read from the
+/// tier every step, so the tier genuinely holds the optimizer state.
+pub(crate) struct TieredAdam {
+    tier: Box<dyn MemoryTier>,
+    hp: AdamParams,
+    step: u64,
+    n: usize,
+    tile_elems: usize,
+    parts: usize,
+    slots: Vec<TileSlot>,
+    tracer: Tracer,
+    track: String,
+}
+
+impl TieredAdam {
+    /// Partitions `master` (with zeroed moments) onto `tier`, sizing tiles
+    /// so the schedule's total DRAM scratch stays within `scratch_bytes`
+    /// (subject to a [`MIN_TILE_ELEMS`] floor).
+    pub(crate) fn new(
+        tier: Box<dyn MemoryTier>,
+        hp: AdamParams,
+        master: &[f32],
+        scratch_bytes: usize,
+        tracer: Tracer,
+        track: &str,
+    ) -> TieredAdam {
+        let n = master.len();
+        let tile_elems = (scratch_bytes / SCRATCH_BYTES_PER_ELEM)
+            .max(MIN_TILE_ELEMS)
+            .min(n.max(1));
+        let parts = n.div_ceil(tile_elems).max(1);
+        let mut this = TieredAdam {
+            tier,
+            hp,
+            step: 0,
+            n,
+            tile_elems,
+            parts,
+            slots: (0..TILE_SLOTS).map(|_| TileSlot::new(tile_elems)).collect(),
+            tracer,
+            track: track.to_string(),
+        };
+        let zeros = vec![0.0f32; n];
+        this.rewrite_partitions(master, &zeros, &zeros);
+        this
+    }
+
+    /// The element range of partition `part`.
+    fn range_of(&self, part: usize) -> core::ops::Range<usize> {
+        let start = part * self.tile_elems;
+        start..(start + self.tile_elems).min(self.n)
+    }
+
+    /// Partition count the state is spread over.
+    #[cfg(test)]
+    pub(crate) fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Total DRAM scratch the tiled schedule holds, bytes.
+    fn scratch_bytes(&self) -> usize {
+        SCRATCH_BYTES_PER_ELEM * self.tile_elems
+    }
+
+    /// (Re)writes every partition from full-length state slices —
+    /// construction and checkpoint restore.
+    fn rewrite_partitions(&mut self, master: &[f32], m: &[f32], v: &[f32]) {
+        let mut payload = Vec::new();
+        for part in 0..self.parts {
+            let r = self.range_of(part);
+            encode_payload(&master[r.clone()], &m[r.clone()], &v[r], &mut payload);
+            self.tier
+                .write_part(part, &payload)
+                .expect("tier partition write");
+        }
+    }
+
+    /// Reads partition `part` into `slot`, recording the `tier.read` span
+    /// and traffic.
+    fn read_into(
+        tier: &dyn MemoryTier,
+        tracer: &Tracer,
+        part: usize,
+        len: usize,
+        slot: &mut TileSlot,
+    ) {
+        let start = tracer.now_us();
+        tier.read_part(part, &mut slot.payload)
+            .expect("tier partition read");
+        decode_payload(
+            &slot.payload,
+            len,
+            &mut slot.master[..len],
+            &mut slot.m[..len],
+            &mut slot.v[..len],
+        )
+        .expect("tier partition payload shape");
+        let now = tracer.now_us();
+        tracer.record_span("tier", names::TIER_READ, start, now.saturating_sub(start));
+        tracer.add("tier", names::TIER_TRAFFIC_BYTES, slot.payload.len() as u64);
+    }
+
+    /// Writes `slot`'s encoded payload as partition `part`, recording the
+    /// `tier.write` span and traffic.
+    fn write_from(tier: &dyn MemoryTier, tracer: &Tracer, part: usize, slot: &TileSlot) {
+        let start = tracer.now_us();
+        tier.write_part(part, &slot.payload)
+            .expect("tier partition write");
+        let now = tracer.now_us();
+        tracer.record_span("tier", names::TIER_WRITE, start, now.saturating_sub(start));
+        tracer.add("tier", names::TIER_TRAFFIC_BYTES, slot.payload.len() as u64);
+    }
+
+    /// One tiled Adam step.
+    ///
+    /// The `tier.read` and `tier.write` fault gates fire first, before any
+    /// tile mutates: a transient retries invisibly (trajectory unchanged);
+    /// a fatal read fault aborts with engine state untouched; a fatal
+    /// write fault additionally tears partition 0 on the tier — the torn
+    /// frame a crashed write leaves — so recovery must detect it (typed
+    /// [`FrameError::Truncated`]) and restore from a checkpoint.
+    pub(crate) fn step(
+        &mut self,
+        grads: &[f32],
+        master: &mut [f32],
+        p16: &mut [F16],
+        faults: &mut FaultSession,
+    ) -> Result<(), FaultError> {
+        with_retry(faults, Site::TierRead, &self.tracer, &self.track, || ())?;
+        if let Err(f) = with_retry(faults, Site::TierWrite, &self.tracer, &self.track, || ()) {
+            self.tier.tear_part(0).ok();
+            return Err(f);
+        }
+        self.step += 1;
+        let (bc1, bc2) = self.hp.bias_corrections(self.step);
+        let hp = self.hp;
+        let parts = self.parts;
+        let tier = &*self.tier;
+        let tracer = &self.tracer;
+        let track = self.track.as_str();
+        let pool = io_pool();
+
+        // Prime: load tile 0 into the compute slot.
+        let [pending, current, ahead] = &mut self.slots[..] else {
+            unreachable!("tiered Adam always holds {TILE_SLOTS} slots");
+        };
+        Self::read_into(tier, tracer, 0, self.tile_elems.min(self.n), current);
+
+        let mut slots = [pending, current, ahead];
+        for k in 0..parts {
+            let range = {
+                let start = k * self.tile_elems;
+                start..(start + self.tile_elems).min(self.n)
+            };
+            let next_range = if k + 1 < parts {
+                let start = (k + 1) * self.tile_elems;
+                Some(start..(start + self.tile_elems).min(self.n))
+            } else {
+                None
+            };
+            {
+                let [pending, current, ahead] = &mut slots;
+                let len = range.len();
+                let g = &grads[range.clone()];
+                let master_out = &mut master[range.clone()];
+                let p16_out = &mut p16[range.clone()];
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(TILE_SLOTS);
+                let current: &mut TileSlot = current;
+                tasks.push(Box::new(move || {
+                    let start = tracer.now_us();
+                    adam_range(
+                        &hp,
+                        bc1,
+                        bc2,
+                        &mut current.master[..len],
+                        g,
+                        &mut current.m[..len],
+                        &mut current.v[..len],
+                    );
+                    master_out.copy_from_slice(&current.master[..len]);
+                    cast_f32_to_f16(&current.master[..len], p16_out);
+                    encode_payload(
+                        &current.master[..len],
+                        &current.m[..len],
+                        &current.v[..len],
+                        &mut current.payload,
+                    );
+                    let now = tracer.now_us();
+                    tracer.record_span(track, names::TIER_UPDATE, start, now.saturating_sub(start));
+                }));
+                if k > 0 {
+                    let pending: &TileSlot = pending;
+                    tasks.push(Box::new(move || {
+                        Self::write_from(tier, tracer, k - 1, pending);
+                    }));
+                }
+                if let Some(nr) = next_range {
+                    let ahead: &mut TileSlot = ahead;
+                    let nlen = nr.len();
+                    tasks.push(Box::new(move || {
+                        Self::read_into(tier, tracer, k + 1, nlen, ahead);
+                    }));
+                }
+                pool.run(tasks);
+            }
+            // Roles advance: computed tile becomes write-pending, the
+            // read-ahead tile becomes current, the written-out slot is
+            // free to read into.
+            slots.rotate_left(1);
+        }
+        // The last computed tile (now in the pending role) writes back.
+        Self::write_from(tier, tracer, parts - 1, slots[0]);
+        self.tracer
+            .gauge_max(names::TIER_HWM_BYTES, self.scratch_bytes() as f64);
+        Ok(())
+    }
+
+    /// Materializes the full Adam state from the tier (checkpointing).
+    pub(crate) fn state(&self) -> AdamState {
+        let mut state = AdamState::new(self.n);
+        state.step = self.step;
+        let mut payload = Vec::new();
+        let mut master = vec![0.0f32; self.tile_elems];
+        for part in 0..self.parts {
+            let r = self.range_of(part);
+            let len = r.len();
+            self.tier
+                .read_part(part, &mut payload)
+                .expect("tier partition read for checkpoint");
+            decode_payload(
+                &payload,
+                len,
+                &mut master[..len],
+                &mut state.m[r.start..r.end],
+                &mut state.v[r.start..r.end],
+            )
+            .expect("tier partition payload shape");
+        }
+        state
+    }
+
+    /// Restores state from a checkpoint: rewrites every partition from
+    /// the restored master and moments (also the recovery path after a
+    /// fatal `tier.write` left a torn partition behind).
+    pub(crate) fn restore(&mut self, master: &[f32], state: &AdamState) {
+        self.step = state.step;
+        let (m, v) = (state.m.clone(), state.v.clone());
+        self.rewrite_partitions(master, &m, &v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload_of(len: usize, seed: f32) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let master: Vec<f32> = (0..len).map(|i| seed + i as f32).collect();
+        let m: Vec<f32> = (0..len).map(|i| 0.5 * i as f32).collect();
+        let v: Vec<f32> = (0..len).map(|i| 0.25 * i as f32).collect();
+        (master, m, v)
+    }
+
+    fn tiers() -> Vec<Box<dyn MemoryTier>> {
+        vec![
+            Box::new(DramTier::new()),
+            Box::new(NvmeTier::new().expect("spill dir")),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_on_both_tiers() {
+        for tier in tiers() {
+            let (master, m, v) = payload_of(37, 1.0);
+            let mut payload = Vec::new();
+            encode_payload(&master, &m, &v, &mut payload);
+            tier.write_part(0, &payload).unwrap();
+            let mut back = Vec::new();
+            tier.read_part(0, &mut back).unwrap();
+            assert_eq!(back, payload, "{:?}", tier.kind());
+            let (mut m2, mut mm2, mut v2) = (vec![0.0; 37], vec![0.0; 37], vec![0.0; 37]);
+            decode_payload(&back, 37, &mut m2, &mut mm2, &mut v2).unwrap();
+            assert_eq!(m2, master);
+            assert_eq!(mm2, m);
+            assert_eq!(v2, v);
+        }
+    }
+
+    #[test]
+    fn missing_part_is_typed() {
+        for tier in tiers() {
+            let mut out = Vec::new();
+            assert_eq!(
+                tier.read_part(3, &mut out),
+                Err(TierError::Missing { part: 3 }),
+                "{:?}",
+                tier.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn torn_write_decodes_to_truncated() {
+        for tier in tiers() {
+            let (master, m, v) = payload_of(64, 2.0);
+            let mut payload = Vec::new();
+            encode_payload(&master, &m, &v, &mut payload);
+            tier.write_part(0, &payload).unwrap();
+            tier.tear_part(0).unwrap();
+            let mut out = Vec::new();
+            let err = tier.read_part(0, &mut out).unwrap_err();
+            assert!(
+                matches!(err, TierError::Frame(FrameError::Truncated { .. })),
+                "{:?}: {err:?}",
+                tier.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn nvme_files_are_framed_and_cleaned_up() {
+        let tier = NvmeTier::new().expect("spill dir");
+        let dir = tier.spill_dir().to_path_buf();
+        let (master, m, v) = payload_of(16, 3.0);
+        let mut payload = Vec::new();
+        encode_payload(&master, &m, &v, &mut payload);
+        tier.write_part(5, &payload).unwrap();
+        let blob = std::fs::read(dir.join("part-5.zot")).unwrap();
+        assert_eq!(&blob[..4], &TIER_MAGIC.to_le_bytes());
+        // A flipped payload byte is detected by the checksum.
+        let mut flipped = blob.clone();
+        let mid = crate::framing::HEADER_BYTES + flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(dir.join("part-5.zot"), &flipped).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(
+            tier.read_part(5, &mut out),
+            Err(TierError::Frame(FrameError::Corrupted { .. }))
+        ));
+        drop(tier);
+        assert!(!dir.exists(), "spill dir must be removed on drop");
+    }
+
+    #[test]
+    fn tiered_adam_matches_resident_cpu_adam_bitwise() {
+        use zo_optim::{CpuAdam, CpuAdamConfig};
+        let n = 1000;
+        let hp = AdamParams {
+            lr: 0.01,
+            weight_decay: 0.01,
+            ..AdamParams::default()
+        };
+        let init: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+
+        let mut resident = CpuAdam::new(
+            CpuAdamConfig {
+                hp,
+                num_threads: 2,
+                tile_width: 128,
+            },
+            n,
+        );
+        let mut master_a = init.clone();
+        let mut p16_a = vec![F16::ZERO; n];
+
+        // Small scratch: forces several partitions on both backends.
+        for tier in tiers() {
+            let tracer = Tracer::new();
+            let mut tiered = TieredAdam::new(tier, hp, &init, 64 * 72, tracer.clone(), "cpu");
+            assert!(tiered.parts() > 1, "tile budget must force tiling");
+            let mut master_b = init.clone();
+            let mut p16_b = vec![F16::ZERO; n];
+            let mut faults = FaultSession::disabled();
+
+            master_a.copy_from_slice(&init);
+            resident.load_state(AdamState::new(n)).unwrap();
+
+            for step in 0..5 {
+                let grads: Vec<f32> = (0..n).map(|i| ((i + step) as f32 * 0.11).cos()).collect();
+                resident
+                    .step_mixed(&mut master_a, &grads, &mut p16_a)
+                    .unwrap();
+                tiered
+                    .step(&grads, &mut master_b, &mut p16_b, &mut faults)
+                    .unwrap();
+                assert_eq!(master_a, master_b, "step {step} master diverged");
+                assert_eq!(p16_a, p16_b, "step {step} fp16 view diverged");
+            }
+            // The tier round-trips the moments losslessly.
+            let snap = tiered.state();
+            assert_eq!(snap.m, resident.state().m);
+            assert_eq!(snap.v, resident.state().v);
+            assert_eq!(snap.step, resident.state().step);
+            // Traffic flowed and the scratch high-water mark was recorded.
+            assert!(tracer.counter_total(names::TIER_TRAFFIC_BYTES) > 0);
+            assert!(tracer.high_water(names::TIER_HWM_BYTES).is_some());
+        }
+    }
+
+    #[test]
+    fn tiered_restore_resumes_bitwise() {
+        let n = 500;
+        let hp = AdamParams::default();
+        let init: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).cos()).collect();
+        let grads_at =
+            |s: usize| -> Vec<f32> { (0..n).map(|i| ((i * 7 + s) as f32 * 0.19).sin()).collect() };
+        let run = |steps: core::ops::Range<usize>,
+                   t: &mut TieredAdam,
+                   master: &mut Vec<f32>,
+                   p16: &mut Vec<F16>| {
+            let mut faults = FaultSession::disabled();
+            for s in steps {
+                t.step(&grads_at(s), master, p16, &mut faults).unwrap();
+            }
+        };
+
+        let tracer = Tracer::disabled();
+        let mut cont = TieredAdam::new(
+            Box::new(DramTier::new()),
+            hp,
+            &init,
+            4096,
+            tracer.clone(),
+            "cpu",
+        );
+        let mut master_c = init.clone();
+        let mut p16_c = vec![F16::ZERO; n];
+        run(0..8, &mut cont, &mut master_c, &mut p16_c);
+
+        let mut fst = TieredAdam::new(
+            Box::new(NvmeTier::new().unwrap()),
+            hp,
+            &init,
+            4096,
+            tracer.clone(),
+            "cpu",
+        );
+        let mut master_f = init.clone();
+        let mut p16_f = vec![F16::ZERO; n];
+        run(0..4, &mut fst, &mut master_f, &mut p16_f);
+        let snap = fst.state();
+
+        // Restore into a fresh tiered optimizer on the other backend.
+        let mut resumed = TieredAdam::new(
+            Box::new(DramTier::new()),
+            hp,
+            &master_f,
+            4096,
+            tracer,
+            "cpu",
+        );
+        resumed.restore(&master_f, &snap);
+        let mut master_r = master_f.clone();
+        let mut p16_r = p16_f.clone();
+        run(4..8, &mut resumed, &mut master_r, &mut p16_r);
+
+        assert_eq!(master_c, master_r);
+        assert_eq!(p16_c, p16_r);
+    }
+}

@@ -17,13 +17,13 @@
 use zo_collectives::{partition_range, Communicator};
 use zo_fault::{lane, with_retry, FaultError, FaultSession, Site};
 use zo_nn::Model;
-use zo_optim::{CpuAdam, CpuAdamConfig, DynamicLossScaler};
+use zo_optim::DynamicLossScaler;
 use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::Tracer;
 
 use crate::config::{resolve_fault_plan, resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
-use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepError, StepPipeline, Updater};
+use crate::pipeline::{build_offload_updater, GradStream, Placement, StepError, StepPipeline};
 
 /// The ZeRO-2 placement: reduce-scatter in, shard-wise fp16 rounding,
 /// all-gather out; overflow agreed by all-reduce so every rank skips (or
@@ -178,21 +178,7 @@ impl<M: Model> Zero2OffloadEngine<M> {
         let shard_len = master.len();
         let tracer = resolve_tracer(cfg.tracer);
         let track = format!("rank{}", comm.rank());
-        let opt_cfg = CpuAdamConfig {
-            hp: cfg.adam,
-            num_threads: cfg.resolved_optimizer_threads(),
-            tile_width: cfg.tile_width,
-        };
-        let updater = match cfg.dpu_warmup {
-            Some(w) => Updater::Async(PipelinedDpu::spawn(
-                master.clone(),
-                opt_cfg,
-                w,
-                tracer.clone(),
-                &format!("{track}_optimizer"),
-            )),
-            None => Updater::Cpu(CpuAdam::new(opt_cfg, shard_len)),
-        };
+        let updater = build_offload_updater(&cfg, &master, &tracer, &format!("{track}_optimizer"));
         let mut p16 = vec![F16::ZERO; shard_len];
         cast_f32_to_f16(&master, &mut p16);
         let plan = resolve_fault_plan(cfg.faults);

@@ -31,14 +31,16 @@
 use zo_collectives::{partition_range, Communicator};
 use zo_fault::{lane, with_retry, FaultError, FaultSession, Site};
 use zo_nn::Model;
-use zo_optim::{AdamState, CpuAdam, CpuAdamConfig, DynamicLossScaler};
+use zo_optim::{AdamState, DynamicLossScaler};
 use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::{names, Tracer};
 
 use crate::checkpoint::{CheckpointError, DpuCheckpoint, TrainingCheckpoint};
 use crate::config::{resolve_fault_plan, resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
-use crate::pipeline::{GradStream, PipelinedDpu, Placement, StepError, StepPipeline, Updater};
+use crate::pipeline::{
+    build_offload_updater, GradStream, Placement, StepError, StepPipeline, Updater,
+};
 
 /// One entry in the stage-3 gather/release schedule.
 ///
@@ -529,21 +531,7 @@ impl<M: Model> Zero3OffloadEngine<M> {
         let shard_len = master.len();
         let tracer = resolve_tracer(cfg.tracer);
         let track = format!("rank{}", comm.rank());
-        let opt_cfg = CpuAdamConfig {
-            hp: cfg.adam,
-            num_threads: cfg.resolved_optimizer_threads(),
-            tile_width: cfg.tile_width,
-        };
-        let updater = match cfg.dpu_warmup {
-            Some(w) => Updater::Async(PipelinedDpu::spawn(
-                master.clone(),
-                opt_cfg,
-                w,
-                tracer.clone(),
-                &format!("{track}_optimizer"),
-            )),
-            None => Updater::Cpu(CpuAdam::new(opt_cfg, shard_len)),
-        };
+        let updater = build_offload_updater(&cfg, &master, &tracer, &format!("{track}_optimizer"));
         let mut p16 = vec![F16::ZERO; shard_len];
         cast_f32_to_f16(&master, &mut p16);
         let plan = resolve_fault_plan(cfg.faults);
@@ -691,6 +679,7 @@ impl<M: Model> Zero3OffloadEngine<M> {
                     pending: dpu.pending().map(|p| p.to_vec()),
                 }),
             ),
+            Updater::Tiered(tiered) => (tiered.state(), None),
         };
         TrainingCheckpoint {
             master: self.pipe.master.clone(),
@@ -752,6 +741,16 @@ impl<M: Model> Zero3OffloadEngine<M> {
                     });
                 }
                 pipelined.restore(&self.pipe.master, optim, d.steps_seen, d.pending.clone());
+                Ok(())
+            }
+            (Updater::Tiered(tiered), None) => {
+                if optim.len() != self.pipe.master.len() {
+                    return Err(CheckpointError::SizeMismatch {
+                        checkpoint: optim.len(),
+                        engine: self.pipe.master.len(),
+                    });
+                }
+                tiered.restore(&self.pipe.master, optim);
                 Ok(())
             }
             _ => Err(CheckpointError::ModeMismatch),

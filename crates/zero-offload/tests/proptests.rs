@@ -7,7 +7,9 @@
 
 use proptest::prelude::*;
 use zero_offload::bucket::{scatter_frames, GradBucketer};
+use zero_offload::framing;
 use zero_offload::wire::{decode_frame, encode_frame, frame_bytes, WireError, HEADER_BYTES};
+use zero_offload::FrameError;
 use zero_offload::{run_zero3_ranks, Zero3Cache, Zero3Event, Zero3Plan, ZeroOffloadConfig};
 use zo_tensor::F16;
 
@@ -152,6 +154,78 @@ proptest! {
         }
         for (i, v) in c.iter().enumerate() {
             prop_assert_eq!(dst[b_off as usize + i], v.to_f32());
+        }
+    }
+}
+
+fn byte_vec(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=u8::MAX, 0..max_len)
+}
+
+proptest! {
+    /// Any truncation of a framed blob — torn header or torn payload —
+    /// decodes to the typed `Truncated` error, for any frame family.
+    #[test]
+    fn framing_truncation_is_always_typed(
+        payload in byte_vec(96),
+        magic in 0u32..=u32::MAX,
+        version in 0u32..=u32::MAX,
+        cut in 0usize..1024,
+    ) {
+        let spec = framing::FrameSpec { magic, version };
+        let blob = framing::encode_frame(spec, &payload);
+        let cut = cut % blob.len(); // blob.len() >= HEADER_BYTES > 0
+        let err = framing::decode_frame(spec, &blob[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, FrameError::Truncated { .. }),
+            "cut at {}: {:?}", cut, err
+        );
+    }
+
+    /// Flipping any single byte of a framed blob decodes to the typed
+    /// error of the region hit — never a panic, never silent success:
+    /// magic bytes to `BadMagic`, version bytes to `BadVersion`, length
+    /// bytes to `Truncated` (longer) or `Corrupted` (shorter), checksum
+    /// and payload bytes to `Corrupted`.
+    #[test]
+    fn framing_single_byte_flip_is_typed_by_region(
+        payload in byte_vec(64),
+        magic in 0u32..=u32::MAX,
+        victim in 0usize..1024,
+        flip in 1u8..=255,
+    ) {
+        let spec = framing::FrameSpec { magic, version: 1 };
+        let blob = framing::encode_frame(spec, &payload);
+        let victim = victim % blob.len();
+        let mut raw = blob.clone();
+        raw[victim] ^= flip;
+        let err = framing::decode_frame(spec, &raw).unwrap_err();
+        let ok = match victim {
+            0..=3 => matches!(err, FrameError::BadMagic { .. }),
+            4..=7 => matches!(err, FrameError::BadVersion { .. }),
+            8..=15 => matches!(
+                err,
+                FrameError::Truncated { .. } | FrameError::Corrupted { .. }
+            ),
+            _ => matches!(err, FrameError::Corrupted { .. }),
+        };
+        prop_assert!(ok, "flip {:#04x} at byte {}: {:?}", flip, victim, err);
+    }
+
+    /// Decoding arbitrary bytes never panics, and only succeeds when the
+    /// blob really is a well-formed frame of the expected family (the
+    /// returned payload then re-encodes to a decodable frame).
+    #[test]
+    fn framing_decode_of_arbitrary_bytes_never_panics(
+        raw in byte_vec(256),
+        magic in 0u32..=u32::MAX,
+        version in 0u32..=u32::MAX,
+    ) {
+        let spec = framing::FrameSpec { magic, version };
+        if let Ok(payload) = framing::decode_frame(spec, &raw) {
+            prop_assert!(raw.len() >= framing::HEADER_BYTES + payload.len());
+            let reframed = framing::encode_frame(spec, payload);
+            prop_assert_eq!(framing::decode_frame(spec, &reframed).unwrap(), payload);
         }
     }
 }

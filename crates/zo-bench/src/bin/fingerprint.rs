@@ -10,17 +10,27 @@
 //! of the trajectory.
 //!
 //! ```text
-//! ZO_THREADS=4 fingerprint [--steps N]
+//! ZO_THREADS=4 fingerprint [--steps N] [--json PATH]
 //! ```
 //!
 //! With `ZO_STAGE=3` the same fingerprint is computed over a two-rank
 //! ZeRO-3 run (rank 0's per-step losses, then every rank's master shard
 //! in rank order), so CI can prove the thread-invariance claim holds for
 //! the parameter-partitioned engine too.
+//!
+//! With `ZO_TIER=nvme` the fp32 optimizer partitions spill to the
+//! file-backed NVMe tier (`ZO_TIER_DIR` controls the spill directory).
+//! The hash must not move: CI diffs the DRAM-resident and NVMe-spilled
+//! fingerprints to prove tier placement is bitwise-invisible.
+//!
+//! `--json PATH` additionally writes a small benchmark artifact — the
+//! hash plus per-step wall-times in milliseconds — which CI uploads as
+//! `BENCH_fingerprint.json`.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use zero_offload::{run_zero3_ranks, ZeroOffloadConfig, ZeroOffloadEngine};
+use zero_offload::{run_zero3_ranks, TierKind, ZeroOffloadConfig, ZeroOffloadEngine};
 use zo_models::BigramLm;
 use zo_nn::{GptConfig, GptModel};
 use zo_optim::{AdamParams, LossScaleConfig};
@@ -41,8 +51,38 @@ impl Fnv {
     }
 }
 
+/// Renders the benchmark artifact: flat JSON, no serializer needed.
+fn render_json(hash: u64, engine: &str, tier: TierKind, threads: usize, step_ms: &[f64]) -> String {
+    let times: Vec<String> = step_ms.iter().map(|t| format!("{t:.3}")).collect();
+    let total: f64 = step_ms.iter().sum();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"fingerprint\": \"{:016x}\",\n",
+            "  \"engine\": \"{}\",\n",
+            "  \"tier\": \"{}\",\n",
+            "  \"threads\": {},\n",
+            "  \"steps\": {},\n",
+            "  \"total_wall_ms\": {:.3},\n",
+            "  \"step_wall_ms\": [{}]\n",
+            "}}\n"
+        ),
+        hash,
+        engine,
+        match tier {
+            TierKind::Dram => "dram",
+            TierKind::Nvme => "nvme",
+        },
+        threads,
+        step_ms.len(),
+        total,
+        times.join(", ")
+    )
+}
+
 fn main() -> ExitCode {
     let mut steps = 30usize;
+    let mut json_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -53,12 +93,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("unknown flag {other}; usage: fingerprint [--steps N]");
+                eprintln!("unknown flag {other}; usage: fingerprint [--steps N] [--json PATH]");
                 return ExitCode::FAILURE;
             }
         }
     }
+    let tier = match std::env::var("ZO_TIER").as_deref() {
+        Ok("nvme") => TierKind::Nvme,
+        Ok("dram") | Ok("") | Err(_) => TierKind::Dram,
+        Ok(other) => {
+            eprintln!("unknown ZO_TIER value {other:?}; expected \"dram\" or \"nvme\"");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let gpt = GptConfig {
         vocab: 32,
@@ -78,11 +133,12 @@ fn main() -> ExitCode {
         },
         // 0 = auto: follow the shared pool, i.e. ZO_THREADS.
         optimizer_threads: 0,
+        optimizer_tier: tier,
         ..ZeroOffloadConfig::default()
     };
     let stage3 = std::env::var("ZO_STAGE").is_ok_and(|v| v == "3");
     let mut hash = Fnv::new();
-    if stage3 {
+    let step_ms: Vec<f64> = if stage3 {
         // Two-rank ZeRO-3 run: each rank trains on its slice of the same
         // deterministic global batch stream.
         const WORLD: usize = 2;
@@ -93,48 +149,69 @@ fn main() -> ExitCode {
             move |engine| {
                 let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
                 let mut losses = Vec::new();
+                let mut times = Vec::new();
                 for _ in 0..steps {
                     let b = data.batch(WORLD, gpt.seq_len);
                     let r = engine.rank();
                     let n = gpt.seq_len;
                     let inputs = b.inputs[r * n..(r + 1) * n].to_vec();
                     let targets = b.targets[r * n..(r + 1) * n].to_vec();
+                    let t0 = Instant::now();
                     let out = engine
                         .step(|m| m.train_step(&inputs, &targets, 1, n, |_| {}))
                         .expect("training step");
+                    times.push(t0.elapsed().as_secs_f64() * 1e3);
                     losses.push(out.loss());
                 }
-                (losses, engine.master_shard().to_vec())
+                (losses, engine.master_shard().to_vec(), times)
             },
         );
         for loss in &traces[0].0 {
             hash.write(&loss.to_bits().to_le_bytes());
         }
-        for (_, shard) in &traces {
+        for (_, shard, _) in &traces {
             for p in shard {
                 hash.write(&p.to_bits().to_le_bytes());
             }
         }
+        traces[0].2.clone()
     } else {
         let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), cfg);
         let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
+        let mut times = Vec::new();
         for _ in 0..steps {
             let b = data.batch(4, gpt.seq_len);
+            let t0 = Instant::now();
             let outcome = engine
                 .step_streamed(|m, s| m.train_step_hooked(&b.inputs, &b.targets, 4, gpt.seq_len, s))
                 .expect("training step");
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
             hash.write(&outcome.loss().to_bits().to_le_bytes());
         }
         for p in engine.master_params() {
             hash.write(&p.to_bits().to_le_bytes());
         }
-    }
+        times
+    };
 
+    let engine_name = if stage3 { "zero3" } else { "single" };
+    let threads = zo_tensor::pool::global().threads();
+    if let Some(path) = json_path {
+        let body = render_json(hash.0, engine_name, tier, threads, &step_ms);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     println!(
-        "fingerprint {:016x} threads={} steps={steps} engine={}",
+        "fingerprint {:016x} threads={} steps={steps} engine={} tier={}",
         hash.0,
-        zo_tensor::pool::global().threads(),
-        if stage3 { "zero3" } else { "single" }
+        threads,
+        engine_name,
+        match tier {
+            TierKind::Dram => "dram",
+            TierKind::Nvme => "nvme",
+        }
     );
     ExitCode::SUCCESS
 }

@@ -51,11 +51,18 @@ pub enum Site {
     CollectiveParamAllGather,
     /// Stage-3 release of a gathered parameter layer.
     ParamRelease,
+    /// Read of an optimizer-state partition from a memory tier.
+    TierRead,
+    /// Write of an optimizer-state partition to a memory tier.
+    TierWrite,
 }
+
+/// Number of distinct [`Site`]s (the size of per-site tables).
+const SITE_COUNT: usize = 10;
 
 impl Site {
     /// Every site, in canonical order.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; SITE_COUNT] = [
         Site::WireH2d,
         Site::WireD2h,
         Site::CollectiveReduceScatter,
@@ -64,6 +71,8 @@ impl Site {
         Site::CheckpointWrite,
         Site::CollectiveParamAllGather,
         Site::ParamRelease,
+        Site::TierRead,
+        Site::TierWrite,
     ];
 
     /// The site's wire name (the `ZO_FAULTS` grammar key).
@@ -77,6 +86,8 @@ impl Site {
             Site::CheckpointWrite => "checkpoint.write",
             Site::CollectiveParamAllGather => "collective.param_allgather",
             Site::ParamRelease => "param.release",
+            Site::TierRead => "tier.read",
+            Site::TierWrite => "tier.write",
         }
     }
 
@@ -95,6 +106,8 @@ impl Site {
             Site::CheckpointWrite => 5,
             Site::CollectiveParamAllGather => 6,
             Site::ParamRelease => 7,
+            Site::TierRead => 8,
+            Site::TierWrite => 9,
         }
     }
 }
@@ -224,7 +237,7 @@ fn splitmix64(mut x: u64) -> u64 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
-    sites: [Option<SiteSpec>; 8],
+    sites: [Option<SiteSpec>; SITE_COUNT],
     retry: RetryPolicy,
 }
 
@@ -239,7 +252,7 @@ impl FaultPlan {
     pub fn disabled() -> FaultPlan {
         FaultPlan {
             seed: 0,
-            sites: [None; 8],
+            sites: [None; SITE_COUNT],
             retry: RetryPolicy::default(),
         }
     }
@@ -249,7 +262,7 @@ impl FaultPlan {
         FaultPlanBuilder {
             plan: FaultPlan {
                 seed,
-                sites: [None; 8],
+                sites: [None; SITE_COUNT],
                 retry: RetryPolicy::default(),
             },
         }
@@ -440,6 +453,9 @@ pub mod lane {
     /// lock-step per endpoint), so every rank agrees on each decision and
     /// fatal faults error out on all ranks together — no barrier deadlock.
     pub const COLLECTIVE: u64 = 0x30;
+    /// Memory-tier reads/writes of optimizer-state partitions. Per-rank
+    /// consumers add their rank to this base.
+    pub const TIER: u64 = 0x40;
 }
 
 /// One consumer's deterministic stream of fault decisions.
@@ -451,7 +467,7 @@ pub mod lane {
 pub struct FaultSession {
     plan: Arc<FaultPlan>,
     lane: u64,
-    counts: [u64; 8],
+    counts: [u64; SITE_COUNT],
 }
 
 impl FaultSession {
@@ -460,7 +476,7 @@ impl FaultSession {
         FaultSession {
             plan,
             lane,
-            counts: [0; 8],
+            counts: [0; SITE_COUNT],
         }
     }
 

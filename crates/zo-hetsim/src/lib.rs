@@ -26,5 +26,5 @@ pub use error::SimError;
 pub use fault::FaultyLinkSpec;
 pub use memory::{Allocation, MemoryPool};
 pub use sim::{ScheduledTask, Sim, StreamId, TaskId, Timeline};
-pub use specs::{ClusterSpec, CpuSpec, GpuSpec, LinkSpec, NodeSpec, GIB};
+pub use specs::{ClusterSpec, CpuSpec, GpuSpec, LinkSpec, NodeSpec, NvmeSpec, GIB};
 pub use trace::{render_gantt, render_report, utilization_report, StreamReport};

@@ -1,6 +1,6 @@
 //! Calibrated presets matching the paper's testbed (Table 2).
 
-use crate::specs::{ClusterSpec, CpuSpec, GpuSpec, LinkSpec, NodeSpec, GIB};
+use crate::specs::{ClusterSpec, CpuSpec, GpuSpec, LinkSpec, NodeSpec, NvmeSpec, GIB};
 
 /// NVIDIA Tesla V100 (32 GB HBM2), as in the paper's DGX-2.
 ///
@@ -63,6 +63,37 @@ pub fn dgx2() -> NodeSpec {
         // NVSwitch gives ~120 GB/s effective per-GPU bus bandwidth for
         // ring collectives.
         nvlink_gbps: 120.0,
+        nvme: None,
+    }
+}
+
+/// A datacenter 1 TB NVMe drive (PCIe 3.0 x4 class: ~3.2/2.0 GB/s
+/// sequential read/write).
+pub fn nvme_1tb() -> NvmeSpec {
+    NvmeSpec {
+        capacity_bytes: 1024 * GIB,
+        read_gbps: 3.2,
+        write_gbps: 2.0,
+        latency_s: 80e-6,
+    }
+}
+
+/// A commodity single-GPU workstation: one V100-32GB, 64 GiB of host
+/// DRAM, and a 1 TB NVMe drive. The "democratization" target one tier
+/// further down than the paper's DGX-2 slice — host DRAM is now the
+/// binding constraint unless optimizer states spill to flash.
+pub fn workstation() -> NodeSpec {
+    NodeSpec {
+        gpus_per_node: 1,
+        cpu: CpuSpec {
+            mem_bytes: 64 * GIB,
+            cores: 16,
+            ddr_gbps: 60.0,
+            cpu_adam_secs_per_b: 0.35,
+            naive_adam_secs_per_b: 1.8,
+        },
+        nvme: Some(nvme_1tb()),
+        ..dgx2()
     }
 }
 
@@ -126,5 +157,23 @@ mod tests {
         assert_eq!(n.gpus_per_node, 1);
         assert_eq!(n.gpu, v100());
         assert_eq!(n.cpu, dgx2_cpu());
+        assert_eq!(n.nvme, None);
+    }
+
+    #[test]
+    fn workstation_has_small_dram_and_a_flash_tier() {
+        let w = workstation();
+        assert_eq!(w.gpus_per_node, 1);
+        assert_eq!(w.cpu.mem_bytes, 64 * GIB);
+        let nvme = w.nvme.expect("workstation carries an NVMe drive");
+        assert_eq!(nvme.capacity_bytes, 1024 * GIB);
+        // Flash is an order of magnitude slower than DDR but holds an
+        // order of magnitude more than this host's DRAM.
+        assert!(nvme.read_gbps < w.cpu.ddr_gbps / 10.0);
+        assert!(nvme.capacity_bytes > 10 * w.cpu.mem_bytes);
+        // A 12-byte/param optimizer sweep over 5B params stays in tens of
+        // seconds — slow, but it trains; without the tier it cannot.
+        let sweep = nvme.sweep_secs(12.0 * 5e9);
+        assert!(sweep > 10.0 && sweep < 120.0, "sweep {sweep}");
     }
 }

@@ -99,6 +99,39 @@ impl LinkSpec {
     }
 }
 
+/// An NVMe device attached to the host — the memory tier below DRAM
+/// (ZeRO-Infinity's direction: optimizer states stream from flash).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvmeSpec {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Sequential read bandwidth in GB/s.
+    pub read_gbps: f64,
+    /// Sequential write bandwidth in GB/s.
+    pub write_gbps: f64,
+    /// Fixed per-operation latency in seconds.
+    pub latency_s: f64,
+}
+
+impl NvmeSpec {
+    /// Seconds to read `bytes` sequentially.
+    pub fn read_secs(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / (self.read_gbps * 1e9)
+    }
+
+    /// Seconds to write `bytes` sequentially.
+    pub fn write_secs(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / (self.write_gbps * 1e9)
+    }
+
+    /// Seconds for one optimizer sweep that reads and rewrites `bytes` of
+    /// tier-resident state (the per-step cost of the streaming schedule,
+    /// assuming reads and writes share the device serially).
+    pub fn sweep_secs(&self, bytes: f64) -> f64 {
+        self.read_secs(bytes) + self.write_secs(bytes)
+    }
+}
+
 /// A multi-GPU node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
@@ -112,6 +145,8 @@ pub struct NodeSpec {
     pub pcie: LinkSpec,
     /// Effective per-GPU NVLink bus bandwidth for collectives, GB/s.
     pub nvlink_gbps: f64,
+    /// Optional NVMe tier below host DRAM (`None` = no flash tier).
+    pub nvme: Option<NvmeSpec>,
 }
 
 /// A cluster of identical nodes.

@@ -79,7 +79,12 @@ pub struct CpuAdam {
 ///
 /// Processes `UNROLL`-wide blocks so the autovectorizer can keep `UNROLL`
 /// independent FMA chains in flight, then handles the tail scalar-wise.
-fn adam_range(
+///
+/// Public so that external tiled optimizers (the memory-tier streaming
+/// path in `zero-offload`) can run the *exact* recurrence [`CpuAdam`]
+/// runs over one tile — bit-identity between the tiered and resident
+/// optimizers depends on sharing this kernel, not reimplementing it.
+pub fn adam_range(
     hp: &AdamParams,
     bc1: f32,
     bc2: f32,

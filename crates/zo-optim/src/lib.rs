@@ -20,7 +20,7 @@ mod schedule;
 mod sgd;
 
 pub use adam::{adam_element, adam_reference_step, AdamParams, AdamState};
-pub use cpu_adam::{CpuAdam, CpuAdamConfig, UNROLL};
+pub use cpu_adam::{adam_range, CpuAdam, CpuAdamConfig, UNROLL};
 pub use dpu::{DelayedUpdate, DpuAction};
 pub use error::OptimError;
 pub use loss_scale::{DynamicLossScaler, LossScaleConfig};

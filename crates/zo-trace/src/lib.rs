@@ -63,6 +63,16 @@ pub mod names {
     /// Gauge prefix: per-rank peak fp16 parameter residency, bytes. The
     /// full gauge name carries a `.rank{r}` suffix.
     pub const PARAM_HWM_BYTES: &str = "param_hwm_bytes";
+    /// Span: one framed optimizer-state partition read from a memory tier.
+    pub const TIER_READ: &str = "tier.read";
+    /// Span: one framed optimizer-state partition write to a memory tier.
+    pub const TIER_WRITE: &str = "tier.write";
+    /// Span: the Adam update of one tile streamed through DRAM scratch.
+    pub const TIER_UPDATE: &str = "tier.tile_update";
+    /// Counter: framed payload bytes moved to/from a memory tier.
+    pub const TIER_TRAFFIC_BYTES: &str = "tier_traffic_bytes";
+    /// Gauge: peak DRAM scratch bytes held by the tiered optimizer.
+    pub const TIER_HWM_BYTES: &str = "tier_hwm_bytes";
 }
 
 /// One completed interval on a track (microseconds since the epoch).

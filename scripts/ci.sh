@@ -68,6 +68,27 @@ if [ "$fp_off" != "$fp_hvy" ]; then
     exit 1
 fi
 
+echo "== memory-tier harness (ZO_FAULTS=off and transient-heavy)"
+ZO_FAULTS=off cargo test -q --release --test tier_offload
+ZO_FAULTS=transient-heavy cargo test -q --release --test tier_offload
+
+echo "== tier-invariance fingerprint (DRAM vs NVMe, both fault presets, threads 1 and 4)"
+for faults in off transient-heavy; do
+    for threads in 1 4; do
+        fp_dram=$(ZO_FAULTS=$faults ZO_THREADS=$threads ZO_TIER=dram ./target/release/fingerprint | awk '{print $2}')
+        fp_nvme=$(ZO_FAULTS=$faults ZO_THREADS=$threads ZO_TIER=nvme ./target/release/fingerprint | awk '{print $2}')
+        echo "   ZO_FAULTS=$faults ZO_THREADS=$threads  dram -> $fp_dram  nvme -> $fp_nvme"
+        if [ "$fp_dram" != "$fp_nvme" ]; then
+            echo "FAIL: spilling optimizer state to the NVMe tier perturbed the trajectory" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "== benchmark fingerprint artifact (BENCH_fingerprint.json)"
+ZO_TIER=nvme ./target/release/fingerprint --json BENCH_fingerprint.json
+head -c 400 BENCH_fingerprint.json; echo
+
 echo "== benches compile"
 cargo build -q --benches -p zo-bench
 

@@ -658,6 +658,62 @@ fn fatal_checkpoint_write_leaves_a_detectably_torn_file() {
 }
 
 // ---------------------------------------------------------------------------
+// Memory-tier sites: the spilled optimizer path, both fault classes.
+// ---------------------------------------------------------------------------
+
+fn nvme_cfg() -> ZeroOffloadConfig {
+    ZeroOffloadConfig {
+        optimizer_tier: zero_offload::TierKind::Nvme,
+        tier_scratch_bytes: 32 * 1024,
+        ..cfg()
+    }
+}
+
+#[test]
+fn transient_tier_faults_leave_trajectory_bit_identical() {
+    for site in [Site::TierRead, Site::TierWrite] {
+        let tracer = zo_trace::Tracer::new();
+        let faulty_cfg = ZeroOffloadConfig {
+            tracer: Some(TracerRef::install(tracer.clone())),
+            ..with_plan(nvme_cfg(), transient(site, 0.5).build())
+        };
+        let mut faulty = ZeroOffloadEngine::new(GptModel::new(GPT, 42), faulty_cfg);
+        let mut clean = ZeroOffloadEngine::new(
+            GptModel::new(GPT, 42),
+            with_plan(nvme_cfg(), FaultPlan::disabled()),
+        );
+        let lf = run(&mut faulty, 0, 25);
+        let lc = run(&mut clean, 0, 25);
+        assert_eq!(lf, lc, "site {site}: losses diverged under transients");
+        assert_eq!(
+            faulty.master_params(),
+            clean.master_params(),
+            "site {site}: master parameters diverged under transients"
+        );
+        assert!(
+            tracer.counter_total(zo_trace::names::RETRY_ATTEMPTS) > 0,
+            "site {site}: p=0.5 over 25 steps must trigger retries"
+        );
+    }
+}
+
+#[test]
+fn fatal_tier_faults_surface_as_typed_errors() {
+    for site in [Site::TierRead, Site::TierWrite] {
+        let mut engine = ZeroOffloadEngine::new(
+            GptModel::new(GPT, 3),
+            with_plan(nvme_cfg(), fatal_plan(site)),
+        );
+        let mut data = BigramLm::new(GPT.vocab, 0.05, 7);
+        let b = data.batch(4, GPT.seq_len);
+        let err = engine
+            .step(|m| m.train_step(&b.inputs, &b.targets, 4, GPT.seq_len, |_| {}))
+            .unwrap_err();
+        assert_eq!(err.fault(), Some(FaultError::Fatal { site }));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The CI matrix contract: `ZO_FAULTS` from the environment.
 // ---------------------------------------------------------------------------
 
