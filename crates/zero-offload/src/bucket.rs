@@ -155,9 +155,7 @@ pub fn scatter_frames(frames: &[crate::wire::GradFrame], dst: &mut [f32]) -> usi
             "frame [{start}, {end}) exceeds buffer {}",
             dst.len()
         );
-        for (d, v) in dst[start..end].iter_mut().zip(&f.values) {
-            *d = v.to_f32();
-        }
+        F16::to_f32_slice(&f.values, &mut dst[start..end]);
         written += f.values.len();
     }
     written

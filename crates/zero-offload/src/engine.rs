@@ -27,7 +27,7 @@ use crate::config::{resolve_fault_plan, resolve_tracer, OffloadDevice, ZeroOfflo
 use crate::pipeline::{
     build_offload_updater, GradStream, Placement, StepError, StepPipeline, Updater,
 };
-use crate::wire::{decode_frame_traced, ship_frame};
+use crate::wire::{decode_frame_traced, quantize_grads, ship_frame};
 
 /// What a call to [`ZeroOffloadEngine::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,6 +129,8 @@ pub(crate) struct ReplicaPlacement {
     bucket_bytes: usize,
     /// fp16 cast scratch for the post-hoc transfer, reused across steps.
     wire: Vec<F16>,
+    /// fp32 scale scratch feeding the batched narrowing codec, reused.
+    wire32: Vec<f32>,
     /// fp32 widening scratch for the h2d parameter copy, reused.
     widened: Vec<f32>,
 }
@@ -137,8 +139,8 @@ impl ReplicaPlacement {
     /// Loads the fp16 view into the model through the reusable widening
     /// scratch (no per-step allocation).
     fn load_model<M: Model>(&mut self, model: &mut M, p16: &[F16]) {
-        self.widened.clear();
-        self.widened.extend(p16.iter().map(|h| h.to_f32()));
+        self.widened.resize(p16.len(), 0.0);
+        F16::to_f32_slice(p16, &mut self.widened);
         model.load_params_from(&self.widened);
     }
 }
@@ -186,15 +188,14 @@ impl<M: Model> Placement<M> for ReplicaPlacement {
         let mut overflow = false;
         let mut bucketer = GradBucketer::traced(self.bucket_bytes, tracer.clone(), "pcie");
         for range in self.layer_ranges.iter().rev() {
-            self.wire.clear();
-            self.wire.reserve(range.len());
-            for &g in &grads[range.clone()] {
-                let wire = F16::from_f32(g / denom * scale);
-                if !wire.is_finite() {
-                    overflow = true;
-                }
-                self.wire.push(wire);
-            }
+            let quantized = quantize_grads(
+                &grads[range.clone()],
+                denom,
+                scale,
+                &mut self.wire32,
+                &mut self.wire,
+            );
+            overflow |= quantized;
             bucketer.push(range.start as u64, &self.wire);
         }
         let gate = if degraded { None } else { Some(faults) };
@@ -272,6 +273,7 @@ impl<M: Model> ZeroOffloadEngine<M> {
             layer_ranges: layer_ranges.clone(),
             bucket_bytes: cfg.bucket_bytes,
             wire: Vec::new(),
+            wire32: Vec::new(),
             widened: Vec::new(),
         };
         let plan = resolve_fault_plan(cfg.faults);

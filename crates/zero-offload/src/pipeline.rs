@@ -36,6 +36,7 @@ use crate::config::ZeroOffloadConfig;
 use crate::engine::{EngineStats, StepOutcome};
 use crate::overlap::AsyncDpu;
 use crate::tier::{NvmeTier, TierKind, TieredAdam};
+use crate::wire::quantize_grads;
 
 /// Why a training step failed.
 ///
@@ -385,6 +386,8 @@ pub struct GradStream {
     pub(crate) bucketer: GradBucketer,
     /// fp16 cast scratch, reused across slices.
     wire: Vec<F16>,
+    /// fp32 scale scratch feeding the batched narrowing codec, reused.
+    wire32: Vec<f32>,
     /// Timestamp of the first streamed slice (span start).
     pub(crate) start_us: Option<u64>,
     /// Mid-backward transfer fault session (lane `STREAM`): every pushed
@@ -420,6 +423,7 @@ impl GradStream {
             streamed: 0,
             bucketer: GradBucketer::new(2),
             wire: Vec::new(),
+            wire32: Vec::new(),
             start_us: None,
             faults: FaultSession::disabled(),
             poisoned: false,
@@ -505,15 +509,14 @@ impl BackwardHook for GradStream {
             }
         }
         let offset = self.ranges[bucket].start + self.written[bucket];
-        self.wire.clear();
-        self.wire.reserve(grads.len());
-        for &g in grads {
-            let w = F16::from_f32(g / self.denom * self.scale);
-            if !w.is_finite() {
-                self.overflow = true;
-            }
-            self.wire.push(w);
-        }
+        let quantized = quantize_grads(
+            grads,
+            self.denom,
+            self.scale,
+            &mut self.wire32,
+            &mut self.wire,
+        );
+        self.overflow |= quantized;
         self.bucketer.push(offset as u64, &self.wire);
         self.written[bucket] += grads.len();
         self.streamed += grads.len();

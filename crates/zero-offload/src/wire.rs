@@ -80,11 +80,20 @@ fn checksum(payload: &[u8]) -> u32 {
     h
 }
 
+/// Elements serialized per batch when framing/unframing fp16 payloads.
+/// Copying through a fixed stack buffer amortizes the per-element
+/// capacity checks of `put_u16_le`/`get_u16_le`.
+const FRAME_BATCH: usize = 64;
+
 /// Encodes one frame.
 pub fn encode_frame(seq: u32, offset: u64, values: &[F16]) -> Bytes {
     let mut payload = BytesMut::with_capacity(values.len() * 2);
-    for v in values {
-        payload.put_u16_le(v.to_bits());
+    let mut staged = [0u8; 2 * FRAME_BATCH];
+    for chunk in values.chunks(FRAME_BATCH) {
+        for (dst, v) in staged.chunks_exact_mut(2).zip(chunk) {
+            dst.copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+        payload.extend_from_slice(&staged[..2 * chunk.len()]);
     }
     let mut out = BytesMut::with_capacity(HEADER_BYTES + payload.len());
     out.put_u32_le(MAGIC);
@@ -124,15 +133,58 @@ pub fn decode_frame(mut buf: Bytes) -> Result<GradFrame, WireError> {
         return Err(WireError::BadChecksum { expected, computed });
     }
     let mut values = Vec::with_capacity(count);
-    let mut p = payload;
-    for _ in 0..count {
-        values.push(F16::from_bits(p.get_u16_le()));
-    }
+    let bytes: &[u8] = &payload;
+    values.extend(
+        bytes
+            .chunks_exact(2)
+            .map(|b| F16::from_bits(u16::from_le_bytes([b[0], b[1]]))),
+    );
     Ok(GradFrame {
         seq,
         offset,
         values,
     })
+}
+
+/// Scales `grads` by `scale / denom` into `scratch` and narrows the whole
+/// batch to fp16 into `wire` with the slice codec ([`F16::from_f32_slice`]).
+/// Returns `true` if any narrowed value is non-finite (loss-scale overflow).
+///
+/// The scale loop is element-independent and the slice codec is bit-identical
+/// to the scalar [`F16::from_f32`] path, so callers that replace per-element
+/// quantize loops with this helper produce byte-identical wire traffic.
+pub fn quantize_grads(
+    grads: &[f32],
+    denom: f32,
+    scale: f32,
+    scratch: &mut Vec<f32>,
+    wire: &mut Vec<F16>,
+) -> bool {
+    scratch.clear();
+    scratch.extend(grads.iter().map(|&g| g / denom * scale));
+    wire.resize(grads.len(), F16::ZERO);
+    F16::from_f32_slice(scratch, wire);
+    wire.iter().any(|w| !w.is_finite())
+}
+
+/// Quantizes `grads` as [`quantize_grads`] does, then immediately widens the
+/// fp16 values back and unscales in place (`g = widen(narrow(g * scale /
+/// denom)) / scale`) — the post-hoc H2D/D2H round trip the non-streaming
+/// engines apply to emulate gradients crossing the PCIe link. Returns the
+/// overflow flag.
+pub fn roundtrip_grads(
+    grads: &mut [f32],
+    denom: f32,
+    scale: f32,
+    scratch: &mut Vec<f32>,
+    wire: &mut Vec<F16>,
+) -> bool {
+    let overflow = quantize_grads(grads, denom, scale, scratch, wire);
+    F16::to_f32_slice(wire, grads);
+    for g in grads.iter_mut() {
+        *g /= scale;
+    }
+    overflow
 }
 
 /// Decodes one frame and records receive-side counters on `track`:

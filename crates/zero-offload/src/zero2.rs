@@ -24,6 +24,7 @@ use zo_trace::Tracer;
 use crate::config::{resolve_fault_plan, resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
 use crate::pipeline::{build_offload_updater, GradStream, Placement, StepError, StepPipeline};
+use crate::wire::roundtrip_grads;
 
 /// The ZeRO-2 placement: reduce-scatter in, shard-wise fp16 rounding,
 /// all-gather out; overflow agreed by all-reduce so every rank skips (or
@@ -37,6 +38,10 @@ struct ShardPlacement {
     full_grads: Vec<f32>,
     /// fp32 widening scratch for the all-gather, reused across steps.
     shard_f32: Vec<f32>,
+    /// fp16 scratch for the shard's PCIe round trip, reused.
+    wire16: Vec<F16>,
+    /// fp32 scale scratch feeding the batched narrowing codec, reused.
+    wire32: Vec<f32>,
 }
 
 impl ShardPlacement {
@@ -51,8 +56,8 @@ impl ShardPlacement {
         tracer: &Tracer,
     ) -> Result<(), FaultError> {
         let _gather = tracer.span(&self.track, "all_gather");
-        self.shard_f32.clear();
-        self.shard_f32.extend(p16.iter().map(|h| h.to_f32()));
+        self.shard_f32.resize(p16.len(), 0.0);
+        F16::to_f32_slice(p16, &mut self.shard_f32);
         let full = self.comm.try_all_gather(&self.shard_f32, self.num_params)?;
         model.load_params_from(&full);
         stats.h2d_bytes += 2 * p16.len() as u64;
@@ -93,14 +98,7 @@ impl<M: Model> Placement<M> for ShardPlacement {
         with_retry(faults, Site::WireD2h, tracer, &self.track, || ())?;
 
         // The shard crosses PCIe as fp16, with loss scaling.
-        let mut overflow = false;
-        for g in grads.iter_mut() {
-            let wire = F16::from_f32(*g / denom * scale);
-            if !wire.is_finite() {
-                overflow = true;
-            }
-            *g = wire.to_f32() / scale;
-        }
+        let overflow = roundtrip_grads(grads, denom, scale, &mut self.wire32, &mut self.wire16);
         stats.d2h_bytes += 2 * grads.len() as u64;
         tracer.add(&self.track, "d2h_bytes", 2 * grads.len() as u64);
         Ok(overflow)
@@ -189,6 +187,8 @@ impl<M: Model> Zero2OffloadEngine<M> {
             track,
             full_grads: vec![0.0f32; n],
             shard_f32: Vec::new(),
+            wire16: Vec::new(),
+            wire32: Vec::new(),
         };
         let pipe = StepPipeline {
             master,

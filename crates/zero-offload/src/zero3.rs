@@ -41,6 +41,7 @@ use crate::engine::{EngineStats, StepOutcome};
 use crate::pipeline::{
     build_offload_updater, GradStream, Placement, StepError, StepPipeline, Updater,
 };
+use crate::wire::roundtrip_grads;
 
 /// One entry in the stage-3 gather/release schedule.
 ///
@@ -322,12 +323,16 @@ struct Zero3Placement {
     full_grads: Vec<f32>,
     /// fp32 widening of this rank's fp16 shard, rebuilt when p16 changes.
     shard_f32: Vec<f32>,
+    /// fp16 scratch for the shard's PCIe round trip, reused.
+    wire16: Vec<F16>,
+    /// fp32 scale scratch feeding the batched narrowing codec, reused.
+    wire32: Vec<f32>,
 }
 
 impl Zero3Placement {
     fn widen_shard(&mut self, p16: &[F16]) {
-        self.shard_f32.clear();
-        self.shard_f32.extend(p16.iter().map(|h| h.to_f32()));
+        self.shard_f32.resize(p16.len(), 0.0);
+        F16::to_f32_slice(p16, &mut self.shard_f32);
     }
 
     /// Executes one gather event: the layer-sliced collective, the model
@@ -448,14 +453,7 @@ impl<M: Model> Placement<M> for Zero3Placement {
             grads.copy_from_slice(&shard);
         }
         with_retry(faults, Site::WireD2h, tracer, &self.track, || ())?;
-        let mut overflow = false;
-        for g in grads.iter_mut() {
-            let wire = F16::from_f32(*g / denom * scale);
-            if !wire.is_finite() {
-                overflow = true;
-            }
-            *g = wire.to_f32() / scale;
-        }
+        let overflow = roundtrip_grads(grads, denom, scale, &mut self.wire32, &mut self.wire16);
         stats.d2h_bytes += 2 * grads.len() as u64;
         tracer.add(&self.track, "d2h_bytes", 2 * grads.len() as u64);
         Ok(overflow)
@@ -559,6 +557,8 @@ impl<M: Model> Zero3OffloadEngine<M> {
             gauge,
             full_grads: vec![0.0f32; n],
             shard_f32: Vec::new(),
+            wire16: Vec::new(),
+            wire32: Vec::new(),
         };
         let pipe = StepPipeline {
             master,

@@ -26,30 +26,15 @@
 //! `--json PATH` additionally writes a small benchmark artifact — the
 //! hash plus per-step wall-times in milliseconds — which CI uploads as
 //! `BENCH_fingerprint.json`.
+//!
+//! The run itself (model, config, hash definition) lives in
+//! `zo_bench::trajectory` so the `kernel_bench` binary and the pin test
+//! compute the identical hash.
 
 use std::process::ExitCode;
-use std::time::Instant;
 
-use zero_offload::{run_zero3_ranks, TierKind, ZeroOffloadConfig, ZeroOffloadEngine};
-use zo_models::BigramLm;
-use zo_nn::{GptConfig, GptModel};
-use zo_optim::{AdamParams, LossScaleConfig};
-
-/// FNV-1a over a byte stream: stable, dependency-free, order-sensitive.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf29ce484222325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
-    }
-}
+use zero_offload::TierKind;
+use zo_bench::trajectory::{run_single, run_zero3};
 
 /// Renders the benchmark artifact: flat JSON, no serializer needed.
 fn render_json(hash: u64, engine: &str, tier: TierKind, threads: usize, step_ms: &[f64]) -> String {
@@ -115,89 +100,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let gpt = GptConfig {
-        vocab: 32,
-        seq_len: 16,
-        hidden: 32,
-        heads: 2,
-        layers: 2,
-    };
-    let cfg = ZeroOffloadConfig {
-        adam: AdamParams {
-            lr: 3e-3,
-            ..AdamParams::default()
-        },
-        loss_scale: LossScaleConfig {
-            init_scale: 256.0,
-            ..Default::default()
-        },
-        // 0 = auto: follow the shared pool, i.e. ZO_THREADS.
-        optimizer_threads: 0,
-        optimizer_tier: tier,
-        ..ZeroOffloadConfig::default()
-    };
     let stage3 = std::env::var("ZO_STAGE").is_ok_and(|v| v == "3");
-    let mut hash = Fnv::new();
-    let step_ms: Vec<f64> = if stage3 {
-        // Two-rank ZeRO-3 run: each rank trains on its slice of the same
-        // deterministic global batch stream.
-        const WORLD: usize = 2;
-        let traces = run_zero3_ranks(
-            WORLD,
-            cfg,
-            move |_| GptModel::new(gpt, 42),
-            move |engine| {
-                let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
-                let mut losses = Vec::new();
-                let mut times = Vec::new();
-                for _ in 0..steps {
-                    let b = data.batch(WORLD, gpt.seq_len);
-                    let r = engine.rank();
-                    let n = gpt.seq_len;
-                    let inputs = b.inputs[r * n..(r + 1) * n].to_vec();
-                    let targets = b.targets[r * n..(r + 1) * n].to_vec();
-                    let t0 = Instant::now();
-                    let out = engine
-                        .step(|m| m.train_step(&inputs, &targets, 1, n, |_| {}))
-                        .expect("training step");
-                    times.push(t0.elapsed().as_secs_f64() * 1e3);
-                    losses.push(out.loss());
-                }
-                (losses, engine.master_shard().to_vec(), times)
-            },
-        );
-        for loss in &traces[0].0 {
-            hash.write(&loss.to_bits().to_le_bytes());
-        }
-        for (_, shard, _) in &traces {
-            for p in shard {
-                hash.write(&p.to_bits().to_le_bytes());
-            }
-        }
-        traces[0].2.clone()
+    let run = if stage3 {
+        run_zero3(steps, tier)
     } else {
-        let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), cfg);
-        let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
-        let mut times = Vec::new();
-        for _ in 0..steps {
-            let b = data.batch(4, gpt.seq_len);
-            let t0 = Instant::now();
-            let outcome = engine
-                .step_streamed(|m, s| m.train_step_hooked(&b.inputs, &b.targets, 4, gpt.seq_len, s))
-                .expect("training step");
-            times.push(t0.elapsed().as_secs_f64() * 1e3);
-            hash.write(&outcome.loss().to_bits().to_le_bytes());
-        }
-        for p in engine.master_params() {
-            hash.write(&p.to_bits().to_le_bytes());
-        }
-        times
+        run_single(steps, tier)
     };
 
     let engine_name = if stage3 { "zero3" } else { "single" };
     let threads = zo_tensor::pool::global().threads();
     if let Some(path) = json_path {
-        let body = render_json(hash.0, engine_name, tier, threads, &step_ms);
+        let body = render_json(run.hash, engine_name, tier, threads, &run.step_ms);
         if let Err(e) = std::fs::write(&path, body) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
@@ -205,7 +118,7 @@ fn main() -> ExitCode {
     }
     println!(
         "fingerprint {:016x} threads={} steps={steps} engine={} tier={}",
-        hash.0,
+        run.hash,
         threads,
         engine_name,
         match tier {

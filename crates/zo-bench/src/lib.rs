@@ -11,9 +11,11 @@
 pub mod ablations;
 pub mod adam_bench;
 pub mod convergence;
+pub mod kernels;
 pub mod scale;
 mod table;
 pub mod throughput;
+pub mod trajectory;
 
 pub use ablations::{bucket_sweep, dpu_warmup_sweep, BucketRow, WarmupRow};
 pub use adam_bench::{measure_adam_rates, render_table4, table4_rows, AdamRates, Table4Row};
@@ -21,9 +23,11 @@ pub use convergence::{
     fig12_curves, fig12_curves_with_warmup, fig13_curves, render_curves, smooth, ConvergenceCurves,
     DPU_WARMUP,
 };
+pub use kernels::{run_kernel_bench, validate_kernel_json, KernelReport};
 pub use scale::{fig7_rows, render_fig7, ScaleRow};
 pub use table::render_table;
 pub use throughput::{
     fig10_rows, fig11_rows, fig8_rows, fig9_rows, render_fig10, render_fig11, render_fig8,
     render_fig9, Fig10Row, Fig11Row, Fig8Row, Fig9Row,
 };
+pub use trajectory::{run_single, run_zero3, TrajectoryRun, PINNED_TRAJECTORY_FINGERPRINT};

@@ -1,0 +1,199 @@
+//! Deterministic trajectory fingerprints, shared by the `fingerprint` and
+//! `kernel_bench` binaries and by the pin test below.
+//!
+//! A *trajectory fingerprint* is one FNV-1a hash over every per-step loss
+//! bit pattern and the final master parameters of a fixed training run.
+//! The repo's load-bearing invariant is that this hash does not move under
+//! any execution-placement knob: `ZO_THREADS` (1 or 4), `ZO_TIER` (dram or
+//! nvme), `ZO_FAULTS` (off or transient-heavy) and kernel partition counts
+//! all produce the same bits. CI diffs the hash across those axes.
+//!
+//! The *expected* hash for the current kernels is pinned exactly once, in
+//! [`PINNED_TRAJECTORY_FINGERPRINT`]. When a PR intentionally changes
+//! kernel numerics (e.g. the packed GEMM micro-kernel replacing the old
+//! `mul_add` loops), this is the only constant to update — the invariance
+//! diffs in `scripts/ci.sh` stay relative and keep passing on their own.
+
+use std::time::Instant;
+
+use zero_offload::{run_zero3_ranks, TierKind, ZeroOffloadConfig, ZeroOffloadEngine};
+use zo_models::BigramLm;
+use zo_nn::{GptConfig, GptModel};
+use zo_optim::{AdamParams, LossScaleConfig};
+
+/// The trajectory hash of [`run_single`] with the default 30 steps.
+///
+/// Pinned after the packed register-tiled GEMM micro-kernel landed (the
+/// micro-kernel's plain multiply–add chains replaced the old kernels'
+/// per-element `f32::mul_add`, which changed rounding and therefore the
+/// trajectory). Every test or script that wants the absolute expected
+/// fingerprint must reference this constant instead of pinning its own.
+pub const PINNED_TRAJECTORY_FINGERPRINT: u64 = 0x9b0c_699e_ae64_c7d8;
+
+/// Steps the pinned fingerprint run trains for.
+pub const PINNED_STEPS: usize = 30;
+
+/// FNV-1a over a byte stream: stable, dependency-free, order-sensitive.
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Creates a hasher with the standard FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    /// Absorbs `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+/// Outcome of a fingerprint run.
+pub struct TrajectoryRun {
+    /// FNV-1a over per-step loss bits then final master parameter bits.
+    pub hash: u64,
+    /// Wall-clock per optimizer step, milliseconds.
+    pub step_ms: Vec<f64>,
+}
+
+/// The fixed model every fingerprint run trains.
+pub fn fingerprint_model() -> GptConfig {
+    GptConfig {
+        vocab: 32,
+        seq_len: 16,
+        hidden: 32,
+        heads: 2,
+        layers: 2,
+    }
+}
+
+/// The fixed engine config (optimizer threads follow `ZO_THREADS` via the
+/// shared pool; the optimizer tier is the one placement axis callers pick).
+pub fn fingerprint_config(tier: TierKind) -> ZeroOffloadConfig {
+    ZeroOffloadConfig {
+        adam: AdamParams {
+            lr: 3e-3,
+            ..AdamParams::default()
+        },
+        loss_scale: LossScaleConfig {
+            init_scale: 256.0,
+            ..Default::default()
+        },
+        // 0 = auto: follow the shared pool, i.e. ZO_THREADS.
+        optimizer_threads: 0,
+        optimizer_tier: tier,
+        ..ZeroOffloadConfig::default()
+    }
+}
+
+/// Trains the fixed GPT on the streamed single-GPU engine and returns the
+/// trajectory hash plus per-step wall times.
+pub fn run_single(steps: usize, tier: TierKind) -> TrajectoryRun {
+    let gpt = fingerprint_model();
+    let mut engine = ZeroOffloadEngine::new(GptModel::new(gpt, 42), fingerprint_config(tier));
+    let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
+    let mut hash = Fnv::new();
+    let mut times = Vec::new();
+    for _ in 0..steps {
+        let b = data.batch(4, gpt.seq_len);
+        let t0 = Instant::now();
+        let outcome = engine
+            .step_streamed(|m, s| m.train_step_hooked(&b.inputs, &b.targets, 4, gpt.seq_len, s))
+            .expect("training step");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        hash.write(&outcome.loss().to_bits().to_le_bytes());
+    }
+    for p in engine.master_params() {
+        hash.write(&p.to_bits().to_le_bytes());
+    }
+    TrajectoryRun {
+        hash: hash.finish(),
+        step_ms: times,
+    }
+}
+
+/// The same fingerprint over a two-rank ZeRO-3 run (rank 0's per-step
+/// losses, then every rank's master shard in rank order).
+pub fn run_zero3(steps: usize, tier: TierKind) -> TrajectoryRun {
+    let gpt = fingerprint_model();
+    const WORLD: usize = 2;
+    let traces = run_zero3_ranks(
+        WORLD,
+        fingerprint_config(tier),
+        move |_| GptModel::new(gpt, 42),
+        move |engine| {
+            let mut data = BigramLm::new(gpt.vocab, 0.02, 7);
+            let mut losses = Vec::new();
+            let mut times = Vec::new();
+            for _ in 0..steps {
+                let b = data.batch(WORLD, gpt.seq_len);
+                let r = engine.rank();
+                let n = gpt.seq_len;
+                let inputs = b.inputs[r * n..(r + 1) * n].to_vec();
+                let targets = b.targets[r * n..(r + 1) * n].to_vec();
+                let t0 = Instant::now();
+                let out = engine
+                    .step(|m| m.train_step(&inputs, &targets, 1, n, |_| {}))
+                    .expect("training step");
+                times.push(t0.elapsed().as_secs_f64() * 1e3);
+                losses.push(out.loss());
+            }
+            (losses, engine.master_shard().to_vec(), times)
+        },
+    );
+    let mut hash = Fnv::new();
+    for loss in &traces[0].0 {
+        hash.write(&loss.to_bits().to_le_bytes());
+    }
+    for (_, shard, _) in &traces {
+        for p in shard {
+            hash.write(&p.to_bits().to_le_bytes());
+        }
+    }
+    TrajectoryRun {
+        hash: hash.finish(),
+        step_ms: traces[0].2.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The single place the absolute trajectory fingerprint is checked.
+    /// If a PR intentionally changes kernel numerics, update
+    /// [`PINNED_TRAJECTORY_FINGERPRINT`] (and only it) with the value this
+    /// test prints on failure.
+    #[test]
+    fn trajectory_fingerprint_is_pinned() {
+        let run = run_single(PINNED_STEPS, TierKind::Dram);
+        assert_eq!(
+            run.hash, PINNED_TRAJECTORY_FINGERPRINT,
+            "trajectory fingerprint moved: got {:016x}, pinned {:016x} — if the \
+             numerics change is intentional, re-pin PINNED_TRAJECTORY_FINGERPRINT",
+            run.hash, PINNED_TRAJECTORY_FINGERPRINT
+        );
+    }
+
+    /// The fingerprint must not depend on the optimizer tier (the DRAM/NVMe
+    /// diff also runs cross-process in ci.sh; this is the in-process pin).
+    #[test]
+    fn trajectory_fingerprint_tier_invariant() {
+        let nvme = run_single(PINNED_STEPS, TierKind::Nvme);
+        assert_eq!(nvme.hash, PINNED_TRAJECTORY_FINGERPRINT);
+    }
+}

@@ -166,6 +166,54 @@ impl F16 {
         f32::from_bits(sign | (exp << 23) | (man << 13))
     }
 
+    /// Narrows a slice of `f32` into `F16`, bit-for-bit identical to
+    /// [`F16::from_f32`] on every input (round-to-nearest-even, gradual
+    /// underflow, quiet-NaN with preserved top payload bits).
+    ///
+    /// The scalar path branches four ways per element; this one runs a
+    /// branchless bit-level conversion over fixed-width
+    /// `CODEC_LANES`-element chunks with no bounds checks, so the
+    /// autovectorizer can map the lanes onto vector registers. This is
+    /// the hot edge of the simulated PCIe wire (D2H gradients narrow,
+    /// updated parameters narrow back) — see [`cast_f32_to_f16`].
+    pub fn from_f32_slice(src: &[f32], dst: &mut [F16]) {
+        assert_eq!(src.len(), dst.len(), "cast length mismatch");
+        let mut s = src.chunks_exact(CODEC_LANES);
+        let mut d = dst.chunks_exact_mut(CODEC_LANES);
+        for (sb, db) in (&mut s).zip(&mut d) {
+            for i in 0..CODEC_LANES {
+                db[i] = F16(narrow_bits(sb[i].to_bits()));
+            }
+        }
+        for (sv, dv) in s.remainder().iter().zip(d.into_remainder()) {
+            *dv = F16(narrow_bits(sv.to_bits()));
+        }
+    }
+
+    /// Widens a slice of `F16` into `f32`, bit-for-bit identical to
+    /// [`F16::to_f32`] on every input (exact widening; NaN payloads —
+    /// including the signaling bit — are preserved, which is why the
+    /// conversion is pure integer arithmetic: routing a NaN through an
+    /// x86 float multiply would quietly set its quiet bit).
+    pub fn to_f32_slice(src: &[F16], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "cast length mismatch");
+        let mut s = src.chunks_exact(CODEC_LANES);
+        let mut d = dst.chunks_exact_mut(CODEC_LANES);
+        for (sb, db) in (&mut s).zip(&mut d) {
+            // Fixed-size arrays (not slices) let the vectorizer treat the
+            // whole chunk as one register-width unit.
+            let lanes: [F16; CODEC_LANES] = sb.try_into().unwrap();
+            let mut out = [0.0f32; CODEC_LANES];
+            for i in 0..CODEC_LANES {
+                out[i] = f32::from_bits(widen_bits(lanes[i].0));
+            }
+            db.copy_from_slice(&out);
+        }
+        for (sv, dv) in s.remainder().iter().zip(d.into_remainder()) {
+            *dv = f32::from_bits(widen_bits(sv.0));
+        }
+    }
+
     /// Converts an `f64` by first narrowing to `f32`.
     #[inline]
     pub fn from_f64(value: f64) -> F16 {
@@ -219,6 +267,69 @@ impl F16 {
     pub const fn neg(self) -> F16 {
         F16(self.0 ^ SIGN_MASK)
     }
+}
+
+/// Chunk width of the slice codec's unrolled inner loops.
+pub const CODEC_LANES: usize = 8;
+
+/// Branchless `f32` → `f16` bit conversion, the slice-codec inner lane.
+///
+/// The magic-constant construction (after the FP16 library's
+/// `fp16_ieee_from_fp32_value`): scaling by 2^112 then 2^-110 pushes the
+/// value's rounding point to where binary16 truncates, so the hardware's
+/// round-to-nearest-even does the rounding — including subnormal ties —
+/// in two multiplies and an add. Exponent re-biasing falls out of adding
+/// `exp_bits + mantissa_bits` (the carry is load-bearing: a mantissa that
+/// rounds up past 2^10 must bump the exponent). The NaN arm mirrors the
+/// scalar path exactly: quiet bit forced, top ten payload bits kept.
+#[inline(always)]
+fn narrow_bits(xb: u32) -> u16 {
+    let sign = xb & 0x8000_0000;
+    let abs_bits = xb & 0x7FFF_FFFF;
+    let scale_to_inf = f32::from_bits(0x7780_0000); // 2^112
+    let scale_to_zero = f32::from_bits(0x0880_0000); // 2^-110
+    let base = (f32::from_bits(abs_bits) * scale_to_inf) * scale_to_zero;
+    let shl1_w = abs_bits << 1;
+    let bias = (shl1_w & 0xFF00_0000).max(0x7100_0000);
+    let base = f32::from_bits((bias >> 1) + 0x0780_0000) + base;
+    let bits = base.to_bits();
+    let exp_bits = (bits >> 13) & 0x7C00;
+    let mantissa_bits = bits & 0x0FFF;
+    let nonsign = exp_bits + mantissa_bits;
+    let r = if abs_bits > 0x7F80_0000 {
+        0x7E00 | ((abs_bits >> 13) & MAN_MASK as u32)
+    } else {
+        nonsign
+    };
+    ((sign >> 16) | r) as u16
+}
+
+/// Branchless `f16` → `f32` bit conversion, the slice-codec inner lane.
+///
+/// One multiply covers every finite value exactly: placing the f16
+/// exponent-mantissa field at the bottom of the f32 exponent
+/// (`em << 13`) yields `2^(e-127)·(1+m/1024)` for normals and the f32
+/// subnormal `man · 2^-136` for f16 subnormals; scaling by 2^112 lands
+/// both on the exact f16 value (a power-of-two scale of a subnormal
+/// into the normal range never rounds). Inf and NaN take the integer
+/// re-bias path instead — routing a NaN through the multiply would
+/// quietly set its quiet bit, and the scalar reference preserves NaN
+/// payloads (signaling bit included).
+#[inline(always)]
+fn widen_bits(h: u16) -> u32 {
+    let h = h as u32;
+    let sign = (h & 0x8000) << 16;
+    let em = h & 0x7FFF;
+    let shifted = em << 13;
+    let scale = f32::from_bits(0x7780_0000); // 2^112
+    let finite = (f32::from_bits(shifted) * scale).to_bits();
+    // Inf/NaN lanes: `shifted` has f32 exponent 31, so the (exact)
+    // multiply re-biased it to 143 with the mantissa untouched — adding
+    // another 112 in the exponent field lands on 255 with the payload
+    // (signaling bit included) intact. A masked add is cheaper than a
+    // lane select on SSE2.
+    let fixup = if em >= 0x7C00 { 112u32 << 23 } else { 0 };
+    sign | finite.wrapping_add(fixup)
 }
 
 impl From<f32> for F16 {
@@ -298,20 +409,18 @@ impl fmt::Display for F16 {
 ///
 /// This is the `float2half` edge of the paper's data-flow graph (Fig. 2):
 /// it is what the CPU-side optimizer runs before the tiled copy of updated
-/// parameters back to the GPU.
+/// parameters back to the GPU. Delegates to the batched
+/// [`F16::from_f32_slice`] codec, which is bit-identical to calling
+/// [`F16::from_f32`] per element.
 pub fn cast_f32_to_f16(src: &[f32], dst: &mut [F16]) {
-    assert_eq!(src.len(), dst.len(), "cast length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d = F16::from_f32(*s);
-    }
+    F16::from_f32_slice(src, dst);
 }
 
-/// Widens a slice of `F16` into `f32` exactly.
+/// Widens a slice of `F16` into `f32` exactly, via the batched
+/// [`F16::to_f32_slice`] codec (bit-identical to per-element
+/// [`F16::to_f32`]).
 pub fn cast_f16_to_f32(src: &[F16], dst: &mut [f32]) {
-    assert_eq!(src.len(), dst.len(), "cast length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d = s.to_f32();
-    }
+    F16::to_f32_slice(src, dst);
 }
 
 #[cfg(test)]
@@ -429,6 +538,119 @@ mod tests {
             }
             let back = F16::from_f32(h.to_f32());
             assert_eq!(back.0, h.0, "bits {bits:#06x} did not round trip");
+        }
+    }
+
+    #[test]
+    fn widen_slice_codec_exhaustively_matches_scalar() {
+        // All 65536 f16 bit patterns — every normal, subnormal, zero, inf,
+        // and NaN payload (quiet and signaling) must widen to exactly the
+        // bits the scalar reference produces. This is what caught the
+        // float-multiply widening tricks: an x86 float op quietly sets a
+        // signaling NaN's quiet bit, the integer path must not.
+        let src: Vec<F16> = (0..=u16::MAX).map(F16).collect();
+        let mut got = vec![0.0f32; src.len()];
+        F16::to_f32_slice(&src, &mut got);
+        for (h, g) in src.iter().zip(&got) {
+            assert_eq!(
+                g.to_bits(),
+                h.to_f32().to_bits(),
+                "widen mismatch at {:#06x}",
+                h.0
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_slice_codec_matches_scalar_on_hard_cases() {
+        // Boundary patterns for the magic-constant narrowing: rounding
+        // ties, overflow threshold, subnormal range, NaN payloads,
+        // signed zeros, plus both extremes. (Arbitrary bit patterns are
+        // covered by the proptests; full 2^32 equivalence was verified
+        // once out-of-band.)
+        let mut cases: Vec<u32> = vec![
+            0x0000_0000, // +0
+            0x8000_0000, // -0
+            0x0000_0001, // min f32 subnormal
+            0x7F7F_FFFF, // f32::MAX
+            0x7F80_0000, // +inf
+            0xFF80_0000, // -inf
+            0x7F80_0001, // signaling NaN, tiny payload
+            0x7FC0_0000, // canonical quiet NaN
+            0xFFFF_FFFF, // quiet NaN, full payload, negative
+            0x7FA5_A5A5, // signaling NaN with payload
+        ];
+        for v in [
+            1.0f32,
+            -1.0,
+            65504.0,
+            65519.9,
+            65520.0, // rounds to inf
+            1e30,
+            2.0f32.powi(-14),
+            2.0f32.powi(-24),
+            2.0f32.powi(-25), // halfway to zero: ties-to-even
+            2.0f32.powi(-26),
+            1.0 + 2.0f32.powi(-11), // tie at 1.0
+            1.0 + 3.0 * 2.0f32.powi(-11),
+            1023.0 * 2.0f32.powi(-24), // largest subnormal
+            f32::MIN_POSITIVE,
+            1e-40, // f32 subnormal input
+        ] {
+            cases.push(v.to_bits());
+            cases.push((-v).to_bits());
+        }
+        let src: Vec<f32> = cases.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut got = vec![F16::ZERO; src.len()];
+        F16::from_f32_slice(&src, &mut got);
+        for (s, g) in src.iter().zip(&got) {
+            assert_eq!(
+                g.0,
+                F16::from_f32(*s).0,
+                "narrow mismatch at {:#010x}",
+                s.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "exhaustive 2^32 sweep, ~minutes in release; run on demand"]
+    fn narrow_slice_codec_exhaustively_matches_scalar() {
+        const CHUNK: usize = 1 << 16;
+        let mut src = vec![0.0f32; CHUNK];
+        let mut got = vec![F16::ZERO; CHUNK];
+        for hi in 0..=u16::MAX as u32 {
+            for (i, s) in src.iter_mut().enumerate() {
+                *s = f32::from_bits((hi << 16) | i as u32);
+            }
+            F16::from_f32_slice(&src, &mut got);
+            for (s, g) in src.iter().zip(&got) {
+                assert_eq!(
+                    g.0,
+                    F16::from_f32(*s).0,
+                    "narrow mismatch at {:#010x}",
+                    s.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_codec_handles_tails_and_empty() {
+        // Lengths around the CODEC_LANES boundary exercise the
+        // chunks_exact remainder path.
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17] {
+            let src: Vec<f32> = (0..n).map(|i| i as f32 * 0.3 - 1.0).collect();
+            let mut h = vec![F16::ZERO; n];
+            cast_f32_to_f16(&src, &mut h);
+            for (s, g) in src.iter().zip(&h) {
+                assert_eq!(g.0, F16::from_f32(*s).0);
+            }
+            let mut back = vec![0.0f32; n];
+            cast_f16_to_f32(&h, &mut back);
+            for (s, g) in h.iter().zip(&back) {
+                assert_eq!(g.to_bits(), s.to_f32().to_bits());
+            }
         }
     }
 

@@ -23,6 +23,7 @@ mod error;
 mod f16;
 mod init;
 pub mod matmul;
+pub mod microkernel;
 pub mod ops;
 pub mod pool;
 mod tensor;

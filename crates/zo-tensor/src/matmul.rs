@@ -9,6 +9,11 @@
 //! All kernels accumulate into `C` (caller zeroes it first if needed),
 //! which lets gradient accumulation reuse the same entry points.
 //!
+//! All three variants lower onto the packed register-tiled micro-kernel
+//! in [`crate::microkernel`]: operands are repacked per k-panel into a
+//! thread-local scratch and an MR×NR register tile runs contiguous
+//! multiply–adds. The variants differ only in their pack closures.
+//!
 //! # Parallelism and determinism
 //!
 //! The `_acc` entry points partition the **output rows** of `C` into
@@ -16,8 +21,9 @@
 //! [`pool`]. Every output element is produced by exactly the
 //! same sequence of floating-point operations regardless of how the rows
 //! are partitioned — a row's accumulation order depends only on the inner
-//! (`k`) loop, never on which task owns the row — so parallel results are
-//! **bit-identical** to the serial kernels at any thread count. The
+//! (`k`) loop and the fixed panel depth [`crate::microkernel::KC`], never on
+//! which task (or which register tile) owns the row — so parallel results
+//! are **bit-identical** to the serial kernels at any thread count. The
 //! `*_serial` variants run the identical arithmetic inline and exist as
 //! the reference for tests and benches; `*_on` variants take an explicit
 //! pool and partition count (benches force 1/2/4/8-way scaling through
@@ -27,16 +33,27 @@
 //! [`MIN_PARALLEL_FLOPS`] the default entry points run serially inline.
 
 use crate::error::TensorError;
+use crate::microkernel::{
+    gemm_packed, pack_a_rows, pack_a_transposed, pack_b_rows, pack_b_transposed,
+};
 use crate::pool::{self, Pool};
 use crate::tensor::Tensor;
 
-/// Block edge for the cache-blocked loops.
-const BLOCK: usize = 64;
-
 /// Products below this many flops (`2·m·k·n`) always run inline: pool
-/// dispatch costs more than it saves. 2·64³ flops ≈ the crossover point
-/// measured on the `zo-bench` kernel bench.
-pub const MIN_PARALLEL_FLOPS: usize = 2 * 64 * 64 * 64;
+/// dispatch costs more than it saves.
+///
+/// Recalibrated for the packed micro-kernel (min-of-N wall clock over
+/// square shapes, `kernel_bench` methodology): serial sustains
+/// ≈ 16 GFLOP/s at 16³ rising to ≈ 27 GFLOP/s by 128³, and a 4-task
+/// pool round-trip costs ≈ 3 µs (the pool-minus-serial gap at 16³,
+/// where per-part kernel work is negligible). Each part re-packs its
+/// own B panels, so parallel overhead also grows with `k·n`; requiring
+/// the serial kernel time (≈ 65 µs at 96³) to be ≥ ~20× the fixed
+/// round-trip keeps dispatch plus duplicated packing under ~10 % of the
+/// work being split. The old threshold (2·64³) was tuned for the
+/// ≈ 0.6 GFLOP/s `mul_add`-loop kernel; at ~40× the throughput the
+/// break-even product is correspondingly larger.
+pub const MIN_PARALLEL_FLOPS: usize = 2 * 96 * 96 * 96;
 
 fn check_shapes(
     op: &'static str,
@@ -61,8 +78,10 @@ fn check_shapes(
 }
 
 /// Decides the partition count for an auto-parallel kernel call: the
-/// global pool's thread count, unless the product is too small to pay for
-/// dispatch (then 1, meaning inline serial execution).
+/// global pool's thread count clamped to `m` (a tall pool on a short
+/// matrix must not produce empty row-ranges that still pay boxing and
+/// dispatch), unless the product is too small to pay for dispatch at all
+/// (then 1, meaning inline serial execution).
 fn auto_parts(m: usize, k: usize, n: usize) -> usize {
     let threads = pool::global().threads();
     if threads <= 1
@@ -70,7 +89,7 @@ fn auto_parts(m: usize, k: usize, n: usize) -> usize {
     {
         1
     } else {
-        threads
+        threads.min(m)
     }
 }
 
@@ -103,11 +122,9 @@ fn run_row_partitioned<'a>(
 // ---- C += A · B ----
 
 /// The `matmul_acc` inner kernel over output rows `rows`; `cd` holds
-/// exactly those rows. i-k-j loop order with blocking: the inner j loop
-/// is a contiguous axpy over a row of B and a row of C, which
-/// autovectorizes well (no per-element branch — a zero in A costs one
-/// redundant FMA, far cheaper than the branch misprediction on dense
-/// inputs).
+/// exactly those rows. Row-major `A` tiles and row-major `B` panels are
+/// packed into the thread-local scratch and fed to the register-tiled
+/// micro-kernel.
 fn matmul_rows(
     ad: &[f32],
     bd: &[f32],
@@ -116,24 +133,14 @@ fn matmul_rows(
     ka: usize,
     n: usize,
 ) {
-    let local_m = rows.len();
-    for i0 in (0..local_m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(local_m);
-        for k0 in (0..ka).step_by(BLOCK) {
-            let k1 = (k0 + BLOCK).min(ka);
-            for li in i0..i1 {
-                let i = rows.start + li;
-                let crow = &mut cd[li * n..(li + 1) * n];
-                for k in k0..k1 {
-                    let aik = ad[i * ka + k];
-                    let brow = &bd[k * n..(k + 1) * n];
-                    for (cv, bv) in crow.iter_mut().zip(brow) {
-                        *cv = bv.mul_add(aik, *cv);
-                    }
-                }
-            }
-        }
-    }
+    gemm_packed(
+        rows,
+        ka,
+        n,
+        cd,
+        |ap, row, mh, k0, kc| pack_a_rows(ad, ka, ap, row, mh, k0, kc),
+        |bp, k0, kc| pack_b_rows(bd, n, bp, k0, kc),
+    );
 }
 
 /// `c += a · b` where `a` is `(m, k)` and `b` is `(k, n)`, parallelized
@@ -201,9 +208,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 // ---- C += Aᵀ · B ----
 
 /// The `matmul_at_b_acc` inner kernel over output rows `rows` (columns of
-/// `A`). The `k` loop stays outermost so each output row accumulates its
-/// `k` terms in exactly the serial order — partitioning the `i` loop
-/// cannot change any row's operation sequence.
+/// `A`). `Aᵀ` tiles pack as contiguous copies of `A`'s rows; `B` packs as
+/// in the plain variant.
 fn matmul_at_b_rows(
     ad: &[f32],
     bd: &[f32],
@@ -213,18 +219,14 @@ fn matmul_at_b_rows(
     m: usize,
     n: usize,
 ) {
-    for k in 0..ka {
-        let arow = &ad[k * m..(k + 1) * m];
-        let brow = &bd[k * n..(k + 1) * n];
-        for i in rows.clone() {
-            let aki = arow[i];
-            let li = i - rows.start;
-            let crow = &mut cd[li * n..(li + 1) * n];
-            for (cv, bv) in crow.iter_mut().zip(brow) {
-                *cv = bv.mul_add(aki, *cv);
-            }
-        }
-    }
+    gemm_packed(
+        rows,
+        ka,
+        n,
+        cd,
+        |ap, row, mh, k0, kc| pack_a_transposed(ad, m, ap, row, mh, k0, kc),
+        |bp, k0, kc| pack_b_rows(bd, n, bp, k0, kc),
+    );
 }
 
 /// `c += aᵀ · b` where `a` is `(k, m)` and `b` is `(k, n)`, parallelized
@@ -291,9 +293,10 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 
 // ---- C += A · Bᵀ ----
 
-/// The `matmul_a_bt_acc` inner kernel over output rows `rows`. Each
-/// output element is an independent dot product, so any row partition
-/// performs identical arithmetic.
+/// The `matmul_a_bt_acc` inner kernel over output rows `rows`. Packing
+/// `Bᵀ` turns the old strided column dot (one scalar of row-major `B`
+/// per k step) into the same contiguous micro-kernel loop as the plain
+/// variant.
 fn matmul_a_bt_rows(
     ad: &[f32],
     bd: &[f32],
@@ -302,18 +305,14 @@ fn matmul_a_bt_rows(
     ka: usize,
     n: usize,
 ) {
-    for (li, i) in rows.enumerate() {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        let crow = &mut cd[li * n..(li + 1) * n];
-        for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * ka..(j + 1) * ka];
-            let mut acc = 0.0f32;
-            for (av, bv) in arow.iter().zip(brow) {
-                acc = av.mul_add(*bv, acc);
-            }
-            *cv += acc;
-        }
-    }
+    gemm_packed(
+        rows,
+        ka,
+        n,
+        cd,
+        |ap, row, mh, k0, kc| pack_a_rows(ad, ka, ap, row, mh, k0, kc),
+        |bp, k0, kc| pack_b_transposed(bd, ka, bp, n, k0, kc),
+    );
 }
 
 /// `c += a · bᵀ` where `a` is `(m, k)` and `b` is `(n, k)`, parallelized

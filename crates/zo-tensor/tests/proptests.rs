@@ -157,6 +157,106 @@ proptest! {
         }
     }
 
+    /// The packed kernels stay bit-identical to serial on shapes chosen to
+    /// straddle every tiling boundary: k crossing the KC panel depth, m
+    /// hitting MR sub-tile tails, n hitting partial NR register blocks —
+    /// at partition counts {1, 2, 3, 7} including parts > m.
+    #[test]
+    fn packed_matmul_tail_shapes_bit_identical(
+        m in prop::sample::select(vec![1usize, 2, 3, 4, 5, 7, 9, 13]),
+        k in prop::sample::select(vec![1usize, 2, 31, 127, 128, 129, 255, 257]),
+        n in prop::sample::select(vec![1usize, 7, 8, 9, 15, 17, 24, 25]),
+        seed in 0u64..500,
+    ) {
+        let mut init = zo_tensor::Init::new(seed.wrapping_add(7));
+        let pool = test_pool();
+        for parts in [1usize, 2, 3, 7] {
+            let a = init.normal_tensor(m, k, 1.0);
+            let b = init.normal_tensor(k, n, 1.0);
+            let mut want = init.normal_tensor(m, n, 0.5);
+            let mut got = want.clone();
+            zo_tensor::matmul::matmul_acc_serial(&a, &b, &mut want).unwrap();
+            zo_tensor::matmul::matmul_acc_on(pool, parts, &a, &b, &mut got).unwrap();
+            prop_assert_eq!(got.data(), want.data(),
+                "matmul {}x{}x{} parts={}", m, k, n, parts);
+
+            let at = init.normal_tensor(k, m, 1.0);
+            let mut want = init.normal_tensor(m, n, 0.5);
+            let mut got = want.clone();
+            zo_tensor::matmul::matmul_at_b_acc_serial(&at, &b, &mut want).unwrap();
+            zo_tensor::matmul::matmul_at_b_acc_on(pool, parts, &at, &b, &mut got).unwrap();
+            prop_assert_eq!(got.data(), want.data(),
+                "matmul_at_b {}x{}x{} parts={}", m, k, n, parts);
+
+            let bt = init.normal_tensor(n, k, 1.0);
+            let mut want = init.normal_tensor(m, n, 0.5);
+            let mut got = want.clone();
+            zo_tensor::matmul::matmul_a_bt_acc_serial(&a, &bt, &mut want).unwrap();
+            zo_tensor::matmul::matmul_a_bt_acc_on(pool, parts, &a, &bt, &mut got).unwrap();
+            prop_assert_eq!(got.data(), want.data(),
+                "matmul_a_bt {}x{}x{} parts={}", m, k, n, parts);
+        }
+    }
+
+    /// The packed kernel agrees with a naive f64 triple loop to within
+    /// accumulated-rounding tolerance (the panel-wise f32 accumulation
+    /// reorders sums but must not change the math).
+    #[test]
+    fn packed_matmul_close_to_naive(
+        m in 1usize..10,
+        k in prop::sample::select(vec![1usize, 5, 127, 128, 129, 200]),
+        n in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut init = zo_tensor::Init::new(seed.wrapping_add(41));
+        let a = init.normal_tensor(m, k, 1.0);
+        let b = init.normal_tensor(k, n, 1.0);
+        let got = matmul(&a, &b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for kk in 0..k {
+                    acc += f64::from(a.data()[i * k + kk]) * f64::from(b.data()[kk * n + j]);
+                }
+                let x = f64::from(got.data()[i * n + j]);
+                let tol = 1e-4 * (k as f64).sqrt().max(1.0) * acc.abs().max(1.0);
+                prop_assert!((x - acc).abs() <= tol, "[{i},{j}] {x} vs naive {acc}");
+            }
+        }
+    }
+
+    /// The batched f32 -> f16 slice codec is bit-for-bit the scalar cast on
+    /// arbitrary input bit patterns (NaNs, infinities, subnormals included),
+    /// at lengths covering empty, sub-lane tails and multi-lane bodies.
+    #[test]
+    fn f16_narrow_slice_codec_matches_scalar(
+        bits in prop::collection::vec(any::<u32>(), 0..70)
+    ) {
+        let src: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut dst = vec![F16::ZERO; src.len()];
+        F16::from_f32_slice(&src, &mut dst);
+        for (i, (&s, &d)) in src.iter().zip(&dst).enumerate() {
+            prop_assert_eq!(d.to_bits(), F16::from_f32(s).to_bits(),
+                "index {} input {:#010x}", i, s.to_bits());
+        }
+    }
+
+    /// The batched f16 -> f32 slice codec is bit-for-bit the scalar widen
+    /// on arbitrary f16 bit patterns (NaN payloads preserved, signaling
+    /// bit included).
+    #[test]
+    fn f16_widen_slice_codec_matches_scalar(
+        bits in prop::collection::vec(any::<u16>(), 0..70)
+    ) {
+        let src: Vec<F16> = bits.iter().map(|&b| F16::from_bits(b)).collect();
+        let mut dst = vec![0.0f32; src.len()];
+        F16::to_f32_slice(&src, &mut dst);
+        for (i, (&s, &d)) in src.iter().zip(&dst).enumerate() {
+            prop_assert_eq!(d.to_bits(), s.to_f32().to_bits(),
+                "index {} input {:#06x}", i, s.to_bits());
+        }
+    }
+
     /// axpy with alpha = 0 is the identity; with src = 0 it is the identity.
     #[test]
     fn axpy_identities(v in prop::collection::vec(-10.0f32..10.0, 1..32)) {

@@ -89,6 +89,12 @@ echo "== benchmark fingerprint artifact (BENCH_fingerprint.json)"
 ZO_TIER=nvme ./target/release/fingerprint --json BENCH_fingerprint.json
 head -c 400 BENCH_fingerprint.json; echo
 
+echo "== kernel perf trajectory artifact (BENCH_kernels.json)"
+cargo build --release -q --bin kernel_bench
+./target/release/kernel_bench --json BENCH_kernels.json
+./target/release/kernel_bench --assert BENCH_kernels.json
+head -c 400 BENCH_kernels.json; echo
+
 echo "== benches compile"
 cargo build -q --benches -p zo-bench
 

@@ -279,9 +279,32 @@ pub mod collection {
     }
 }
 
+/// Strategies that sample from explicit value collections.
+pub mod sample {
+    use crate::{Strategy, TestRng};
+
+    /// Uniformly selects one element of the (non-empty) collection.
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select over empty collection");
+        Select(values)
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u128) as usize].clone()
+        }
+    }
+}
+
 /// `prop::` namespace as re-exported by the prelude.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::sample;
 }
 
 /// The glob-import prelude.
