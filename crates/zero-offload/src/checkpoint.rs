@@ -15,7 +15,6 @@
 use serde::{Deserialize, Serialize};
 use zo_nn::Model;
 use zo_optim::AdamState;
-use zo_tensor::cast_f32_to_f16;
 
 use crate::engine::ZeroOffloadEngine;
 use crate::framing::{decode_frame, encode_frame, FrameError, FrameSpec};
@@ -181,15 +180,7 @@ pub fn decode_checkpoint_bytes(bytes: &[u8]) -> Result<TrainingCheckpoint, Check
 impl<M: Model> ZeroOffloadEngine<M> {
     /// Captures the current training state.
     pub fn save_checkpoint(&self) -> TrainingCheckpoint {
-        let (optim, dpu) = self.updater_state();
-        TrainingCheckpoint {
-            master: self.master_params().to_vec(),
-            optim,
-            loss_scale: self.scaler_snapshot(),
-            dpu,
-            steps_applied: self.stats().steps_applied,
-            steps_skipped: self.stats().steps_skipped,
-        }
+        self.pipe().capture_state()
     }
 
     /// Restores a checkpoint saved by an engine of the same configuration.
@@ -198,14 +189,8 @@ impl<M: Model> ZeroOffloadEngine<M> {
     /// parameters, so the next step continues the original trajectory
     /// exactly (verified bitwise by the resume tests).
     pub fn restore_checkpoint(&mut self, ckpt: &TrainingCheckpoint) -> Result<(), CheckpointError> {
-        let n = self.master_params().len();
-        if ckpt.master.len() != n || ckpt.optim.len() != n {
-            return Err(CheckpointError::SizeMismatch {
-                checkpoint: ckpt.master.len(),
-                engine: n,
-            });
-        }
-        self.load_restored(ckpt)?;
+        self.pipe_mut().restore_state(ckpt)?;
+        self.sync_model_params();
         Ok(())
     }
 
@@ -266,23 +251,6 @@ impl<M: Model> ZeroOffloadEngine<M> {
         })?;
         let ckpt = decode_checkpoint_bytes(&bytes)?;
         self.restore_checkpoint(&ckpt)
-    }
-}
-
-// Private helpers on the engine, kept here so `engine.rs` stays focused on
-// the schedule. They need access to engine internals, granted via
-// `pub(crate)` accessors defined in `engine.rs`.
-impl<M: Model> ZeroOffloadEngine<M> {
-    fn load_restored(&mut self, ckpt: &TrainingCheckpoint) -> Result<(), CheckpointError> {
-        self.set_master(&ckpt.master);
-        self.set_updater_state(&ckpt.optim, ckpt.dpu.as_ref())?;
-        self.set_scaler_snapshot(ckpt.loss_scale);
-        self.set_step_counters(ckpt.steps_applied, ckpt.steps_skipped);
-        // Rebuild the fp16 device view from the restored master copy.
-        let mut p16 = vec![zo_tensor::F16::ZERO; ckpt.master.len()];
-        cast_f32_to_f16(&ckpt.master, &mut p16);
-        self.set_p16_and_sync(p16);
-        Ok(())
     }
 }
 

@@ -334,70 +334,14 @@ impl<M: Model> ZeroOffloadEngine<M> {
         &self.pipe.master
     }
 
-    /// Snapshot of optimizer state + DPU bookkeeping (checkpointing).
-    ///
-    /// For the async DPU this reads the caller-side mirrors, which exclude
-    /// any in-flight update — the snapshot is identical to one taken by a
-    /// synchronous delayed update, without draining the worker.
-    pub(crate) fn updater_state(&self) -> (AdamState, Option<crate::checkpoint::DpuCheckpoint>) {
-        match &self.pipe.updater {
-            Updater::Reference(state, _) => (state.clone(), None),
-            Updater::Cpu(opt) => (opt.state().clone(), None),
-            Updater::Async(dpu) => (
-                dpu.state().clone(),
-                Some(crate::checkpoint::DpuCheckpoint {
-                    steps_seen: dpu.steps_seen(),
-                    pending: dpu.pending().map(|p| p.to_vec()),
-                }),
-            ),
-            Updater::Tiered(tiered) => (tiered.state(), None),
-        }
+    /// The shared step pipeline (checkpoint state lives there).
+    pub(crate) fn pipe(&self) -> &StepPipeline {
+        &self.pipe
     }
 
-    /// Restores optimizer + DPU state (checkpointing).
-    pub(crate) fn set_updater_state(
-        &mut self,
-        optim: &AdamState,
-        dpu: Option<&crate::checkpoint::DpuCheckpoint>,
-    ) -> Result<(), crate::checkpoint::CheckpointError> {
-        match (&mut self.pipe.updater, dpu) {
-            (Updater::Reference(state, _), None) => {
-                *state = optim.clone();
-                Ok(())
-            }
-            (Updater::Cpu(opt), None) => opt.load_state(optim.clone()).map_err(|_| {
-                crate::checkpoint::CheckpointError::SizeMismatch {
-                    checkpoint: optim.len(),
-                    engine: self.pipe.master.len(),
-                }
-            }),
-            (Updater::Async(pipelined), Some(d)) => {
-                if optim.len() != self.pipe.master.len() {
-                    return Err(crate::checkpoint::CheckpointError::SizeMismatch {
-                        checkpoint: optim.len(),
-                        engine: self.pipe.master.len(),
-                    });
-                }
-                // `set_master` ran first in the restore sequence, so the
-                // pipeline's master is already the checkpointed one.
-                pipelined.restore(&self.pipe.master, optim, d.steps_seen, d.pending.clone());
-                Ok(())
-            }
-            (Updater::Tiered(tiered), None) => {
-                if optim.len() != self.pipe.master.len() {
-                    return Err(crate::checkpoint::CheckpointError::SizeMismatch {
-                        checkpoint: optim.len(),
-                        engine: self.pipe.master.len(),
-                    });
-                }
-                // `set_master` ran first, so rewriting the tier partitions
-                // from the pipeline master restores the checkpointed state
-                // (and heals any torn partition a fatal write left).
-                tiered.restore(&self.pipe.master, optim);
-                Ok(())
-            }
-            _ => Err(crate::checkpoint::CheckpointError::ModeMismatch),
-        }
+    /// Mutable access to the shared step pipeline (checkpointing).
+    pub(crate) fn pipe_mut(&mut self) -> &mut StepPipeline {
+        &mut self.pipe
     }
 
     /// The step-level fault session (checkpoint-write gating).
@@ -405,35 +349,8 @@ impl<M: Model> ZeroOffloadEngine<M> {
         &mut self.pipe.faults
     }
 
-    /// Loss-scaler snapshot (checkpointing).
-    pub(crate) fn scaler_snapshot(&self) -> (f32, u32) {
-        self.pipe.scaler.snapshot()
-    }
-
-    /// Restores a loss-scaler snapshot (checkpointing).
-    pub(crate) fn set_scaler_snapshot(&mut self, snapshot: (f32, u32)) {
-        self.pipe.scaler.restore(snapshot);
-    }
-
-    /// Replaces the master parameters (checkpointing).
-    pub(crate) fn set_master(&mut self, master: &[f32]) {
-        self.pipe.master.copy_from_slice(master);
-    }
-
-    /// Restores step counters (checkpointing).
-    pub(crate) fn set_step_counters(&mut self, applied: u64, skipped: u64) {
-        self.pipe.stats.steps_applied = applied;
-        self.pipe.stats.steps_skipped = skipped;
-    }
-
-    /// Replaces the fp16 mirror and reloads the model (checkpointing).
-    pub(crate) fn set_p16_and_sync(&mut self, p16: Vec<F16>) {
-        self.pipe.p16 = p16;
-        self.sync_model_params();
-    }
-
     /// Loads the fp16 view of the master parameters into the model.
-    fn sync_model_params(&mut self) {
+    pub(crate) fn sync_model_params(&mut self) {
         self.placement.load_model(&mut self.model, &self.pipe.p16);
     }
 

@@ -554,6 +554,115 @@ pub(crate) struct StepPipeline {
 }
 
 impl StepPipeline {
+    /// Captures the pipeline-owned training state (master copy, optimizer
+    /// moments, loss scaler, DPU bookkeeping, step counters) as a
+    /// [`TrainingCheckpoint`]. Shared by every engine stage: for the
+    /// single-GPU engine the master spans the full model, for the sharded
+    /// engines it is this rank's partition — the checkpoint is shard-sized
+    /// either way, and the engine wrapper decides what "whole run" means.
+    ///
+    /// For the async DPU this reads the caller-side mirrors, which exclude
+    /// any in-flight update — the snapshot is identical to one taken by a
+    /// synchronous delayed update, without draining the worker.
+    pub(crate) fn capture_state(&self) -> crate::checkpoint::TrainingCheckpoint {
+        let (optim, dpu) = self.updater_state();
+        crate::checkpoint::TrainingCheckpoint {
+            master: self.master.clone(),
+            optim,
+            loss_scale: self.scaler.snapshot(),
+            dpu,
+            steps_applied: self.stats.steps_applied,
+            steps_skipped: self.stats.steps_skipped,
+        }
+    }
+
+    /// Restores the pipeline-owned state from a checkpoint of the same
+    /// shard size: master, optimizer, scaler, counters, and the fp16
+    /// mirror (recomputed from the master — it is a pure function of it).
+    ///
+    /// Does NOT reload the wrapped model: every placement materializes its
+    /// device view differently (full replica gather, stage-3 shard reset),
+    /// so the engine wrapper finishes the job.
+    pub(crate) fn restore_state(
+        &mut self,
+        ckpt: &crate::checkpoint::TrainingCheckpoint,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let n = self.master.len();
+        if ckpt.master.len() != n || ckpt.optim.len() != n {
+            return Err(crate::checkpoint::CheckpointError::SizeMismatch {
+                checkpoint: ckpt.master.len(),
+                engine: n,
+            });
+        }
+        self.master.copy_from_slice(&ckpt.master);
+        // Order matters: the Async/Tiered updaters re-mirror from the
+        // pipeline master, so it must already hold the checkpointed copy.
+        self.set_updater_state(&ckpt.optim, ckpt.dpu.as_ref())?;
+        self.scaler.restore(ckpt.loss_scale);
+        self.stats.steps_applied = ckpt.steps_applied;
+        self.stats.steps_skipped = ckpt.steps_skipped;
+        let mut p16 = vec![F16::ZERO; ckpt.master.len()];
+        cast_f32_to_f16(&ckpt.master, &mut p16);
+        self.p16 = p16;
+        Ok(())
+    }
+
+    /// Snapshot of optimizer state + DPU bookkeeping (checkpointing).
+    pub(crate) fn updater_state(&self) -> (AdamState, Option<crate::checkpoint::DpuCheckpoint>) {
+        match &self.updater {
+            Updater::Reference(state, _) => (state.clone(), None),
+            Updater::Cpu(opt) => (opt.state().clone(), None),
+            Updater::Async(dpu) => (
+                dpu.state().clone(),
+                Some(crate::checkpoint::DpuCheckpoint {
+                    steps_seen: dpu.steps_seen(),
+                    pending: dpu.pending().map(|p| p.to_vec()),
+                }),
+            ),
+            Updater::Tiered(tiered) => (tiered.state(), None),
+        }
+    }
+
+    /// Restores optimizer + DPU state (checkpointing). The pipeline master
+    /// must already hold the restored parameters.
+    pub(crate) fn set_updater_state(
+        &mut self,
+        optim: &AdamState,
+        dpu: Option<&crate::checkpoint::DpuCheckpoint>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let mismatch =
+            |have: usize, want: usize| crate::checkpoint::CheckpointError::SizeMismatch {
+                checkpoint: have,
+                engine: want,
+            };
+        match (&mut self.updater, dpu) {
+            (Updater::Reference(state, _), None) => {
+                *state = optim.clone();
+                Ok(())
+            }
+            (Updater::Cpu(opt), None) => opt
+                .load_state(optim.clone())
+                .map_err(|_| mismatch(optim.len(), self.master.len())),
+            (Updater::Async(pipelined), Some(d)) => {
+                if optim.len() != self.master.len() {
+                    return Err(mismatch(optim.len(), self.master.len()));
+                }
+                pipelined.restore(&self.master, optim, d.steps_seen, d.pending.clone());
+                Ok(())
+            }
+            (Updater::Tiered(tiered), None) => {
+                if optim.len() != self.master.len() {
+                    return Err(mismatch(optim.len(), self.master.len()));
+                }
+                // Rewriting the tier partitions from the restored master
+                // also heals any torn partition a fatal write left behind.
+                tiered.restore(&self.master, optim);
+                Ok(())
+            }
+            _ => Err(crate::checkpoint::CheckpointError::ModeMismatch),
+        }
+    }
+
     /// Emits the shared worker pool's activity since the last boundary as
     /// `pool.tasks` / `pool.busy_ns` counters on the `pool` track, so the
     /// step-timeline shows how much kernel work ran on pool workers.

@@ -21,6 +21,7 @@ use zo_optim::DynamicLossScaler;
 use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::Tracer;
 
+use crate::checkpoint::{CheckpointError, TrainingCheckpoint};
 use crate::config::{resolve_fault_plan, resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
 use crate::pipeline::{build_offload_updater, GradStream, Placement, StepError, StepPipeline};
@@ -288,6 +289,31 @@ impl<M: Model> Zero2OffloadEngine<M> {
             &mut self.stream,
             |m, _| run_backward(m),
         )
+    }
+
+    /// Captures this rank's training state (shard-sized: master, moments,
+    /// scaler, DPU clock, counters). Every rank checkpoints its own
+    /// shard; restoring all shards restores the run.
+    pub fn save_checkpoint(&self) -> TrainingCheckpoint {
+        self.pipe.capture_state()
+    }
+
+    /// Restores a checkpoint saved by the same rank of an identically
+    /// configured group, then all-gathers the restored shards to reload
+    /// the full fp16 replica.
+    ///
+    /// The reload is a collective: **all ranks must restore
+    /// concurrently**, like [`Zero2OffloadEngine::step`].
+    pub fn restore_checkpoint(&mut self, ckpt: &TrainingCheckpoint) -> Result<(), CheckpointError> {
+        self.pipe.restore_state(ckpt)?;
+        self.placement
+            .gather_and_load(
+                &mut self.model,
+                &self.pipe.p16,
+                &mut self.pipe.stats,
+                &self.pipe.tracer,
+            )
+            .map_err(CheckpointError::Fault)
     }
 }
 

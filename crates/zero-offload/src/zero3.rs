@@ -31,16 +31,14 @@
 use zo_collectives::{partition_range, Communicator};
 use zo_fault::{lane, with_retry, FaultError, FaultSession, Site};
 use zo_nn::Model;
-use zo_optim::{AdamState, DynamicLossScaler};
+use zo_optim::DynamicLossScaler;
 use zo_tensor::{cast_f32_to_f16, F16};
 use zo_trace::{names, Tracer};
 
-use crate::checkpoint::{CheckpointError, DpuCheckpoint, TrainingCheckpoint};
+use crate::checkpoint::{CheckpointError, TrainingCheckpoint};
 use crate::config::{resolve_fault_plan, resolve_tracer, ZeroOffloadConfig};
 use crate::engine::{EngineStats, StepOutcome};
-use crate::pipeline::{
-    build_offload_updater, GradStream, Placement, StepError, StepPipeline, Updater,
-};
+use crate::pipeline::{build_offload_updater, GradStream, Placement, StepError, StepPipeline};
 use crate::wire::roundtrip_grads;
 
 /// One entry in the stage-3 gather/release schedule.
@@ -669,26 +667,7 @@ impl<M: Model> Zero3OffloadEngine<M> {
     /// scaler, DPU clock, counters). Every rank checkpoints its own
     /// shard; restoring all shards restores the run.
     pub fn save_checkpoint(&self) -> TrainingCheckpoint {
-        let (optim, dpu) = match &self.pipe.updater {
-            Updater::Reference(state, _) => (state.clone(), None),
-            Updater::Cpu(opt) => (opt.state().clone(), None),
-            Updater::Async(dpu) => (
-                dpu.state().clone(),
-                Some(DpuCheckpoint {
-                    steps_seen: dpu.steps_seen(),
-                    pending: dpu.pending().map(|p| p.to_vec()),
-                }),
-            ),
-            Updater::Tiered(tiered) => (tiered.state(), None),
-        };
-        TrainingCheckpoint {
-            master: self.pipe.master.clone(),
-            optim,
-            loss_scale: self.pipe.scaler.snapshot(),
-            dpu,
-            steps_applied: self.pipe.stats.steps_applied,
-            steps_skipped: self.pipe.stats.steps_skipped,
-        }
+        self.pipe.capture_state()
     }
 
     /// Restores a checkpoint saved by the same rank of an identically
@@ -696,65 +675,10 @@ impl<M: Model> Zero3OffloadEngine<M> {
     /// value-idempotent, so a cold resume continues the trajectory
     /// bit-identically.
     pub fn restore_checkpoint(&mut self, ckpt: &TrainingCheckpoint) -> Result<(), CheckpointError> {
-        let n = self.pipe.master.len();
-        if ckpt.master.len() != n || ckpt.optim.len() != n {
-            return Err(CheckpointError::SizeMismatch {
-                checkpoint: ckpt.master.len(),
-                engine: n,
-            });
-        }
-        self.pipe.master.copy_from_slice(&ckpt.master);
-        self.set_updater_state(&ckpt.optim, ckpt.dpu.as_ref())?;
-        self.pipe.scaler.restore(ckpt.loss_scale);
-        self.pipe.stats.steps_applied = ckpt.steps_applied;
-        self.pipe.stats.steps_skipped = ckpt.steps_skipped;
-        let mut p16 = vec![F16::ZERO; ckpt.master.len()];
-        cast_f32_to_f16(&ckpt.master, &mut p16);
-        self.pipe.p16 = p16;
+        self.pipe.restore_state(ckpt)?;
         self.placement.cache = Zero3Cache::new();
         self.reset_model_to_shard();
         Ok(())
-    }
-
-    fn set_updater_state(
-        &mut self,
-        optim: &AdamState,
-        dpu: Option<&DpuCheckpoint>,
-    ) -> Result<(), CheckpointError> {
-        match (&mut self.pipe.updater, dpu) {
-            (Updater::Reference(state, _), None) => {
-                *state = optim.clone();
-                Ok(())
-            }
-            (Updater::Cpu(opt), None) => {
-                opt.load_state(optim.clone())
-                    .map_err(|_| CheckpointError::SizeMismatch {
-                        checkpoint: optim.len(),
-                        engine: self.pipe.master.len(),
-                    })
-            }
-            (Updater::Async(pipelined), Some(d)) => {
-                if optim.len() != self.pipe.master.len() {
-                    return Err(CheckpointError::SizeMismatch {
-                        checkpoint: optim.len(),
-                        engine: self.pipe.master.len(),
-                    });
-                }
-                pipelined.restore(&self.pipe.master, optim, d.steps_seen, d.pending.clone());
-                Ok(())
-            }
-            (Updater::Tiered(tiered), None) => {
-                if optim.len() != self.pipe.master.len() {
-                    return Err(CheckpointError::SizeMismatch {
-                        checkpoint: optim.len(),
-                        engine: self.pipe.master.len(),
-                    });
-                }
-                tiered.restore(&self.pipe.master, optim);
-                Ok(())
-            }
-            _ => Err(CheckpointError::ModeMismatch),
-        }
     }
 }
 

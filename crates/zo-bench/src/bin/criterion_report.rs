@@ -1,0 +1,107 @@
+//! `criterion_report` — aggregates the criterion shim's NDJSON stream
+//! into the validated `BENCH_criterion.json` artifact.
+//!
+//! ```text
+//! criterion_report --from NDJSON --json OUT
+//! criterion_report --assert PATH
+//! ```
+//!
+//! * `--from NDJSON --json OUT` — parse the per-bench records the shim
+//!   appended under `CRITERION_JSON`, render the artifact, self-validate,
+//!   and write it. Refuses to write anything its own validator rejects.
+//! * `--assert PATH` — re-parse a previously emitted artifact and fail
+//!   unless it carries the schema tag, at least one bench, unique names,
+//!   and positive finite means. CI runs emit then assert, so a
+//!   silently-empty sweep can never upload.
+
+use std::process::ExitCode;
+
+use zo_bench::criterion_artifact::{parse_ndjson, render_criterion_json, validate_criterion_json};
+
+fn main() -> ExitCode {
+    let mut from_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut assert_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str, slot: &mut Option<String>| match it.next() {
+            Some(p) => {
+                *slot = Some(p);
+                true
+            }
+            None => {
+                eprintln!("{name} requires a path");
+                false
+            }
+        };
+        let ok = match flag.as_str() {
+            "--from" => take("--from", &mut from_path),
+            "--json" => take("--json", &mut json_path),
+            "--assert" => take("--assert", &mut assert_path),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: criterion_report --from NDJSON --json OUT | --assert PATH"
+                );
+                false
+            }
+        };
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = assert_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_criterion_json(&text) {
+            Ok(()) => {
+                println!("criterion_report: {path} OK");
+                ExitCode::SUCCESS
+            }
+            Err(why) => {
+                eprintln!("criterion_report: {path} FAILED: {why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let (Some(from), Some(out)) = (from_path, json_path) else {
+        eprintln!("usage: criterion_report --from NDJSON --json OUT | --assert PATH");
+        return ExitCode::FAILURE;
+    };
+    let ndjson = match std::fs::read_to_string(&from) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {from}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match parse_ndjson(&ndjson) {
+        Ok(r) => r,
+        Err(why) => {
+            eprintln!("criterion_report: {from} is not a clean sweep: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = render_criterion_json(&records);
+    // Self-check before writing: the emitter must never produce an
+    // artifact its own validator rejects.
+    if let Err(why) = validate_criterion_json(&body) {
+        eprintln!("criterion_report: refusing to write invalid artifact: {why}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "criterion_report: wrote {out} ({} benches from {from})",
+        records.len()
+    );
+    ExitCode::SUCCESS
+}

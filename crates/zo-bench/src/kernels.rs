@@ -78,6 +78,11 @@ pub struct AdamPoint {
 pub struct KernelReport {
     /// Trajectory fingerprint of the pinned run under the current kernels.
     pub fingerprint: u64,
+    /// Steps the fingerprint run trained for. When this equals
+    /// [`PINNED_STEPS`] the fingerprint is comparable to the repo pin and
+    /// the validator holds it to it; quick runs train fewer steps and are
+    /// exempt.
+    pub steps: usize,
     /// GEMM points: three kernels × threads {1, 4}.
     pub gemm: Vec<GemmPoint>,
     /// Codec points: both directions.
@@ -241,6 +246,7 @@ pub fn run_kernel_bench(quick: bool) -> KernelReport {
     let fingerprint = run_single(steps, TierKind::Dram).hash;
     KernelReport {
         fingerprint,
+        steps,
         gemm: gemm_points(quick),
         codec: codec_points(quick),
         adam: adam_point(quick),
@@ -260,6 +266,7 @@ impl KernelReport {
             "  \"trajectory_fingerprint\": \"{:016x}\",\n",
             self.fingerprint
         ));
+        s.push_str(&format!("  \"trajectory_steps\": {},\n", self.steps));
         s.push_str("  \"gemm\": [\n");
         for (i, p) in self.gemm.iter().enumerate() {
             s.push_str(&format!(
@@ -330,7 +337,11 @@ impl KernelReport {
 
 /// Validates an emitted `BENCH_kernels.json`: it must parse, carry a
 /// plausible fingerprint, and every throughput field must be finite and
-/// strictly positive. Returns a description of the first problem found.
+/// strictly positive. An artifact whose fingerprint run trained the full
+/// [`PINNED_STEPS`] is additionally held to
+/// [`crate::trajectory::PINNED_TRAJECTORY_FINGERPRINT`] — so a perf
+/// artifact recording perturbed numerics fails the assert step instead
+/// of uploading. Returns a description of the first problem found.
 pub fn validate_kernel_json(text: &str) -> Result<(), String> {
     let v: serde_json::Value =
         serde_json::from_str(text).map_err(|e| format!("JSON does not parse: {e:?}"))?;
@@ -338,7 +349,19 @@ pub fn validate_kernel_json(text: &str) -> Result<(), String> {
         .get("trajectory_fingerprint")
         .and_then(|f| f.as_str())
         .ok_or("missing trajectory_fingerprint")?;
-    u64::from_str_radix(fp, 16).map_err(|_| format!("fingerprint {fp:?} is not hex"))?;
+    let fp = u64::from_str_radix(fp, 16).map_err(|_| format!("fingerprint {fp:?} is not hex"))?;
+    let steps = v
+        .get("trajectory_steps")
+        .and_then(|s| s.as_f64())
+        .ok_or("missing trajectory_steps")? as usize;
+    if steps == PINNED_STEPS && fp != crate::trajectory::PINNED_TRAJECTORY_FINGERPRINT {
+        return Err(format!(
+            "trajectory fingerprint {:016x} over {PINNED_STEPS} steps does not match the \
+             pin {:016x} — the artifact records perturbed numerics",
+            fp,
+            crate::trajectory::PINNED_TRAJECTORY_FINGERPRINT
+        ));
+    }
 
     let positive = |val: Option<&serde_json::Value>, what: &str| -> Result<(), String> {
         let x = val
@@ -399,5 +422,26 @@ mod tests {
         let mut report = run_kernel_bench(true);
         report.gemm[0].gflops = 0.0;
         assert!(validate_kernel_json(&report.render_json()).is_err());
+    }
+
+    /// Red path for the pin gate: a full-length artifact whose
+    /// fingerprint is not the repo pin must fail validation (this is
+    /// what `kernel_bench --assert` runs in CI), while the exact pin
+    /// passes and quick runs stay exempt.
+    #[test]
+    fn validator_holds_full_runs_to_the_pinned_fingerprint() {
+        let mut report = run_kernel_bench(true);
+        report.steps = crate::trajectory::PINNED_STEPS;
+        report.fingerprint = crate::trajectory::PINNED_TRAJECTORY_FINGERPRINT;
+        validate_kernel_json(&report.render_json()).expect("exact pin must validate");
+
+        report.fingerprint ^= 1;
+        let err = validate_kernel_json(&report.render_json())
+            .expect_err("a perturbed full-length fingerprint must be rejected");
+        assert!(err.contains("does not match the pin"), "message: {err}");
+
+        // Quick runs (fewer steps) are not comparable and stay exempt.
+        report.steps = 2;
+        validate_kernel_json(&report.render_json()).expect("quick runs are exempt from the pin");
     }
 }

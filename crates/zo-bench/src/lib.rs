@@ -11,8 +11,10 @@
 pub mod ablations;
 pub mod adam_bench;
 pub mod convergence;
+pub mod criterion_artifact;
 pub mod kernels;
 pub mod scale;
+pub mod service;
 mod table;
 pub mod throughput;
 pub mod trajectory;
@@ -23,11 +25,17 @@ pub use convergence::{
     fig12_curves, fig12_curves_with_warmup, fig13_curves, render_curves, smooth, ConvergenceCurves,
     DPU_WARMUP,
 };
+pub use criterion_artifact::{
+    parse_ndjson, render_criterion_json, validate_criterion_json, BenchRecord,
+};
 pub use kernels::{run_kernel_bench, validate_kernel_json, KernelReport};
 pub use scale::{fig7_rows, render_fig7, ScaleRow};
+pub use service::{jain_index, measure_service, schedule_fairness, ServiceMetrics};
 pub use table::render_table;
 pub use throughput::{
     fig10_rows, fig11_rows, fig8_rows, fig9_rows, render_fig10, render_fig11, render_fig8,
     render_fig9, Fig10Row, Fig11Row, Fig8Row, Fig9Row,
 };
-pub use trajectory::{run_single, run_zero3, TrajectoryRun, PINNED_TRAJECTORY_FINGERPRINT};
+pub use trajectory::{
+    run_single, run_zero3, verify_pinned, TrajectoryRun, PINNED_TRAJECTORY_FINGERPRINT,
+};

@@ -1,0 +1,147 @@
+//! Multi-job service metrics: aggregate throughput and schedule fairness.
+//!
+//! The service's scheduling claim is quantitative: a deterministic
+//! round-robin/priority executor should (a) keep aggregate step
+//! throughput close to the solo engine's, and (b) grant steps in
+//! proportion to priorities. This module turns a service run's schedule
+//! log into those two numbers — Jain's fairness index over
+//! priority-normalized grants, and steps/second — the same way
+//! `throughput.rs` turns engine runs into Fig. 8–11 rows.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use zo_serve::{JobSpec, ScheduleEntry, Service};
+
+/// Metrics of one service run.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// Total optimizer steps granted across all jobs.
+    pub total_steps: usize,
+    /// Aggregate steps per second (wall clock).
+    pub steps_per_sec: f64,
+    /// Jain's fairness index over priority-normalized per-job grant
+    /// counts: 1.0 = perfectly proportional; `1/n` = one job starved
+    /// everything else.
+    pub jain_fairness: f64,
+    /// Per-job granted steps, by name.
+    pub steps_per_job: BTreeMap<String, usize>,
+}
+
+/// Jain's index `(Σx)² / (n·Σx²)` over per-job allocations `x`.
+///
+/// `x` should be normalized by entitlement (priority) so a weighted
+/// schedule that honors its weights still scores 1.0.
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    let n = allocations.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
+/// Computes fairness over a schedule log, normalizing each job's grant
+/// count by its priority weight.
+pub fn schedule_fairness(schedule: &[ScheduleEntry], priorities: &BTreeMap<String, u32>) -> f64 {
+    let mut grants: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in schedule {
+        *grants.entry(e.job.as_str()).or_default() += 1;
+    }
+    let normalized: Vec<f64> = priorities
+        .iter()
+        .map(|(name, prio)| {
+            let g = grants.get(name.as_str()).copied().unwrap_or(0);
+            g as f64 / f64::from((*prio).max(1))
+        })
+        .collect();
+    jain_index(&normalized)
+}
+
+/// Runs `specs` to completion under one service and measures throughput
+/// and fairness.
+pub fn measure_service(seed: u64, specs: Vec<JobSpec>) -> ServiceMetrics {
+    let priorities: BTreeMap<String, u32> =
+        specs.iter().map(|s| (s.name.clone(), s.priority)).collect();
+    let mut service = Service::new(seed);
+    for spec in specs {
+        service.submit(spec).expect("service submit");
+    }
+    let t0 = Instant::now();
+    let report = service.run_to_completion();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut steps_per_job = BTreeMap::new();
+    for job in &report.jobs {
+        steps_per_job.insert(job.name.clone(), job.steps_done);
+    }
+    let total_steps: usize = steps_per_job.values().sum();
+    ServiceMetrics {
+        total_steps,
+        steps_per_sec: total_steps as f64 / elapsed.max(1e-9),
+        jain_fairness: schedule_fairness(&report.schedule, &priorities),
+        steps_per_job,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zo_nn::GptConfig;
+
+    const GPT: GptConfig = GptConfig {
+        vocab: 16,
+        seq_len: 8,
+        hidden: 16,
+        heads: 2,
+        layers: 1,
+    };
+
+    #[test]
+    fn jain_index_bounds() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let starved = jain_index(&[1.0, 0.0, 0.0]);
+        assert!((starved - 1.0 / 3.0).abs() < 1e-12, "starved: {starved}");
+        assert_eq!(jain_index(&[]), 1.0);
+    }
+
+    #[test]
+    fn equal_priority_jobs_share_equally() {
+        let specs = vec![
+            JobSpec::new("a", GPT, 6),
+            JobSpec::new("b", GPT, 6),
+            JobSpec::new("c", GPT, 6),
+        ];
+        let m = measure_service(3, specs);
+        assert_eq!(m.total_steps, 18);
+        assert!(
+            m.jain_fairness > 0.999,
+            "equal-priority fairness: {}",
+            m.jain_fairness
+        );
+        assert!(m.steps_per_sec > 0.0);
+    }
+
+    #[test]
+    fn priorities_weight_the_schedule() {
+        // Both jobs are long enough that neither finishes early; the
+        // 2:1 priority must show up as ~2:1 grants in any prefix of the
+        // schedule — measured here over the completed run (equal step
+        // budgets force completion; fairness is over the normalized
+        // grant counts, which stay proportional while both run).
+        let mut fast = JobSpec::new("fast", GPT, 12);
+        fast.priority = 2;
+        let slow = JobSpec::new("slow", GPT, 6);
+        let m = measure_service(1, vec![fast, slow]);
+        assert_eq!(m.steps_per_job["fast"], 12);
+        assert_eq!(m.steps_per_job["slow"], 6);
+        assert!(
+            m.jain_fairness > 0.999,
+            "2:1 priority over 12:6 steps is proportional: {}",
+            m.jain_fairness
+        );
+    }
+}

@@ -170,6 +170,29 @@ pub fn run_zero3(steps: usize, tier: TierKind) -> TrajectoryRun {
     }
 }
 
+/// Checks a run against the pinned fingerprint. A run is comparable only
+/// if it trained exactly [`PINNED_STEPS`] steps (the pin is a hash over
+/// a specific step count — comparing a shorter run would "fail" for the
+/// wrong reason, and accepting it would prove nothing), so a wrong-length
+/// run is rejected outright rather than compared.
+pub fn verify_pinned(run: &TrajectoryRun) -> Result<(), String> {
+    let steps = run.step_ms.len();
+    if steps != PINNED_STEPS {
+        return Err(format!(
+            "run trained {steps} steps; the pinned fingerprint is defined over {PINNED_STEPS} — \
+             not comparable"
+        ));
+    }
+    if run.hash != PINNED_TRAJECTORY_FINGERPRINT {
+        return Err(format!(
+            "trajectory fingerprint moved: got {:016x}, pinned {:016x} — if the numerics \
+             change is intentional, re-pin PINNED_TRAJECTORY_FINGERPRINT",
+            run.hash, PINNED_TRAJECTORY_FINGERPRINT
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,12 +204,7 @@ mod tests {
     #[test]
     fn trajectory_fingerprint_is_pinned() {
         let run = run_single(PINNED_STEPS, TierKind::Dram);
-        assert_eq!(
-            run.hash, PINNED_TRAJECTORY_FINGERPRINT,
-            "trajectory fingerprint moved: got {:016x}, pinned {:016x} — if the \
-             numerics change is intentional, re-pin PINNED_TRAJECTORY_FINGERPRINT",
-            run.hash, PINNED_TRAJECTORY_FINGERPRINT
-        );
+        verify_pinned(&run).expect("pinned trajectory");
     }
 
     /// The fingerprint must not depend on the optimizer tier (the DRAM/NVMe
@@ -195,5 +213,31 @@ mod tests {
     fn trajectory_fingerprint_tier_invariant() {
         let nvme = run_single(PINNED_STEPS, TierKind::Nvme);
         assert_eq!(nvme.hash, PINNED_TRAJECTORY_FINGERPRINT);
+    }
+
+    /// Red path: a perturbed fingerprint must be rejected with a message
+    /// naming both hashes, and a wrong-length run must be rejected as
+    /// not comparable instead of silently passing or failing.
+    #[test]
+    fn verify_pinned_rejects_perturbed_and_wrong_length_runs() {
+        let comparable = TrajectoryRun {
+            hash: PINNED_TRAJECTORY_FINGERPRINT,
+            step_ms: vec![1.0; PINNED_STEPS],
+        };
+        verify_pinned(&comparable).expect("exact pin must verify");
+
+        let perturbed = TrajectoryRun {
+            hash: PINNED_TRAJECTORY_FINGERPRINT ^ 1,
+            step_ms: vec![1.0; PINNED_STEPS],
+        };
+        let err = verify_pinned(&perturbed).expect_err("one flipped bit must be rejected");
+        assert!(err.contains("re-pin"), "unhelpful message: {err}");
+
+        let short = TrajectoryRun {
+            hash: PINNED_TRAJECTORY_FINGERPRINT,
+            step_ms: vec![1.0; 2],
+        };
+        let err = verify_pinned(&short).expect_err("a 2-step run is not comparable to the pin");
+        assert!(err.contains("not comparable"), "unhelpful message: {err}");
     }
 }

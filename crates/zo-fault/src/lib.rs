@@ -286,6 +286,29 @@ impl FaultPlan {
         b.build()
     }
 
+    /// Derives an isolated per-domain plan: same sites and retry policy,
+    /// but a decision seed mixed with a hash of `domain`.
+    ///
+    /// Two jobs running the same preset then draw statistically
+    /// independent fault sequences, and — because each draw is indexed by
+    /// a per-session `(lane, site)` counter, never by global time — one
+    /// job's faults can never perturb a neighbor's schedule. A disabled
+    /// plan stays disabled (the seed is irrelevant without sites).
+    pub fn derived(&self, domain: &str) -> FaultPlan {
+        // FNV-1a over the domain name, then avalanche the combination so
+        // similar names ("job-1"/"job-2") land far apart.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in domain.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        FaultPlan {
+            seed: splitmix64(self.seed ^ h),
+            sites: self.sites,
+            retry: self.retry,
+        }
+    }
+
     /// Builds a plan from the `ZO_FAULTS` environment variable.
     ///
     /// Accepted values: unset/empty/`off`/`none`/`0` (disabled),
@@ -643,6 +666,44 @@ mod tests {
         assert_ne!(draws(1), draws(2), "lanes must be independent");
         let fired = draws(1).iter().filter(|&&f| f).count();
         assert!((10..55).contains(&fired), "p=0.5 over 64 draws: {fired}");
+    }
+
+    #[test]
+    fn derived_plans_are_domain_isolated() {
+        let base = FaultPlan::transient_heavy();
+        let a = base.derived("job-a");
+        let b = base.derived("job-b");
+        assert_eq!(
+            a,
+            base.derived("job-a"),
+            "derivation must be a pure function"
+        );
+        assert_ne!(a, b, "distinct domains must get distinct seeds");
+
+        let draws = |plan: &FaultPlan| -> Vec<bool> {
+            let mut s = FaultSession::new(Arc::new(plan.clone()), 1);
+            (0..64).map(|_| s.draw(Site::WireD2h).is_some()).collect()
+        };
+        assert_ne!(
+            draws(&a),
+            draws(&b),
+            "domains must draw independent fault sequences"
+        );
+        // Same sites and retry policy: only the seed moves.
+        for site in Site::ALL {
+            assert_eq!(a.site_spec(site), base.site_spec(site));
+        }
+        assert_eq!(a.retry(), base.retry());
+    }
+
+    #[test]
+    fn derived_disabled_plan_stays_disabled() {
+        let d = FaultPlan::disabled().derived("job-a");
+        assert!(!d.is_enabled());
+        let mut s = FaultSession::new(Arc::new(d), 1);
+        for _ in 0..32 {
+            assert_eq!(s.draw(Site::WireD2h), None);
+        }
     }
 
     #[test]

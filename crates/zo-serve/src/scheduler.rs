@@ -1,0 +1,92 @@
+//! Deterministic step-granularity scheduling.
+//!
+//! The scheduler is seeded, replayable round-robin with priority
+//! weights: jobs are visited in submission order starting from a
+//! seed-derived offset, and each visit grants the job `priority`
+//! consecutive optimizer steps. Determinism is the point — the executed
+//! schedule is a pure function of `(seed, submission order, priorities,
+//! per-job step counts)`, so a service run can be replayed exactly, and
+//! job isolation proofs can hold the schedule fixed.
+
+/// One granted step, as recorded in the schedule log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Job name.
+    pub job: String,
+    /// The job's step index this grant executed (0-based).
+    pub step: usize,
+}
+
+/// Round-robin/priority scheduler state.
+#[derive(Debug)]
+pub struct Scheduler {
+    cursor: Option<usize>,
+    seed: u64,
+}
+
+/// splitmix64 (same avalanche as `zo-fault`'s decision hash).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Scheduler {
+    /// A scheduler whose starting job is derived from `seed`.
+    pub fn new(seed: u64) -> Scheduler {
+        Scheduler { cursor: None, seed }
+    }
+
+    /// Picks the next runnable job index. `runnable(i)` reports whether
+    /// job `i` of `n` can still make progress. Returns `None` when no
+    /// job is runnable (the service is done).
+    pub fn next_job(&mut self, n: usize, runnable: impl Fn(usize) -> bool) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        // First grant goes to the seed-derived offset; afterwards the
+        // cursor walks submission order cyclically.
+        let start = match self.cursor {
+            None => (splitmix64(self.seed) % n as u64) as usize,
+            Some(prev) => (prev + 1) % n,
+        };
+        for off in 0..n {
+            let i = (start + off) % n;
+            if runnable(i) {
+                self.cursor = Some(i);
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_seed_deterministic_and_cyclic() {
+        let pick = |seed: u64| -> Vec<usize> {
+            let mut s = Scheduler::new(seed);
+            (0..8).map(|_| s.next_job(3, |_| true).unwrap()).collect()
+        };
+        assert_eq!(pick(0), pick(0), "same seed must replay identically");
+        let seq = pick(0);
+        for w in seq.windows(2) {
+            assert_eq!(w[1], (w[0] + 1) % 3, "round-robin order");
+        }
+        // Some seed starts at a different offset.
+        assert!((1..16).any(|s| pick(s)[0] != seq[0]));
+    }
+
+    #[test]
+    fn finished_jobs_are_skipped() {
+        let mut s = Scheduler::new(1);
+        let picks: Vec<usize> = (0..4).map(|_| s.next_job(3, |i| i == 1).unwrap()).collect();
+        assert_eq!(picks, vec![1; 4]);
+        assert_eq!(s.next_job(3, |_| false), None);
+    }
+}

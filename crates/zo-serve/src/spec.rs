@@ -1,0 +1,109 @@
+//! Job specifications: everything needed to (re)build a job's engines.
+
+use zero_offload::ZeroOffloadConfig;
+use zo_fault::FaultPlan;
+use zo_nn::GptConfig;
+
+/// Which engine stage a job trains under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageSpec {
+    /// Single-accelerator ZeRO-Offload engine (streamed gradient offload).
+    Single,
+    /// ZeRO-2: optimizer-state + gradient partitioning over `world` ranks.
+    Zero2 {
+        /// Data-parallel group size.
+        world: usize,
+    },
+    /// ZeRO-3: parameter partitioning over `world` ranks.
+    Zero3 {
+        /// Data-parallel group size.
+        world: usize,
+    },
+}
+
+impl StageSpec {
+    /// Ranks the stage trains with (1 for the single-GPU engine).
+    pub fn world(&self) -> usize {
+        match self {
+            StageSpec::Single => 1,
+            StageSpec::Zero2 { world } | StageSpec::Zero3 { world } => *world,
+        }
+    }
+}
+
+/// How a multi-rank job consumes each global batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Each rank trains on its `1/world` slice (classic data parallelism).
+    /// The trajectory depends on `world`.
+    Sliced,
+    /// Every rank trains on the identical batch. With power-of-two world
+    /// sizes the mean-reduce is exact, so the trajectory is bitwise
+    /// *invariant* to `world` — the mode elastic resizing requires.
+    Replicated,
+}
+
+/// A complete, restartable description of one training job.
+///
+/// The spec is pure data: the service (re)builds engines from it at
+/// submission, after a quarantine, and after an elastic resize. Anything
+/// the job's trajectory depends on must live here.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Unique job name: tags trace tracks, derives the fault domain, and
+    /// names the checkpoint directory.
+    pub name: String,
+    /// Model architecture.
+    pub model: GptConfig,
+    /// Model parameter-init seed.
+    pub model_seed: u64,
+    /// Data-stream seed (`BigramLm`).
+    pub data_seed: u64,
+    /// Data-stream noise.
+    pub data_noise: f32,
+    /// Sequences per global batch.
+    pub batch: usize,
+    /// Optimizer steps the job runs to completion.
+    pub steps: usize,
+    /// Engine stage.
+    pub stage: StageSpec,
+    /// Batch consumption mode for multi-rank stages.
+    pub data: DataMode,
+    /// Engine configuration. The service overrides `tracer` and `faults`
+    /// with the job's own isolated domain.
+    pub config: ZeroOffloadConfig,
+    /// Explicit fault plan for this job's domain. `None` derives a
+    /// job-specific plan from the ambient `ZO_FAULTS` preset, so a CI
+    /// fault matrix exercises every job with independent sequences.
+    pub faults: Option<FaultPlan>,
+    /// Scheduling weight: consecutive steps granted per turn (min 1).
+    pub priority: u32,
+    /// Checkpoint every N applied steps (0 disables periodic
+    /// checkpoints; quarantine then restarts from scratch).
+    pub checkpoint_every: usize,
+    /// Quarantine restarts tolerated before the job is marked failed.
+    pub max_restarts: u32,
+}
+
+impl JobSpec {
+    /// A small single-engine job with sane defaults; override fields as
+    /// needed.
+    pub fn new(name: impl Into<String>, model: GptConfig, steps: usize) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            model,
+            model_seed: 42,
+            data_seed: 7,
+            data_noise: 0.02,
+            batch: 4,
+            steps,
+            stage: StageSpec::Single,
+            data: DataMode::Sliced,
+            config: ZeroOffloadConfig::default(),
+            faults: None,
+            priority: 1,
+            checkpoint_every: 0,
+            max_restarts: 1,
+        }
+    }
+}

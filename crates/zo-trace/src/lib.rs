@@ -365,6 +365,20 @@ impl Tracer {
             .collect()
     }
 
+    /// All completed spans with each track prefixed `tag/` — the stream
+    /// view a multi-job service merges: per-job tracers stay fully
+    /// isolated while recording, and tagging at export time lets N
+    /// streams interleave in one Chrome trace without track collisions.
+    pub fn tagged_spans(&self, tag: &str) -> Vec<TraceEvent> {
+        self.spans()
+            .into_iter()
+            .map(|mut s| {
+                s.track = format!("{tag}/{}", s.track);
+                s
+            })
+            .collect()
+    }
+
     /// Per-step aggregate rows recorded by [`Tracer::finish_step`].
     pub fn step_metrics(&self) -> Vec<StepMetrics> {
         match &self.inner {
@@ -443,6 +457,19 @@ impl Tracer {
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
     }
+}
+
+/// Merges several independently-recorded trace streams into one Chrome
+/// trace, each stream's tracks prefixed with its tag (via
+/// [`Tracer::tagged_spans`]). Events are sorted by start time so the
+/// merged file reads as one coherent timeline.
+pub fn chrome_trace_json_tagged(streams: &[(&str, &Tracer)]) -> String {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for (tag, tracer) in streams {
+        events.extend(tracer.tagged_spans(tag));
+    }
+    events.sort_by_key(|e| (e.start_us, e.dur_us));
+    chrome_trace_json_from(&events)
 }
 
 /// Renders a plain event list (e.g. a simulated timeline) as Chrome
@@ -619,6 +646,46 @@ mod tests {
         assert!(t.step_metrics().is_empty());
         assert_eq!(t.counter_total("bytes"), 0);
         assert_eq!(t.chrome_trace_json(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn tagged_spans_prefix_tracks_and_preserve_timing() {
+        let t = Tracer::new();
+        t.record_span("gpu", "fwd", 10, 5);
+        t.record_span("cpu", "adam", 20, 7);
+        let tagged = t.tagged_spans("job-a");
+        assert_eq!(tagged.len(), 2);
+        assert_eq!(tagged[0].track, "job-a/gpu");
+        assert_eq!(tagged[1].track, "job-a/cpu");
+        assert_eq!(tagged[0].start_us, 10);
+        assert_eq!(tagged[1].dur_us, 7);
+        // The tracer itself is untouched.
+        assert_eq!(t.spans()[0].track, "gpu");
+    }
+
+    #[test]
+    fn tagged_merge_keeps_streams_apart() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        a.record_span("gpu", "fwd", 30, 5);
+        b.record_span("gpu", "fwd", 10, 5);
+        let json = chrome_trace_json_tagged(&[("job-a", &a), ("job-b", &b)]);
+        // Both jobs used track "gpu": the merged trace must keep them as
+        // distinct named tracks, ordered by start time.
+        assert!(
+            json.contains("\"job-a/gpu\""),
+            "missing job-a track: {json}"
+        );
+        assert!(
+            json.contains("\"job-b/gpu\""),
+            "missing job-b track: {json}"
+        );
+        let a_pos = json.find("\"job-a/gpu\"").unwrap();
+        let b_pos = json.find("\"job-b/gpu\"").unwrap();
+        assert!(
+            b_pos < a_pos,
+            "job-b's span starts earlier so its track registers first"
+        );
     }
 
     #[test]

@@ -1,101 +1,174 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, release build, tests.
+# Full CI gate, structured as timed legs.
+#
+# Each leg is a bash function run through `run_leg`, which prints a
+# banner, times the leg with $SECONDS, and records it for the wall-time
+# summary at the end — so a slow CI run points at its slow leg instead
+# of at a wall of interleaved output.
+#
+# Trajectory fingerprints are checked by one matrix helper
+# (`assert_fp_matrix`) over the full faults × threads × tier cube for
+# each engine stage, with memoized fingerprint runs — replacing the
+# copy-pasted diff loops that used to each cover one axis and left
+# ZO_STAGE=3 diffed across threads only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --all -- --check
+LEG_TIMES=()
 
-echo "== cargo clippy (warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+run_leg() {
+    local name=$1
+    shift
+    echo
+    echo "== $name"
+    local t0=$SECONDS
+    "$@"
+    LEG_TIMES+=("$(printf '%5ds  %s' "$((SECONDS - t0))" "$name")")
+}
 
-echo "== cargo doc (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+# ---------------------------------------------------------------- legs
 
-echo "== cargo build --release"
-cargo build --release
+leg_lint() {
+    cargo fmt --all -- --check
+    cargo clippy --workspace --all-targets -- -D warnings
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
 
-echo "== cargo test (ZO_THREADS=1)"
-ZO_THREADS=1 cargo test -q
+leg_build_release() {
+    cargo build --release
+    cargo build --release -q --bin fingerprint --bin kernel_bench --bin criterion_report
+}
 
-echo "== cargo test (ZO_THREADS=4)"
-ZO_THREADS=4 cargo test -q
+leg_test_debug() {
+    echo "   ZO_THREADS=1"
+    ZO_THREADS=1 cargo test -q
+    echo "   ZO_THREADS=4"
+    ZO_THREADS=4 cargo test -q
+}
 
-echo "== cargo test --release"
-cargo test --release -q
+leg_test_release() {
+    cargo test --release -q
+}
 
-echo "== thread-invariance fingerprint (ZO_THREADS=1 vs 4)"
-cargo build --release -q --bin fingerprint
-fp1=$(ZO_THREADS=1 ./target/release/fingerprint | awk '{print $2}')
-fp4=$(ZO_THREADS=4 ./target/release/fingerprint | awk '{print $2}')
-echo "   ZO_THREADS=1 -> $fp1"
-echo "   ZO_THREADS=4 -> $fp4"
-if [ "$fp1" != "$fp4" ]; then
-    echo "FAIL: training trajectory depends on ZO_THREADS" >&2
-    exit 1
-fi
-
-echo "== stage-3 fingerprint (ZO_STAGE=3, ZO_THREADS=1 vs 4)"
-fp3_1=$(ZO_STAGE=3 ZO_THREADS=1 ./target/release/fingerprint | awk '{print $2}')
-fp3_4=$(ZO_STAGE=3 ZO_THREADS=4 ./target/release/fingerprint | awk '{print $2}')
-echo "   ZO_THREADS=1 -> $fp3_1"
-echo "   ZO_THREADS=4 -> $fp3_4"
-if [ "$fp3_1" != "$fp3_4" ]; then
-    echo "FAIL: ZeRO-3 trajectory depends on ZO_THREADS" >&2
-    exit 1
-fi
-
-echo "== zo-fault unit tests"
-cargo test -q -p zo-fault
-
-echo "== fault matrix (ZO_FAULTS=off)"
-ZO_FAULTS=off cargo test -q --release --test fault_matrix
-
-echo "== fault matrix (ZO_FAULTS=transient-heavy)"
-ZO_FAULTS=transient-heavy cargo test -q --release --test fault_matrix
-
-echo "== zero3 paper-claim harness (ZO_FAULTS=off and transient-heavy)"
-ZO_FAULTS=off cargo test -q --release --test zero3_equivalence --test zero3_traffic
-ZO_FAULTS=transient-heavy cargo test -q --release --test zero3_equivalence --test zero3_traffic
-
-echo "== fault-invariance fingerprint (ZO_FAULTS=off vs transient-heavy)"
-fp_off=$(ZO_FAULTS=off ./target/release/fingerprint | awk '{print $2}')
-fp_hvy=$(ZO_FAULTS=transient-heavy ./target/release/fingerprint | awk '{print $2}')
-echo "   ZO_FAULTS=off             -> $fp_off"
-echo "   ZO_FAULTS=transient-heavy -> $fp_hvy"
-if [ "$fp_off" != "$fp_hvy" ]; then
-    echo "FAIL: recovered transient faults perturbed the training trajectory" >&2
-    exit 1
-fi
-
-echo "== memory-tier harness (ZO_FAULTS=off and transient-heavy)"
-ZO_FAULTS=off cargo test -q --release --test tier_offload
-ZO_FAULTS=transient-heavy cargo test -q --release --test tier_offload
-
-echo "== tier-invariance fingerprint (DRAM vs NVMe, both fault presets, threads 1 and 4)"
-for faults in off transient-heavy; do
-    for threads in 1 4; do
-        fp_dram=$(ZO_FAULTS=$faults ZO_THREADS=$threads ZO_TIER=dram ./target/release/fingerprint | awk '{print $2}')
-        fp_nvme=$(ZO_FAULTS=$faults ZO_THREADS=$threads ZO_TIER=nvme ./target/release/fingerprint | awk '{print $2}')
-        echo "   ZO_FAULTS=$faults ZO_THREADS=$threads  dram -> $fp_dram  nvme -> $fp_nvme"
-        if [ "$fp_dram" != "$fp_nvme" ]; then
-            echo "FAIL: spilling optimizer state to the NVMe tier perturbed the trajectory" >&2
-            exit 1
-        fi
+leg_fault_harness() {
+    cargo test -q -p zo-fault
+    for faults in off transient-heavy; do
+        echo "   ZO_FAULTS=$faults"
+        ZO_FAULTS=$faults cargo test -q --release --test fault_matrix
     done
-done
+}
 
-echo "== benchmark fingerprint artifact (BENCH_fingerprint.json)"
-ZO_TIER=nvme ./target/release/fingerprint --json BENCH_fingerprint.json
-head -c 400 BENCH_fingerprint.json; echo
+leg_zero3_harness() {
+    for faults in off transient-heavy; do
+        echo "   ZO_FAULTS=$faults"
+        ZO_FAULTS=$faults cargo test -q --release --test zero3_equivalence --test zero3_traffic
+    done
+}
 
-echo "== kernel perf trajectory artifact (BENCH_kernels.json)"
-cargo build --release -q --bin kernel_bench
-./target/release/kernel_bench --json BENCH_kernels.json
-./target/release/kernel_bench --assert BENCH_kernels.json
-head -c 400 BENCH_kernels.json; echo
+leg_tier_harness() {
+    for faults in off transient-heavy; do
+        echo "   ZO_FAULTS=$faults"
+        ZO_FAULTS=$faults cargo test -q --release --test tier_offload
+    done
+}
 
-echo "== benches compile"
-cargo build -q --benches -p zo-bench
+leg_multi_job_harness() {
+    for faults in off transient-heavy; do
+        echo "   ZO_FAULTS=$faults"
+        ZO_FAULTS=$faults cargo test -q --release --test multi_job
+    done
+}
 
+# Memoized trajectory fingerprint, keyed by the full env combo; the
+# result lands in $FP (returning via stdout would put the cache write in
+# a command-substitution subshell and lose it). The matrix below
+# revisits combos (every axis shares the baseline), so each
+# configuration runs exactly once.
+declare -A FP_CACHE
+FP=""
+fp() { # fp FAULTS THREADS STAGE TIER -> $FP
+    local key="$1|$2|$3|$4"
+    if [ -z "${FP_CACHE[$key]:-}" ]; then
+        FP_CACHE[$key]=$(ZO_FAULTS=$1 ZO_THREADS=$2 ZO_STAGE=$3 ZO_TIER=$4 \
+            ./target/release/fingerprint | awk '{print $2}')
+    fi
+    FP=${FP_CACHE[$key]}
+}
+
+# Asserts one engine stage's fingerprint is identical across the whole
+# ZO_FAULTS × ZO_THREADS × ZO_TIER cube. Stages may differ from each
+# other (ZeRO-3 hashes shards in rank order); within a stage, nothing is
+# allowed to move a bit.
+assert_fp_matrix() { # assert_fp_matrix STAGE
+    local stage=$1
+    local base
+    fp off 1 "$stage" dram
+    base=$FP
+    for faults in off transient-heavy; do
+        for threads in 1 4; do
+            for tier in dram nvme; do
+                fp "$faults" "$threads" "$stage" "$tier"
+                printf '   stage=%s faults=%-15s threads=%s tier=%s -> %s\n' \
+                    "$stage" "$faults" "$threads" "$tier" "$FP"
+                if [ "$FP" != "$base" ]; then
+                    echo "FAIL: stage=$stage trajectory moved under" \
+                        "ZO_FAULTS=$faults ZO_THREADS=$threads ZO_TIER=$tier" \
+                        "(got $FP, baseline $base)" >&2
+                    exit 1
+                fi
+            done
+        done
+    done
+}
+
+leg_fingerprint_matrix() {
+    assert_fp_matrix 1
+    assert_fp_matrix 3
+}
+
+leg_fingerprint_artifact() {
+    ZO_TIER=nvme ./target/release/fingerprint --json BENCH_fingerprint.json
+    head -c 400 BENCH_fingerprint.json
+    echo
+}
+
+leg_kernel_artifact() {
+    ./target/release/kernel_bench --json BENCH_kernels.json
+    ./target/release/kernel_bench --assert BENCH_kernels.json
+    head -c 400 BENCH_kernels.json
+    echo
+}
+
+leg_criterion_artifact() {
+    local ndjson=$PWD/target/criterion_results.ndjson
+    rm -f "$ndjson"
+    for bench in adam kernels engine figures scaling faults; do
+        echo "   bench: $bench"
+        CRITERION_QUICK=1 CRITERION_JSON=$ndjson \
+            cargo bench -q -p zo-bench --bench "$bench"
+    done
+    ./target/release/criterion_report --from "$ndjson" --json BENCH_criterion.json
+    ./target/release/criterion_report --assert BENCH_criterion.json
+    head -c 400 BENCH_criterion.json
+    echo
+}
+
+# -------------------------------------------------------------- driver
+
+run_leg "cargo fmt / clippy / doc (warnings are errors)" leg_lint
+run_leg "cargo build --release (plus artifact binaries)" leg_build_release
+run_leg "cargo test (ZO_THREADS=1 and 4)" leg_test_debug
+run_leg "cargo test --release" leg_test_release
+run_leg "fault harness (unit tests + fault matrix, both presets)" leg_fault_harness
+run_leg "zero3 paper-claim harness (both fault presets)" leg_zero3_harness
+run_leg "memory-tier harness (both fault presets)" leg_tier_harness
+run_leg "multi-job service harness (both fault presets)" leg_multi_job_harness
+run_leg "trajectory fingerprint matrix (faults x threads x tier, stages 1 and 3)" leg_fingerprint_matrix
+run_leg "benchmark fingerprint artifact (BENCH_fingerprint.json)" leg_fingerprint_artifact
+run_leg "kernel perf trajectory artifact (BENCH_kernels.json)" leg_kernel_artifact
+run_leg "criterion bench sweep artifact (BENCH_criterion.json)" leg_criterion_artifact
+
+echo
+echo "== leg wall times"
+printf '%s\n' "${LEG_TIMES[@]}"
 echo "CI green."

@@ -166,7 +166,24 @@ struct Stats {
     mean: Duration,
 }
 
+/// `CRITERION_QUICK=1` clamps every benchmark to a few-millisecond
+/// sweep, regardless of per-bench configuration. CI uses it to emit the
+/// persisted bench artifact without paying full measurement budgets.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_bench(criterion: &Criterion, f: &mut dyn FnMut(&mut Bencher)) -> Stats {
+    let criterion = if quick_mode() {
+        Criterion {
+            sample_size: criterion.sample_size.min(2),
+            measurement_time: criterion.measurement_time.min(Duration::from_millis(30)),
+            warm_up_time: criterion.warm_up_time.min(Duration::from_millis(5)),
+        }
+    } else {
+        criterion.clone()
+    };
+    let criterion = &criterion;
     // Warm-up: run single iterations until the warm-up budget elapses,
     // and use the observed cost to pick a per-sample iteration count.
     let warm_start = Instant::now();
@@ -222,6 +239,55 @@ fn report(name: &str, stats: &Stats, throughput: Option<Throughput>) {
         _ => String::new(),
     };
     println!("{name:<48} {:>12.3} us/iter{rate}", mean_ns / 1e3);
+    sink_json_line(name, mean_ns, throughput);
+}
+
+/// `CRITERION_JSON=path` appends one NDJSON record per finished bench to
+/// `path`; `criterion_report` aggregates the lines into the validated
+/// `BENCH_criterion.json` artifact. Append (not truncate) is deliberate:
+/// one sweep spans several `cargo bench` processes.
+fn sink_json_line(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let (tp_kind, tp_per_iter) = match throughput {
+        Some(Throughput::Elements(n)) => ("\"elements\"", n),
+        Some(Throughput::Bytes(n)) => ("\"bytes\"", n),
+        None => ("null", 0),
+    };
+    let line = format!(
+        "{{\"name\":{},\"mean_ns\":{mean_ns:.1},\"throughput\":{tp_kind},\"per_iter\":{tp_per_iter}}}\n",
+        json_string(name)
+    );
+    use std::io::Write;
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion: failed appending to {path}: {e}");
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Declares a benchmark group function.
@@ -274,5 +340,52 @@ mod tests {
             .measurement_time(Duration::from_millis(10))
             .warm_up_time(Duration::from_millis(1));
         trivial(&mut c);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain/4"), "\"plain/4\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(
+            json_string("tab\there"),
+            "\"tab\\there\"".replace("\\t", "\\u0009")
+        );
+    }
+
+    #[test]
+    fn quick_mode_sink_emits_ndjson() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_sink_{}.ndjson", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_QUICK", "1");
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default()
+            .sample_size(50)
+            .measurement_time(Duration::from_secs(10))
+            .warm_up_time(Duration::from_secs(5));
+        let t0 = Instant::now();
+        trivial(&mut c);
+        let elapsed = t0.elapsed();
+        std::env::remove_var("CRITERION_QUICK");
+        std::env::remove_var("CRITERION_JSON");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "CRITERION_QUICK must clamp a 10s budget: took {elapsed:?}"
+        );
+        let text = std::fs::read_to_string(&path).expect("sink file");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one record per bench: {text}");
+        assert!(lines[0].contains("\"name\":\"noop\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"throughput\":null"), "{}", lines[0]);
+        assert!(lines[1].contains("\"name\":\"grp/sum/4\""), "{}", lines[1]);
+        assert!(
+            lines[1].contains("\"throughput\":\"elements\"") && lines[1].contains("\"per_iter\":4"),
+            "{}",
+            lines[1]
+        );
+        for line in &lines {
+            assert!(line.contains("\"mean_ns\":"), "{line}");
+        }
     }
 }
